@@ -1,0 +1,55 @@
+// Ablation (DESIGN.md): separate PUNO's two mechanisms — predictive unicast
+// and notification — and measure each in isolation on the high-contention
+// set. Not a paper figure, but the decomposition Section III argues for.
+#include <cstdio>
+
+#include "bench/common/bench_util.hpp"
+#include "workloads/stamp.hpp"
+
+int main() {
+  using namespace puno;
+  using metrics::ExperimentParams;
+
+  const std::vector<std::string> hc = {"bayes", "intruder", "labyrinth",
+                                       "yada"};
+  struct Variant {
+    const char* name;
+    Scheme scheme;
+    bool unicast;
+    bool notification;
+  };
+  const Variant variants[] = {
+      {"Baseline", Scheme::kBaseline, false, false},
+      {"Unicast", Scheme::kPuno, true, false},
+      {"Notify", Scheme::kPuno, false, true},
+      {"PUNO", Scheme::kPuno, true, true},
+  };
+
+  std::printf("PUNO ablation — unicast vs. notification (high-contention "
+              "set)\n");
+  std::printf("============================================================="
+              "==\n");
+  std::printf("%-11s %-9s %10s %10s %12s %10s %8s\n", "Benchmark", "Variant",
+              "Cycles", "Aborts", "Traffic", "FalseAb", "Hit%");
+  for (const std::string& w : hc) {
+    for (const Variant& v : variants) {
+      ExperimentParams p;
+      p.workload = w;
+      p.scheme = v.scheme;
+      p.base_config.puno.enable_unicast = v.unicast;
+      p.base_config.puno.enable_notification = v.notification;
+      const auto r = bench::cached_run(p);
+      std::printf("%-11s %-9s %10llu %10llu %12llu %10llu %7.1f%%\n",
+                  w.c_str(), v.name,
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(r.aborts),
+                  static_cast<unsigned long long>(r.router_traversals),
+                  static_cast<unsigned long long>(r.false_abort_events),
+                  r.prediction_hit_rate() * 100.0);
+    }
+  }
+  std::printf("\nReading: Unicast alone removes most false aborting; "
+              "Notify alone removes\nmost polling traffic; PUNO composes "
+              "both (Section III).\n");
+  return 0;
+}

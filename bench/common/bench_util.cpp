@@ -1,0 +1,203 @@
+#include "bench/common/bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/stamp.hpp"
+
+namespace puno::bench {
+
+namespace fs = std::filesystem;
+using metrics::ExperimentParams;
+using metrics::RunResult;
+
+namespace {
+
+/// Bump when the simulator's behaviour changes so stale caches self-expire.
+constexpr int kCacheVersion = 4;
+
+[[nodiscard]] bool cache_enabled() {
+  const char* v = std::getenv("PUNO_BENCH_NOCACHE");
+  return v == nullptr || v[0] == '0';
+}
+
+[[nodiscard]] fs::path cache_dir() { return ".puno-bench-cache"; }
+
+[[nodiscard]] std::string cache_key(const ExperimentParams& p) {
+  // Every knob that changes simulated behaviour must appear in the key.
+  const PunoConfig& pc = p.base_config.puno;
+  std::ostringstream os;
+  os << "v" << kCacheVersion << "_" << p.workload << "_"
+     << to_string(p.scheme) << "_s" << p.seed << "_x" << p.scale << "_u"
+     << pc.enable_unicast << "_n" << pc.enable_notification << "_vt"
+     << int{pc.validity_threshold} << "_tf" << pc.timeout_fraction << "_cap"
+     << pc.max_notified_backoff << "_ms" << pc.unicast_min_sharers << "_pe"
+     << pc.pbuffer_entries << "_te" << pc.txlb_entries << "_nn"
+     << p.base_config.num_nodes << "_ch" << pc.enable_commit_hint;
+  return os.str();
+}
+
+void save(const fs::path& file, const RunResult& r) {
+  std::ofstream out(file);
+  if (!out) return;
+  out << r.workload << '\n'
+      << static_cast<int>(r.scheme) << '\n'
+      << r.completed << '\n'
+      << r.cycles << '\n'
+      << r.commits << ' ' << r.aborts << ' ' << r.aborts_by_getx << ' '
+      << r.aborts_by_gets << ' ' << r.aborts_overflow << '\n'
+      << r.tx_getx_issued << ' ' << r.tx_getx_nacked << ' '
+      << r.request_retries << ' ' << r.retries_per_contended_acquire << '\n'
+      << r.false_abort_events << ' ' << r.falsely_aborted_txns << '\n'
+      << r.router_traversals << '\n'
+      << r.dir_blocked_mean << ' ' << r.dir_txgetx_services << '\n'
+      << r.good_cycles << ' ' << r.discarded_cycles << '\n'
+      << r.unicast_forwards << ' ' << r.mp_feedbacks << ' '
+      << r.notified_backoffs << ' ' << r.commit_hints_sent << ' '
+      << r.hint_wakeups << '\n'
+      << r.false_abort_multiplicity.size() << '\n';
+  for (double f : r.false_abort_multiplicity) out << f << ' ';
+  out << '\n';
+}
+
+[[nodiscard]] bool load(const fs::path& file, RunResult& r) {
+  std::ifstream in(file);
+  if (!in) return false;
+  int scheme = 0;
+  std::size_t hist = 0;
+  in >> r.workload >> scheme >> r.completed >> r.cycles >> r.commits >>
+      r.aborts >> r.aborts_by_getx >> r.aborts_by_gets >> r.aborts_overflow >>
+      r.tx_getx_issued >> r.tx_getx_nacked >> r.request_retries >>
+      r.retries_per_contended_acquire >> r.false_abort_events >>
+      r.falsely_aborted_txns >> r.router_traversals >> r.dir_blocked_mean >>
+      r.dir_txgetx_services >> r.good_cycles >> r.discarded_cycles >>
+      r.unicast_forwards >> r.mp_feedbacks >> r.notified_backoffs >>
+      r.commit_hints_sent >> r.hint_wakeups >> hist;
+  if (!in) return false;
+  r.scheme = static_cast<Scheme>(scheme);
+  r.false_abort_multiplicity.resize(hist);
+  for (auto& f : r.false_abort_multiplicity) in >> f;
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+double bench_scale() {
+  if (const char* v = std::getenv("PUNO_BENCH_SCALE")) {
+    const double s = std::atof(v);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+RunResult cached_run(ExperimentParams params) {
+  if (params.scale <= 0) params.scale = bench_scale();
+  const fs::path file = cache_dir() / cache_key(params);
+  if (cache_enabled()) {
+    RunResult r;
+    if (load(file, r)) return r;
+  }
+  const RunResult r = metrics::run_experiment(params);
+  if (cache_enabled()) {
+    std::error_code ec;
+    fs::create_directories(cache_dir(), ec);
+    if (!ec) save(file, r);
+  }
+  return r;
+}
+
+std::vector<RunResult> cached_suite(Scheme scheme, std::uint64_t seed) {
+  std::vector<RunResult> out;
+  for (const std::string& w : workloads::stamp::benchmark_names()) {
+    ExperimentParams p;
+    p.workload = w;
+    p.scheme = scheme;
+    p.seed = seed;
+    p.scale = bench_scale();
+    out.push_back(cached_run(p));
+  }
+  return out;
+}
+
+double geomean(const std::vector<double>& v,
+               const std::vector<std::size_t>& idx) {
+  if (idx.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i : idx) acc += std::log(v[i] <= 0 ? 1e-12 : v[i]);
+  return std::exp(acc / static_cast<double>(idx.size()));
+}
+
+namespace {
+
+void print_header(const std::string& title,
+                  const std::vector<std::string>& workloads,
+                  const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  for (std::size_t i = 0; i < title.size(); ++i) std::printf("=");
+  std::printf("\n%-11s", "");
+  for (const Series& s : series) std::printf(" %12s", s.name.c_str());
+  std::printf("\n");
+  (void)workloads;
+}
+
+std::vector<std::size_t> hc_indices(const std::vector<std::string>& ws) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    if (workloads::stamp::is_high_contention(ws[i])) idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> all_indices(const std::vector<std::string>& ws) {
+  std::vector<std::size_t> idx(ws.size());
+  for (std::size_t i = 0; i < ws.size(); ++i) idx[i] = i;
+  return idx;
+}
+
+}  // namespace
+
+void print_normalized(const std::string& title,
+                      const std::vector<std::string>& workloads,
+                      const std::vector<Series>& series) {
+  print_header(title + " (normalized to " + series.front().name + ")",
+               workloads, series);
+  std::vector<std::vector<double>> norm(series.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("%-11s", workloads[w].c_str());
+    const double base = series.front().values[w];
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const double n = base == 0 ? 0.0 : series[s].values[w] / base;
+      norm[s].push_back(n);
+      std::printf(" %12.3f", n);
+    }
+    std::printf("\n");
+  }
+  const auto all = all_indices(workloads);
+  const auto hc = hc_indices(workloads);
+  std::printf("%-11s", "geomean");
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::printf(" %12.3f", geomean(norm[s], all));
+  }
+  std::printf("\n%-11s", "geomean-HC");
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::printf(" %12.3f", geomean(norm[s], hc));
+  }
+  std::printf("\n");
+}
+
+void print_raw(const std::string& title,
+               const std::vector<std::string>& workloads,
+               const std::vector<Series>& series, const char* unit) {
+  print_header(title + std::string(" [") + unit + "]", workloads, series);
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("%-11s", workloads[w].c_str());
+    for (const Series& s : series) std::printf(" %12.1f", s.values[w]);
+    std::printf("\n");
+  }
+}
+
+}  // namespace puno::bench

@@ -1,0 +1,50 @@
+// Shared infrastructure for the per-figure/table experiment harnesses.
+//
+// Every figure bench runs (a subset of) the same 8-workload x 4-scheme
+// sweep, so results are cached on disk keyed by the experiment parameters;
+// delete the cache directory (./.puno-bench-cache) or set
+// PUNO_BENCH_NOCACHE=1 to force re-simulation. PUNO_BENCH_SCALE scales the
+// per-node committed-transaction quota (default 1.0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+#include "metrics/run_result.hpp"
+
+namespace puno::bench {
+
+/// Experiment scale taken from PUNO_BENCH_SCALE (default 1.0).
+[[nodiscard]] double bench_scale();
+
+/// Runs (or loads from cache) one experiment.
+[[nodiscard]] metrics::RunResult cached_run(metrics::ExperimentParams params);
+
+/// Runs (or loads) the whole suite for one scheme.
+[[nodiscard]] std::vector<metrics::RunResult> cached_suite(
+    Scheme scheme, std::uint64_t seed = 1);
+
+/// A figure's data: per-workload values for several named series.
+struct Series {
+  std::string name;
+  std::vector<double> values;  // one per workload, paper order
+};
+
+/// Prints a paper-style normalized figure: every series divided by the
+/// first (baseline) series per workload, plus overall and high-contention
+/// geometric means.
+void print_normalized(const std::string& title,
+                      const std::vector<std::string>& workloads,
+                      const std::vector<Series>& series);
+
+/// Prints raw (unnormalized) values with a column per series.
+void print_raw(const std::string& title,
+               const std::vector<std::string>& workloads,
+               const std::vector<Series>& series, const char* unit);
+
+/// Geometric mean over a subset of indices.
+[[nodiscard]] double geomean(const std::vector<double>& v,
+                             const std::vector<std::size_t>& idx);
+
+}  // namespace puno::bench

@@ -1,0 +1,17 @@
+// Figure 13: normalized execution time. Paper: PUNO improves execution time
+// by 12% (up to 31%) in high-contention workloads and 8% on average;
+// random backoff over-serializes labyrinth; RMW-Pred slows contended
+// workloads (1.83x) while winning marginally (<1.6%) on kmeans/ssca2.
+#include "bench/fig_common.hpp"
+
+int main() {
+  puno::bench::run_scheme_figure(
+      "Figure 13 — execution time",
+      [](const puno::metrics::RunResult& r) {
+        return static_cast<double>(r.cycles);
+      },
+      "Paper shape: PUNO <= Baseline everywhere, biggest gains where abort"
+      "\nreduction is largest; RMW-Pred pays a large penalty in the"
+      "\nhigh-contention set.");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 14: transaction execution efficiency — the ratio of cycles spent
+// in committed transactions (good effort) to cycles spent in aborted ones
+// (discarded effort). Larger is better. Paper: PUNO's G/D ratio beats
+// Baseline / random backoff / RMW-Pred by 1.65x / 1.24x / 2.11x on average.
+#include "bench/fig_common.hpp"
+
+int main() {
+  puno::bench::run_scheme_figure(
+      "Figure 14 — G/D ratio (good / discarded transaction effort)",
+      [](const puno::metrics::RunResult& r) { return r.gd_ratio(); },
+      "Paper shape: PUNO highest (values here are normalized to Baseline,"
+      "\nso >1 means better execution efficiency than Baseline).");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared body for the Figures 10-14 benches: run the 8-workload x 4-scheme
+// sweep and print one metric as a paper-style normalized figure.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_util.hpp"
+#include "workloads/stamp.hpp"
+
+namespace puno::bench {
+
+using MetricFn = std::function<double(const metrics::RunResult&)>;
+
+/// Seeds averaged by every figure (the paper's runs amortize far more
+/// dynamic transactions than one seed of ours; three seeds keep the
+/// normalized ratios stable to within ~1%).
+inline const std::vector<std::uint64_t>& figure_seeds() {
+  static const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  return seeds;
+}
+
+inline void run_scheme_figure(const std::string& title, const MetricFn& metric,
+                              const std::string& paper_note) {
+  const std::vector<Scheme> schemes = {Scheme::kBaseline,
+                                       Scheme::kRandomBackoff,
+                                       Scheme::kRmwPred, Scheme::kPuno};
+  std::vector<Series> series;
+  for (Scheme s : schemes) {
+    Series col;
+    col.name = to_string(s);
+    for (std::uint64_t seed : figure_seeds()) {
+      const auto suite = cached_suite(s, seed);
+      if (col.values.empty()) col.values.resize(suite.size(), 0.0);
+      for (std::size_t i = 0; i < suite.size(); ++i) {
+        col.values[i] += metric(suite[i]) / figure_seeds().size();
+      }
+    }
+    series.push_back(std::move(col));
+  }
+  print_normalized(title, workloads::stamp::benchmark_names(), series);
+  std::printf("\n%s\n", paper_note.c_str());
+}
+
+}  // namespace puno::bench

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks of the hot simulator components: the
+// structures PUNO adds (P-Buffer, TxLB, RMW predictor), the caches and the
+// NoC. These bound the simulator's own performance, not the modelled
+// hardware's.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "coherence/cache_array.hpp"
+#include "htm/rmw_predictor.hpp"
+#include "htm/txlb.hpp"
+#include "noc/mesh.hpp"
+#include "puno/pbuffer.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "workloads/stamp.hpp"
+
+namespace {
+
+using namespace puno;
+
+void BM_RngNextBelow(benchmark::State& state) {
+  sim::Rng rng(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1000));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_PBufferUpdate(benchmark::State& state) {
+  core::PBuffer pb(16);
+  sim::Rng rng(1, 0);
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    pb.update(static_cast<NodeId>(rng.next_below(16)), ++ts);
+  }
+}
+BENCHMARK(BM_PBufferUpdate);
+
+void BM_PBufferTimeout(benchmark::State& state) {
+  core::PBuffer pb(16);
+  for (NodeId n = 0; n < 16; ++n) pb.update(n, n);
+  for (auto _ : state) {
+    pb.on_timeout();
+    pb.update(3, 100);  // keep some validity alive
+  }
+}
+BENCHMARK(BM_PBufferTimeout);
+
+void BM_TxLBCommit(benchmark::State& state) {
+  htm::TxLB txlb(32);
+  sim::Rng rng(1, 0);
+  for (auto _ : state) {
+    txlb.on_commit(static_cast<StaticTxId>(rng.next_below(15)),
+                   rng.next_below(1000));
+  }
+}
+BENCHMARK(BM_TxLBCommit);
+
+void BM_RmwPredict(benchmark::State& state) {
+  htm::RmwPredictor pred(256);
+  for (std::uint64_t pc = 0; pc < 128; ++pc) pred.train(pc, true);
+  std::uint64_t pc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.predict_exclusive(pc++ % 256));
+  }
+}
+BENCHMARK(BM_RmwPredict);
+
+void BM_CacheArrayLookup(benchmark::State& state) {
+  struct Meta {};
+  coherence::CacheArray<Meta> cache(32 * 1024, 4, 64);
+  sim::Rng rng(1, 0);
+  for (int i = 0; i < 512; ++i) {
+    const BlockAddr a = rng.next_below(1024) * 64;
+    cache.fill(cache.victim(a), a);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find(rng.next_below(1024) * 64));
+  }
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void BM_MeshSingleFlitDelivery(benchmark::State& state) {
+  // Whole-network cost of moving one control packet corner to corner.
+  struct Payload final : noc::PacketPayload {};
+  sim::Kernel kernel;
+  NocConfig cfg;
+  noc::Mesh mesh(kernel, cfg);
+  kernel.add_tickable(mesh);
+  bool got = false;
+  mesh.set_handler(15, [&](noc::Packet) { got = true; });
+  auto payload = std::make_shared<Payload>();
+  for (auto _ : state) {
+    got = false;
+    mesh.send(0, 15, noc::VNet::kRequest, 0, payload);
+    while (!got) kernel.step();
+  }
+}
+BENCHMARK(BM_MeshSingleFlitDelivery);
+
+void BM_MeshSaturated(benchmark::State& state) {
+  // Simulator throughput under all-to-one hotspot traffic (cycles/sec of
+  // simulated network under load).
+  struct Payload final : noc::PacketPayload {};
+  sim::Kernel kernel;
+  NocConfig cfg;
+  noc::Mesh mesh(kernel, cfg);
+  kernel.add_tickable(mesh);
+  std::uint64_t delivered = 0;
+  mesh.set_handler(0, [&](noc::Packet) { ++delivered; });
+  auto payload = std::make_shared<Payload>();
+  NodeId src = 1;
+  for (auto _ : state) {
+    mesh.send(src, 0, noc::VNet::kResponse, 64, payload);
+    src = static_cast<NodeId>(src % 15 + 1);
+    kernel.step();
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_MeshSaturated);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  auto wl = workloads::stamp::make("bayes", 16, 1, /*scale=*/1e9);
+  NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl->next(node));
+    node = static_cast<NodeId>((node + 1) % 16);
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

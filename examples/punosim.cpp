@@ -1,0 +1,193 @@
+// punosim: command-line driver for single experiments.
+//
+//   ./punosim --workload intruder --scheme puno --seed 7 --scale 0.5
+//             [--no-unicast] [--no-notification] [--commit-hint]
+//             [--trace FILE] [--record-trace FILE] [--csv FILE] [--stats]
+//
+// Prints the headline metrics; --stats additionally dumps every counter,
+// scalar and histogram the simulation recorded (the same registry the
+// figures are built from). --trace replays a recorded trace instead of the
+// synthetic generator; --record-trace writes the generated stream to a file
+// (without simulating); --csv appends a result row (with header if new).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <filesystem>
+#include <fstream>
+
+#include "arch/cmp.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/stats_io.hpp"
+#include "workloads/stamp.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --workload NAME   bayes|intruder|labyrinth|yada|genome|kmeans|\n"
+      "                    ssca2|vacation (default: intruder)\n"
+      "  --scheme NAME     baseline|backoff|rmw|puno (default: baseline)\n"
+      "  --seed N          RNG seed (default: 1)\n"
+      "  --scale X         committed-txn quota multiplier (default: 1.0)\n"
+      "  --no-unicast      disable PUNO's predictive unicast\n"
+      "  --no-notification disable PUNO's notification\n"
+      "  --commit-hint     enable the commit-hint extension\n"
+      "  --trace FILE      replay a recorded trace instead of the generator\n"
+      "  --record-trace F  write the generated stream to F and exit\n"
+      "  --csv FILE        append the result as a CSV row\n"
+      "  --stats           dump the full statistics registry\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace puno;
+  metrics::ExperimentParams params;
+  params.workload = "intruder";
+  bool dump_stats = false;
+  std::string trace_path, record_path, csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      params.workload = next();
+    } else if (arg == "--scheme") {
+      const std::string s = next();
+      if (s == "baseline") params.scheme = Scheme::kBaseline;
+      else if (s == "backoff") params.scheme = Scheme::kRandomBackoff;
+      else if (s == "rmw") params.scheme = Scheme::kRmwPred;
+      else if (s == "puno") params.scheme = Scheme::kPuno;
+      else {
+        std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      params.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--scale") {
+      params.scale = std::atof(next());
+    } else if (arg == "--no-unicast") {
+      params.base_config.puno.enable_unicast = false;
+    } else if (arg == "--no-notification") {
+      params.base_config.puno.enable_notification = false;
+    } else if (arg == "--commit-hint") {
+      params.base_config.puno.enable_commit_hint = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--record-trace") {
+      record_path = next();
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--stats") {
+      dump_stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Run through the Cmp directly so the stats registry stays accessible.
+  SystemConfig cfg = params.base_config;
+  cfg.scheme = params.scheme;
+  cfg.seed = params.seed;
+
+  if (!record_path.empty()) {
+    auto source = workloads::stamp::make(params.workload, cfg.num_nodes,
+                                         params.seed, params.scale);
+    std::ofstream out(record_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", record_path.c_str());
+      return 1;
+    }
+    workloads::TraceWorkload::record(*source, cfg.num_nodes, out);
+    std::printf("trace written to %s\n", record_path.c_str());
+    return 0;
+  }
+
+  std::unique_ptr<workloads::Workload> workload;
+  if (!trace_path.empty()) {
+    workload = std::make_unique<workloads::TraceWorkload>(
+        workloads::TraceWorkload::load(trace_path));
+    params.workload = workload->name() + " (trace)";
+  } else {
+    workload = workloads::stamp::make(params.workload, cfg.num_nodes,
+                                      params.seed, params.scale);
+  }
+  arch::Cmp cmp(cfg, *workload);
+  const bool completed = cmp.run(params.max_cycles);
+
+  auto r = metrics::RunResult::from_stats(cmp.kernel().stats());
+  r.cycles = cmp.kernel().now();
+  r.completed = completed;
+
+  std::printf("workload=%s scheme=%s seed=%llu scale=%.3g\n",
+              params.workload.c_str(), to_string(params.scheme),
+              static_cast<unsigned long long>(params.seed), params.scale);
+  std::printf("completed            %s\n", completed ? "yes" : "NO (budget)");
+  std::printf("cycles               %llu\n",
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("commits              %llu\n",
+              static_cast<unsigned long long>(r.commits));
+  std::printf("aborts               %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(r.aborts),
+              r.abort_rate() * 100.0);
+  std::printf("false-abort events   %llu (%.1f%% of TxGETX)\n",
+              static_cast<unsigned long long>(r.false_abort_events),
+              r.false_abort_fraction() * 100.0);
+  std::printf("network traffic      %llu flit router traversals\n",
+              static_cast<unsigned long long>(r.router_traversals));
+  std::printf("dir blocked/TxGETX   %.1f cycles\n", r.dir_blocked_mean);
+  std::printf("G/D ratio            %.3f\n", r.gd_ratio());
+  if (params.scheme == Scheme::kPuno) {
+    std::printf("unicasts             %llu (hit rate %.1f%%)\n",
+                static_cast<unsigned long long>(r.unicast_forwards),
+                r.prediction_hit_rate() * 100.0);
+    std::printf("notified backoffs    %llu\n",
+                static_cast<unsigned long long>(r.notified_backoffs));
+  }
+
+  if (!csv_path.empty()) {
+    const bool fresh = !std::filesystem::exists(csv_path);
+    std::ofstream csv(csv_path, std::ios::app);
+    r.workload = params.workload;
+    r.scheme = params.scheme;
+    if (fresh) csv << metrics::result_csv_header() << '\n';
+    metrics::write_result_csv(r, csv);
+    std::printf("result row appended to %s\n", csv_path.c_str());
+  }
+
+  if (dump_stats) {
+    std::printf("\n-- full statistics registry --\n");
+    const auto& stats = cmp.kernel().stats();
+    for (const auto& [name, c] : stats.counters()) {
+      std::printf("%-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    }
+    for (const auto& [name, s] : stats.scalars()) {
+      std::printf("%-40s mean=%.2f min=%.0f max=%.0f n=%llu\n", name.c_str(),
+                  s.mean(), s.min(), s.max(),
+                  static_cast<unsigned long long>(s.count()));
+    }
+    for (const auto& [name, h] : stats.histograms()) {
+      std::printf("%-40s n=%llu mean=%.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(h.total()), h.mean());
+    }
+  }
+  return completed ? 0 : 1;
+}

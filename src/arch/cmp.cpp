@@ -1,0 +1,109 @@
+#include "arch/cmp.hpp"
+
+#include <cassert>
+
+namespace puno::arch {
+
+namespace {
+
+using coherence::Message;
+using coherence::MsgType;
+
+/// Payload size on the wire: data-carrying messages move a cache line;
+/// everything else (including all PUNO extensions, Section III.E) fits in
+/// the head flit.
+[[nodiscard]] std::uint32_t wire_bytes(const Message& m,
+                                       const SystemConfig& cfg) {
+  return coherence::carries_data(m.type) && m.has_payload
+             ? cfg.cache.block_bytes
+             : 0;
+}
+
+/// Messages steered to the directory (home-side) vs. the L1 (requester/
+/// sharer side) of a tile.
+[[nodiscard]] bool for_directory(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+    case MsgType::kPutX:
+    case MsgType::kUnblock:
+    case MsgType::kWbData:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Cmp::Cmp(const SystemConfig& cfg, workloads::Workload& workload) : cfg_(cfg) {
+  assert(cfg_.num_nodes == cfg_.noc.mesh_width * cfg_.noc.mesh_width);
+  mesh_ = std::make_unique<noc::Mesh>(kernel_, cfg_.noc);
+  kernel_.add_tickable(*mesh_);
+
+  const Cycle c2c = mesh_->average_c2c_latency();
+  const auto n = static_cast<NodeId>(cfg_.num_nodes);
+
+  for (NodeId i = 0; i < n; ++i) {
+    txns_.push_back(
+        std::make_unique<htm::TxnContext>(kernel_, cfg_, i, c2c));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    auto send = [this, i](NodeId dst, std::shared_ptr<const Message> msg) {
+      const auto vnet = coherence::vnet_of(msg->type);
+      const std::uint32_t bytes = wire_bytes(*msg, cfg_);
+      mesh_->send(i, dst, vnet, bytes, std::move(msg));
+    };
+    l1s_.push_back(std::make_unique<coherence::L1Controller>(
+        kernel_, cfg_, i, *txns_[i], send));
+    txns_[i]->attach_l1(l1s_[i].get());
+    if (cfg_.puno.enable_commit_hint) {
+      txns_[i]->set_hint_sender([send, i](NodeId dst, BlockAddr addr) {
+        auto hint = Message::make(MsgType::kRetryHint, addr, i, dst);
+        send(dst, std::move(hint));
+      });
+    }
+    dirs_.push_back(
+        std::make_unique<coherence::Directory>(kernel_, cfg_, i, send));
+    if (cfg_.scheme == Scheme::kPuno) {
+      assists_.push_back(
+          std::make_unique<core::PunoDirectory>(kernel_, cfg_, i));
+      dirs_[i]->set_assist(assists_.back().get());
+    }
+    mesh_->set_handler(i, [this, i](noc::Packet p) {
+      const auto* msg = static_cast<const Message*>(p.payload.get());
+      assert(msg != nullptr);
+      if (for_directory(msg->type)) {
+        dirs_[i]->handle_message(*msg);
+      } else {
+        l1s_[i]->handle_message(*msg);
+      }
+    });
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    cores_.push_back(std::make_unique<Core>(kernel_, cfg_, i, *txns_[i],
+                                            *l1s_[i], workload));
+  }
+}
+
+bool Cmp::all_done() const {
+  for (const auto& c : cores_) {
+    if (!c->done()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Cmp::total_committed() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cores_) total += c->committed();
+  return total;
+}
+
+bool Cmp::run(Cycle max_cycles) {
+  for (auto& c : cores_) c->start();
+  const bool finished = kernel_.run_until(
+      [this] { return all_done() && mesh_->idle(); }, max_cycles);
+  return finished;
+}
+
+}  // namespace puno::arch

@@ -1,0 +1,55 @@
+// Whole-CMP assembly: 16 tiles of {core, L1, L2 bank + directory, PUNO
+// assist, router/NI}, glued to the mesh (Figure 9).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/core.hpp"
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+#include "htm/txn_context.hpp"
+#include "noc/mesh.hpp"
+#include "puno/puno_directory.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+#include "workloads/workload.hpp"
+
+namespace puno::arch {
+
+class Cmp {
+ public:
+  Cmp(const SystemConfig& cfg, workloads::Workload& workload);
+
+  Cmp(const Cmp&) = delete;
+  Cmp& operator=(const Cmp&) = delete;
+
+  /// Runs until every core has exhausted its workload (plus network drain)
+  /// or `max_cycles` elapse. Returns true on normal completion.
+  bool run(Cycle max_cycles);
+
+  [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] noc::Mesh& mesh() noexcept { return *mesh_; }
+  [[nodiscard]] Core& core(NodeId n) { return *cores_[n]; }
+  [[nodiscard]] htm::TxnContext& txn(NodeId n) { return *txns_[n]; }
+  [[nodiscard]] coherence::L1Controller& l1(NodeId n) { return *l1s_[n]; }
+  [[nodiscard]] coherence::Directory& directory(NodeId n) {
+    return *dirs_[n];
+  }
+
+  [[nodiscard]] std::uint64_t total_committed() const;
+  [[nodiscard]] bool all_done() const;
+
+ private:
+  SystemConfig cfg_;
+  sim::Kernel kernel_;
+  std::unique_ptr<noc::Mesh> mesh_;
+  std::vector<std::unique_ptr<htm::TxnContext>> txns_;
+  std::vector<std::unique_ptr<coherence::L1Controller>> l1s_;
+  std::vector<std::unique_ptr<coherence::Directory>> dirs_;
+  std::vector<std::unique_ptr<core::PunoDirectory>> assists_;
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace puno::arch

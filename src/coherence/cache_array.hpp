@@ -1,0 +1,126 @@
+// Generic set-associative tag array with true-LRU replacement.
+//
+// Used for both the private L1s and the shared L2 banks. The simulator
+// tracks tags and per-line metadata only — simulated programs have no data
+// values, so "data" never needs to be stored.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace puno::coherence {
+
+/// Per-line metadata kept by a CacheArray user.
+template <typename LineState>
+struct CacheLine {
+  BlockAddr addr = 0;
+  bool valid = false;
+  std::uint64_t lru = 0;  ///< Larger = more recently used.
+  LineState state{};
+};
+
+template <typename LineState>
+class CacheArray {
+ public:
+  /// size_bytes / block_bytes must be divisible by assoc; all powers of two.
+  CacheArray(std::uint64_t size_bytes, std::uint32_t assoc,
+             std::uint32_t block_bytes)
+      : assoc_(assoc),
+        block_bytes_(block_bytes),
+        num_sets_(static_cast<std::uint32_t>(size_bytes / block_bytes / assoc)),
+        lines_(static_cast<std::size_t>(num_sets_) * assoc) {
+    assert(std::has_single_bit(num_sets_));
+    assert(std::has_single_bit(block_bytes_));
+  }
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
+  [[nodiscard]] std::uint32_t assoc() const noexcept { return assoc_; }
+
+  [[nodiscard]] std::uint32_t set_index(BlockAddr addr) const noexcept {
+    return static_cast<std::uint32_t>((addr / block_bytes_) & (num_sets_ - 1));
+  }
+
+  /// Looks up `addr`; returns the line if present and valid.
+  [[nodiscard]] CacheLine<LineState>* find(BlockAddr addr) {
+    const std::uint32_t set = set_index(addr);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      CacheLine<LineState>& line = at(set, w);
+      if (line.valid && line.addr == addr) return &line;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const CacheLine<LineState>* find(BlockAddr addr) const {
+    return const_cast<CacheArray*>(this)->find(addr);
+  }
+
+  /// Marks a line most-recently-used.
+  void touch(CacheLine<LineState>& line) noexcept { line.lru = ++lru_clock_; }
+
+  /// Returns the line to fill for `addr`: an invalid way if one exists,
+  /// otherwise the LRU way. The caller must handle eviction of the returned
+  /// line if it is valid (check `valid` before overwriting).
+  [[nodiscard]] CacheLine<LineState>& victim(BlockAddr addr) {
+    const std::uint32_t set = set_index(addr);
+    CacheLine<LineState>* best = &at(set, 0);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      CacheLine<LineState>& line = at(set, w);
+      if (!line.valid) return line;
+      if (line.lru < best->lru) best = &line;
+    }
+    return *best;
+  }
+
+  /// Victim selection that skips lines for which `pinned(state)` is true
+  /// (e.g. transactional lines that must not be silently evicted). Returns
+  /// nullptr if every way in the set is pinned.
+  template <typename Pred>
+  [[nodiscard]] CacheLine<LineState>* victim_excluding(BlockAddr addr,
+                                                       Pred&& pinned) {
+    const std::uint32_t set = set_index(addr);
+    CacheLine<LineState>* best = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      CacheLine<LineState>& line = at(set, w);
+      if (!line.valid) return &line;
+      if (pinned(line)) continue;
+      if (best == nullptr || line.lru < best->lru) best = &line;
+    }
+    return best;
+  }
+
+  /// Installs `addr` into `line` (which the caller obtained from victim()).
+  CacheLine<LineState>& fill(CacheLine<LineState>& line, BlockAddr addr) {
+    line.addr = addr;
+    line.valid = true;
+    line.state = LineState{};
+    touch(line);
+    return line;
+  }
+
+  void invalidate(CacheLine<LineState>& line) noexcept { line.valid = false; }
+
+  /// Iterates all valid lines (test/debug aid).
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
+    for (auto& line : lines_) {
+      if (line.valid) fn(line);
+    }
+  }
+
+ private:
+  [[nodiscard]] CacheLine<LineState>& at(std::uint32_t set, std::uint32_t way) {
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+  }
+
+  std::uint32_t assoc_;
+  std::uint32_t block_bytes_;
+  std::uint32_t num_sets_;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<CacheLine<LineState>> lines_;
+};
+
+}  // namespace puno::coherence

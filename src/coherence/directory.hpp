@@ -1,0 +1,140 @@
+// Home-node directory controller + co-located shared-L2 bank.
+//
+// One Directory instance lives on every node; the static-NUCA address
+// interleaving (SystemConfig::home_of) decides which blocks it is home for.
+// The protocol is a blocking MESI directory in the SGI-Origin style the
+// paper assumes (Section II.A):
+//
+//   * GETS to an idle line: data (exclusive if there are no sharers).
+//   * GETS to an owned line: forwarded to the owner, who supplies data and
+//     downgrades (or NACKs on a transactional conflict).
+//   * GETX to a shared line: invalidations multicast to all sharers plus
+//     data from the L2 bank — unless the PUNO assist predicts a unicast
+//     destination, in which case a single U-bit invalidation is sent and no
+//     data is wasted (Section III.B).
+//   * The entry is "busy" from service start until the requester's UNBLOCK;
+//     further requests to the line queue. The cycles a transactional GETX
+//     keeps an entry busy are the Figure 12 metric.
+//
+// A failed (nacked) GETX restores the sharer list to the survivors the
+// requester reports in the UNBLOCK, removing exactly the sharers that were
+// (falsely) invalidated.
+//
+// The directory state itself is memory-backed (complete), as in the Origin;
+// the L2 bank is a data-only cache deciding whether a fill costs the
+// 20-cycle bank latency or the 200-cycle memory latency.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "coherence/cache_array.hpp"
+#include "coherence/hooks.hpp"
+#include "coherence/message.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+
+namespace puno::coherence {
+
+class Directory {
+ public:
+  using SendFn =
+      std::function<void(NodeId dst, std::shared_ptr<const Message>)>;
+
+  enum class DirState : std::uint8_t { kI, kS, kEM };
+
+  /// What the in-flight service was, deciding the state transition applied
+  /// when the UNBLOCK arrives.
+  enum class ServiceKind : std::uint8_t {
+    kGetSIdle,
+    kGetSShared,
+    kGetSOwned,
+    kGetXIdle,
+    kGetXMulticast,
+    kGetXUnicast,
+    kGetXOwned,
+  };
+
+  struct Entry {
+    DirState state = DirState::kI;
+    std::uint64_t sharers = 0;
+    NodeId owner = kInvalidNode;
+    NodeId ud = kInvalidNode;  ///< PUNO Unicast-Destination pointer.
+
+    bool busy = false;
+    Cycle busy_since = 0;
+    bool busy_tx_getx = false;
+    ServiceKind kind = ServiceKind::kGetSIdle;
+    NodeId busy_requester = kInvalidNode;
+    std::uint64_t inv_targets = 0;
+    std::deque<std::shared_ptr<const Message>> pending;
+  };
+
+  Directory(sim::Kernel& kernel, const SystemConfig& cfg, NodeId node,
+            SendFn send);
+
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  /// Installs the PUNO directory assist (nullptr = baseline behaviour).
+  void set_assist(DirectoryAssist* assist) noexcept { assist_ = assist; }
+
+  /// Entry point for every protocol message addressed to this home node.
+  void handle_message(const Message& msg);
+
+  /// Test/debug introspection.
+  [[nodiscard]] const Entry* peek(BlockAddr addr) const;
+  [[nodiscard]] std::size_t pending_services() const noexcept {
+    return busy_entries_;
+  }
+  /// Visits every entry that is currently busy (debug aid).
+  template <typename Fn>
+  void for_each_busy(Fn&& fn) const {
+    for (const auto& [addr, e] : entries_) {
+      if (e.busy) fn(addr, e);
+    }
+  }
+
+ private:
+  void service(const std::shared_ptr<const Message>& msg);
+  void service_get_s(Entry& e, const Message& msg);
+  void service_get_x(Entry& e, const Message& msg);
+  void handle_put_x(Entry& e, const Message& msg);
+  void handle_unblock(Entry& e, const Message& msg);
+  void finish_service(Entry& e, const Message& unblock);
+  void maybe_service_next(BlockAddr addr);
+
+  /// Latency to produce the line's data at this bank: L2 hit or memory.
+  [[nodiscard]] Cycle data_latency(BlockAddr addr);
+  void fill_l2(BlockAddr addr);
+
+  void send_data(NodeId dst, BlockAddr addr, bool exclusive,
+                 std::uint32_t expected_responses, bool sole, bool payload,
+                 Cycle delay);
+
+  sim::Kernel& kernel_;
+  const SystemConfig& cfg_;
+  NodeId node_;
+  SendFn send_;
+  DirectoryAssist* assist_ = nullptr;
+
+  std::unordered_map<BlockAddr, Entry> entries_;
+  struct L2Meta {};
+  CacheArray<L2Meta> l2_;
+  std::size_t busy_entries_ = 0;
+
+  sim::Counter& requests_;
+  sim::Counter& tx_getx_services_;
+  sim::Counter& unicast_forwards_;
+  sim::Counter& multicast_invs_;
+  sim::Counter& l2_misses_;
+  sim::Counter& wb_stales_;
+  sim::Scalar& tx_getx_blocked_cycles_;
+  sim::Counter& mp_feedbacks_;
+};
+
+}  // namespace puno::coherence

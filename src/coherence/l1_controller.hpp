@@ -1,0 +1,164 @@
+// Private L1 cache controller.
+//
+// Services the core's loads and stores (32 KB, 4-way, 1-cycle hits), issues
+// GETS/GETX to the home directory on misses and upgrades, collects the
+// Data/Ack/Nack response set, and answers forwarded requests from other
+// nodes after consulting the transaction layer for conflicts (Section II.B):
+//
+//   * conflicting, local transaction older  -> NACK the requester;
+//   * conflicting, local transaction younger -> abort locally, then grant;
+//   * U-bit (PUNO unicast) forwards are never granted: a correct prediction
+//     nacks with a notification, a misprediction nacks conservatively with
+//     the MP-bit set (Section III.C).
+//
+// A nacked request is re-issued after a backoff chosen by the transaction
+// layer (fixed 20 cycles in the baseline, notification-guided under PUNO) —
+// this retry loop is the "polling" the paper's Figure 4 shows exacerbating
+// false aborting.
+//
+// The core issues at most one memory operation at a time, so the controller
+// holds at most one miss (MSHR); writebacks of dirty victims ride a separate
+// writeback buffer that also answers forwards that cross a PutX in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "coherence/cache_array.hpp"
+#include "coherence/hooks.hpp"
+#include "coherence/message.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+
+namespace puno::coherence {
+
+class L1Controller {
+ public:
+  using SendFn =
+      std::function<void(NodeId dst, std::shared_ptr<const Message>)>;
+  /// Completion callback: true = the operation performed; false = it was
+  /// cancelled because the surrounding transaction aborted.
+  using OpCallback = std::function<void(bool)>;
+
+  enum class LineState : std::uint8_t { kS, kE, kM };
+
+  L1Controller(sim::Kernel& kernel, const SystemConfig& cfg, NodeId node,
+               TxnHooks& hooks, SendFn send);
+
+  L1Controller(const L1Controller&) = delete;
+  L1Controller& operator=(const L1Controller&) = delete;
+
+  /// Core-facing memory operations. `exclusive_hint` asks for a GETX even on
+  /// a load (the RMW predictor's "request exclusive permission upon the
+  /// read"). At most one operation may be outstanding.
+  void load(Addr addr, bool transactional, bool exclusive_hint, OpCallback cb);
+  void store(Addr addr, bool transactional, OpCallback cb);
+
+  /// Protocol messages addressed to this node's L1.
+  void handle_message(const Message& msg);
+
+  /// The local transaction aborted: cancel the outstanding transactional
+  /// miss at its next completion/retry boundary.
+  void on_local_abort();
+
+  /// Test/debug introspection.
+  [[nodiscard]] std::optional<LineState> line_state(BlockAddr addr) const;
+  [[nodiscard]] bool has_outstanding_miss() const noexcept {
+    return mshr_.has_value();
+  }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+ private:
+  struct L1Meta {
+    LineState state = LineState::kS;
+  };
+  struct Mshr {
+    BlockAddr addr = 0;
+    bool is_store = false;
+    bool exclusive = false;  ///< Request is a GETX (store or RMW-hint load).
+    bool transactional = false;
+    OpCallback cb;
+    std::uint32_t retries = 0;
+    bool cancel = false;
+    // Response collection state for the current issue:
+    bool data_received = false;
+    bool data_exclusive = false;
+    bool expected_known = false;
+    std::uint32_t expected = 0;
+    std::uint32_t responses = 0;
+    std::uint32_t nacks = 0;
+    std::uint32_t aborted_acks = 0;
+    std::uint64_t nacker_mask = 0;
+    Cycle best_notification = 0;
+    bool mp_seen = false;
+    NodeId mp_node = kInvalidNode;
+    bool in_backoff = false;
+    /// Guards scheduled retry events against stale wakeups when a hint (or
+    /// anything else) re-issues the request early.
+    std::uint64_t backoff_epoch = 0;
+    Cycle first_issue = 0;
+  };
+  struct WbEntry {
+    bool dirty = false;
+  };
+  struct DeferredOp {
+    bool is_store = false;
+    bool transactional = false;
+    bool exclusive_hint = false;
+    OpCallback cb;
+    Addr addr = 0;
+  };
+
+  void start_miss(Addr addr, bool is_store, bool exclusive, bool transactional,
+                  OpCallback cb);
+  void issue_request();
+  void check_completion();
+  void complete_success();
+  void complete_failure();
+  void finalize(bool success);
+
+  void handle_response(const Message& msg);
+  void handle_retry_hint(const Message& msg);
+  void handle_inv(const Message& msg);
+  void handle_fwd_gets(const Message& msg);
+  void handle_wb_reply(const Message& msg);
+
+  /// Installs `addr`, evicting as needed (transactional lines are pinned;
+  /// if a set is fully pinned the transaction suffers an overflow abort).
+  CacheLine<L1Meta>& install(BlockAddr addr, LineState state);
+  void evict(CacheLine<L1Meta>& line);
+
+  [[nodiscard]] NodeId home(BlockAddr addr) const {
+    return cfg_.home_of(addr);
+  }
+  [[nodiscard]] std::shared_ptr<Message> make_msg(MsgType t, BlockAddr addr);
+
+  sim::Kernel& kernel_;
+  const SystemConfig& cfg_;
+  NodeId node_;
+  TxnHooks& hooks_;
+  SendFn send_;
+
+  CacheArray<L1Meta> cache_;
+  std::optional<Mshr> mshr_;
+  std::unordered_map<BlockAddr, WbEntry> wb_buffer_;
+  std::optional<DeferredOp> deferred_;  ///< Op waiting for a writeback ack.
+
+  sim::Counter& loads_;
+  sim::Counter& stores_;
+  sim::Counter& hits_;
+  sim::Counter& misses_;
+  sim::Counter& tx_getx_issued_;
+  sim::Counter& tx_getx_nacked_;
+  sim::Counter& retries_stat_;
+  sim::Counter& overflow_aborts_;
+  sim::Counter& evictions_;
+  sim::Scalar& contended_acquire_latency_;
+  sim::Scalar& retries_per_contended_acquire_;
+  sim::Counter& hint_wakeups_;
+};
+
+}  // namespace puno::coherence

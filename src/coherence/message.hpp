@@ -1,0 +1,146 @@
+// Coherence protocol message vocabulary.
+//
+// The protocol is a blocking, MESI, SGI-Origin-style directory protocol (the
+// family the paper's baseline HTM piggybacks on), extended with the NACK
+// semantics eager HTMs add and with the three PUNO message extensions of
+// Figure 7:
+//   * GETX/INV gains a U-bit (unicast),
+//   * NACK gains a notification field (nacker's estimated remaining cycles)
+//     and an MP-bit (misprediction feedback),
+//   * UNBLOCK gains an MP-bit and MP-node field.
+// None of these extensions adds flits: control messages stay single-flit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "noc/flit.hpp"
+#include "sim/types.hpp"
+
+namespace puno::coherence {
+
+/// Bit for node `n` in a sharer bitmask.
+[[nodiscard]] constexpr std::uint64_t node_bit(NodeId n) noexcept {
+  return 1ull << n;
+}
+
+enum class MsgType : std::uint8_t {
+  // Requests: L1 -> home directory (virtual network 0).
+  kGetS,     ///< Read (shared) access.
+  kGetX,     ///< Write (exclusive) access; also upgrades from S.
+  kPutX,     ///< Writeback of a dirty line.
+  // Forwards: directory -> L1 (virtual network 1).
+  kFwdGetS,  ///< Forwarded read request to the exclusive owner.
+  kInv,      ///< Invalidation (forwarded GETX) to a sharer / owner.
+  kWbAck,    ///< Writeback accepted.
+  kWbStale,  ///< Writeback crossed a forward in flight; drop it.
+  // Responses (virtual network 2).
+  kData,      ///< Cache line data (from home or owner).
+  kRetryHint, ///< Extension: a nacker finished; the waiter may retry now.
+  kAck,       ///< Invalidation acknowledged.
+  kNack,      ///< Negative acknowledgement: conflict, request rejected.
+  kUnblock,   ///< Requester -> home: transaction on the line is complete.
+  kWbData,    ///< Owner -> home: dirty data accompanying a downgrade.
+};
+
+[[nodiscard]] constexpr const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kGetS: return "GetS";
+    case MsgType::kGetX: return "GetX";
+    case MsgType::kPutX: return "PutX";
+    case MsgType::kFwdGetS: return "FwdGetS";
+    case MsgType::kInv: return "Inv";
+    case MsgType::kWbAck: return "WbAck";
+    case MsgType::kWbStale: return "WbStale";
+    case MsgType::kData: return "Data";
+    case MsgType::kRetryHint: return "RetryHint";
+    case MsgType::kAck: return "Ack";
+    case MsgType::kNack: return "Nack";
+    case MsgType::kUnblock: return "Unblock";
+    case MsgType::kWbData: return "WbData";
+  }
+  return "?";
+}
+
+/// True for message types that carry a full cache line (head + body flits).
+[[nodiscard]] constexpr bool carries_data(MsgType t) noexcept {
+  return t == MsgType::kData || t == MsgType::kWbData || t == MsgType::kPutX;
+}
+
+struct Message final : noc::PacketPayload {
+  MsgType type = MsgType::kGetS;
+  BlockAddr addr = 0;
+  NodeId sender = kInvalidNode;     ///< Node emitting this message.
+  NodeId requester = kInvalidNode;  ///< Original requester of the operation.
+
+  // --- HTM conflict-detection fields (Section II.B) ---
+  bool transactional = false;  ///< Request issued from inside a transaction.
+  Timestamp ts = kInvalidTimestamp;  ///< Requester's transaction timestamp.
+
+  // --- Response bookkeeping ---
+  /// On kData: how many Ack/Nack responses the requester must still collect.
+  std::uint32_t expected_responses = 0;
+  bool exclusive = false;  ///< kData grants E/M instead of S.
+  bool success = false;    ///< kUnblock: the request completed (vs. nacked).
+  /// kUnblock after a failed GETX: sharers that nacked and therefore keep
+  /// their copy (bit per node).
+  std::uint64_t surviving_sharers = 0;
+  /// kAck: the responder aborted its transaction to honour the invalidation.
+  /// Physically one bit; used for false-abort accounting (Figures 2 and 3).
+  bool responder_aborted = false;
+  /// Forwards: the receiver is the only node being forwarded to, so its
+  /// response fully resolves the request (owner forwards and PUNO unicasts).
+  /// Responses: echo of the same bit, telling the requester not to wait for
+  /// further responses or data.
+  bool sole = false;
+  /// kData: false for a permission-upgrade grant that carries no cache line
+  /// (the requester already holds the data in S); such grants are
+  /// single-flit control messages.
+  bool has_payload = true;
+
+  // --- PUNO message extensions (Figure 7) ---
+  bool u_bit = false;    ///< kInv/kFwdGetS: this forward is a predicted unicast
+  bool mp_bit = false;   ///< kNack/kUnblock: unicast destination mispredicted.
+  NodeId mp_node = kInvalidNode;  ///< kUnblock: the mispredicted sharer.
+  /// kNack: nacker's estimated remaining running time in cycles (Section
+  /// III.D). Zero means "no estimate".
+  Cycle notification = 0;
+  /// Requests: requester's current average transaction length (drives the
+  /// adaptive timeout of the P-Buffer validity mechanism, Section III.B).
+  Cycle avg_txn_len = 0;
+
+  [[nodiscard]] static std::shared_ptr<const Message> make(
+      MsgType type, BlockAddr addr, NodeId sender, NodeId requester) {
+    auto m = std::make_shared<Message>();
+    m->type = type;
+    m->addr = addr;
+    m->sender = sender;
+    m->requester = requester;
+    return m;
+  }
+};
+
+/// Virtual-network assignment by message class (request / forward / response)
+[[nodiscard]] constexpr noc::VNet vnet_of(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+    case MsgType::kPutX:
+      return noc::VNet::kRequest;
+    case MsgType::kFwdGetS:
+    case MsgType::kInv:
+    case MsgType::kWbAck:
+    case MsgType::kWbStale:
+      return noc::VNet::kForward;
+    case MsgType::kData:
+    case MsgType::kAck:
+    case MsgType::kNack:
+    case MsgType::kUnblock:
+    case MsgType::kWbData:
+    case MsgType::kRetryHint:
+      return noc::VNet::kResponse;
+  }
+  return noc::VNet::kResponse;
+}
+
+}  // namespace puno::coherence

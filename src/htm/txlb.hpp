@@ -1,0 +1,75 @@
+// Transaction Length Buffer (TxLB), Section III.D / Figure 6.
+//
+// One per node. Tracks the average dynamic length of each *static*
+// transaction (a TX_BEGIN/TX_END site) with the paper's recency-weighted
+// update, formula (1):
+//
+//     StaticTxLen_new = (StaticTxLen_prev + DynTxLen) / 2
+//
+// The buffer has a small fixed capacity (32 entries, Table II); STAMP-class
+// workloads have at most ~15 static transactions, so overflow is rare and
+// handled by evicting the least-recently-updated entry (the paper notes a
+// software fallback; a hardware LRU eviction preserves the same behaviour
+// for our purposes).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace puno::htm {
+
+class TxLB {
+ public:
+  explicit TxLB(std::uint32_t capacity) : capacity_(capacity) {}
+
+  /// Records a committed dynamic instance of `id` that ran `dyn_len` cycles.
+  void on_commit(StaticTxId id, Cycle dyn_len) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      if (entries_.size() >= capacity_) evict_lru();
+      it = entries_.emplace(id, Entry{dyn_len, 0}).first;
+    } else {
+      it->second.avg_len = (it->second.avg_len + dyn_len) / 2;  // formula (1)
+    }
+    it->second.last_update = ++update_clock_;
+
+    // Node-wide running average, piggybacked on requests to drive the
+    // directories' adaptive validity timeout (Section III.B).
+    overall_avg_ = overall_avg_ == 0 ? dyn_len : (overall_avg_ + dyn_len) / 2;
+  }
+
+  /// Average length of static transaction `id`; 0 if never committed.
+  [[nodiscard]] Cycle estimate(StaticTxId id) const {
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? 0 : it->second.avg_len;
+  }
+
+  /// Recency-weighted average across all static transactions on this node.
+  [[nodiscard]] Cycle overall_average() const noexcept { return overall_avg_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    Cycle avg_len = 0;
+    std::uint64_t last_update = 0;
+  };
+
+  void evict_lru() {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_update < victim->second.last_update) victim = it;
+    }
+    entries_.erase(victim);
+  }
+
+  std::uint32_t capacity_;
+  std::uint64_t update_clock_ = 0;
+  Cycle overall_avg_ = 0;
+  std::unordered_map<StaticTxId, Entry> entries_;
+};
+
+}  // namespace puno::htm

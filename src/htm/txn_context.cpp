@@ -1,0 +1,244 @@
+#include "htm/txn_context.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "coherence/l1_controller.hpp"
+#include "sim/log.hpp"
+
+namespace puno::htm {
+
+TxnContext::TxnContext(sim::Kernel& kernel, const SystemConfig& cfg,
+                       NodeId node, Cycle avg_c2c_latency)
+    : kernel_(kernel),
+      cfg_(cfg),
+      node_(node),
+      avg_c2c_latency_(avg_c2c_latency),
+      rng_(cfg.seed, 0x700 + node),
+      txlb_(cfg.puno.txlb_entries),
+      rmw_(cfg.htm.rmw_entries),
+      commits_(kernel.stats().counter("htm.commits")),
+      aborts_(kernel.stats().counter("htm.aborts")),
+      aborts_by_write_(kernel.stats().counter("htm.aborts_by_getx")),
+      aborts_by_read_(kernel.stats().counter("htm.aborts_by_gets")),
+      aborts_overflow_(kernel.stats().counter("htm.aborts_overflow")),
+      good_cycles_(kernel.stats().counter("htm.good_cycles")),
+      discarded_cycles_(kernel.stats().counter("htm.discarded_cycles")),
+      false_abort_events_(kernel.stats().counter("htm.false_abort_events")),
+      falsely_aborted_txns_(
+          kernel.stats().counter("htm.falsely_aborted_txns")),
+      false_abort_multiplicity_(
+          kernel.stats().histogram("htm.false_abort_multiplicity", 16)),
+      notified_backoffs_(kernel.stats().counter("htm.notified_backoffs")),
+      commit_hints_sent_(kernel.stats().counter("htm.commit_hints_sent")) {}
+
+void TxnContext::remember_waiter(NodeId requester, BlockAddr addr) {
+  if (!cfg_.puno.enable_commit_hint || send_hint_ == nullptr) return;
+  for (const auto& [node, block] : waiters_) {
+    if (node == requester && block == addr) return;
+  }
+  if (waiters_.size() >= cfg_.puno.commit_hint_entries) {
+    waiters_.erase(waiters_.begin());  // bounded hardware buffer: drop oldest
+  }
+  waiters_.emplace_back(requester, addr);
+}
+
+void TxnContext::flush_waiters() {
+  if (waiters_.empty()) return;
+  for (const auto& [node, block] : waiters_) {
+    commit_hints_sent_.add();
+    send_hint_(node, block);
+  }
+  waiters_.clear();
+}
+
+void TxnContext::begin(StaticTxId id) {
+  // Either a fresh instance (no transaction running) or the restart of an
+  // aborted one (in_txn_ stays set through the rollback window so that the
+  // timestamp is retained).
+  assert(!in_txn_ || aborted_);
+  const bool retry = in_txn_ && aborted_ && static_id_ == id;
+  in_txn_ = true;
+  aborted_ = false;
+  static_id_ = id;
+  attempt_begin_ = kernel_.now();
+  if (!retry) {
+    // Fresh instance: unique, monotonically increasing timestamp (smaller =
+    // older = higher priority). Retries keep the old timestamp so the
+    // transaction ages into the highest priority (time-base policy [11]).
+    ts_ = kernel_.now() * cfg_.num_nodes + node_;
+    attempt_aborts_ = 0;
+  }
+  PUNO_TRACE(sim::TraceCat::kHtm, kernel_.now(), "node ", node_, " TX_BEGIN ",
+             id, " ts ", ts_, retry ? " (retry)" : "");
+}
+
+void TxnContext::commit() {
+  assert(in_txn_ && !aborted_);
+  const Cycle len = kernel_.now() - attempt_begin_;
+  txlb_.on_commit(static_id_, len);
+  good_cycles_.add(len);
+  commits_.add();
+
+  // Negative RMW training: loads whose block was never stored in this
+  // transaction were plain reads.
+  for (const auto& [block, pc] : txn_loads_) {
+    if (!txn_stored_.contains(block)) rmw_.train(pc, false);
+  }
+
+  in_txn_ = false;
+  ts_ = kInvalidTimestamp;
+  read_set_.clear();
+  write_set_.clear();
+  txn_loads_.clear();
+  txn_stored_.clear();
+  flush_waiters();  // commit-hint extension: the nacked requesters may retry
+  PUNO_TRACE(sim::TraceCat::kHtm, kernel_.now(), "node ", node_, " TX_COMMIT ",
+             static_id_);
+}
+
+void TxnContext::abort(AbortCause cause) {
+  assert(in_txn_);
+  if (aborted_) return;  // already rolling back; nothing more to discard
+  aborted_ = true;
+  ++attempt_aborts_;
+  aborts_.add();
+  switch (cause) {
+    case AbortCause::kRemoteWrite: aborts_by_write_.add(); break;
+    case AbortCause::kRemoteRead: aborts_by_read_.add(); break;
+    case AbortCause::kOverflow: aborts_overflow_.add(); break;
+  }
+  discarded_cycles_.add(kernel_.now() - attempt_begin_);
+
+  // Fast abort recovery (FASTM-style): pre-transaction state is restored
+  // from the hardware buffer; architecturally the sets drop instantly. The
+  // recovery latency is charged where it is observed (response delay at the
+  // L1, restart delay at the core).
+  read_set_.clear();
+  write_set_.clear();
+  txn_loads_.clear();
+  txn_stored_.clear();
+  if (l1_ != nullptr) l1_->on_local_abort();
+  flush_waiters();  // the conflicting claim is gone; waiters may retry
+  PUNO_TRACE(sim::TraceCat::kHtm, kernel_.now(), "node ", node_, " TX_ABORT ",
+             static_id_, " cause ", static_cast<int>(cause));
+}
+
+Cycle TxnContext::restart_backoff() {
+  if (cfg_.scheme != Scheme::kRandomBackoff) return 0;
+  // Randomized linear backoff [Scherer & Scott]: the contention window grows
+  // linearly with the number of aborts this instance has suffered.
+  const std::uint64_t slots =
+      std::min<std::uint64_t>(attempt_aborts_, cfg_.htm.backoff_max_slots);
+  if (slots == 0) return 0;
+  return rng_.next_below(slots + 1) * cfg_.htm.backoff_slot;
+}
+
+void TxnContext::on_access(Addr addr, bool write, std::uint64_t pc) {
+  if (!in_txn_ || aborted_) return;
+  const BlockAddr block = cfg_.block_of(addr);
+  if (write) {
+    write_set_.insert(block);
+    read_set_.insert(block);  // a writer is implicitly a reader
+    txn_stored_.insert(block);
+    if (const auto it = txn_loads_.find(block); it != txn_loads_.end()) {
+      rmw_.train(it->second, true);  // load at it->second was an RMW read
+    }
+  } else {
+    read_set_.insert(block);
+    txn_loads_.try_emplace(block, pc);
+  }
+}
+
+bool TxnContext::should_load_exclusive(std::uint64_t pc) const {
+  return cfg_.scheme == Scheme::kRmwPred && rmw_.predict_exclusive(pc);
+}
+
+coherence::ConflictVerdict TxnContext::on_remote_request(BlockAddr addr,
+                                                         bool write,
+                                                         Timestamp ts,
+                                                         NodeId requester,
+                                                         bool u_bit) {
+  const bool conflict =
+      in_txn_ && !aborted_ &&
+      (write ? (read_set_.contains(addr) || write_set_.contains(addr))
+             : write_set_.contains(addr));
+
+  if (!conflict) {
+    if (u_bit) {
+      // Unicast reached a node with no conflicting transaction: the P-Buffer
+      // priority was stale. NACK conservatively with the MP-bit set
+      // (Section III.C) — granting would leave other sharers unnotified.
+      return {coherence::ConflictDecision::kNack, 0, /*mispredicted=*/true};
+    }
+    return {coherence::ConflictDecision::kGrant, 0, false};
+  }
+
+  if (ts < ts_) {
+    // Requester is older: it wins. Under a (correct) unicast we would have
+    // been predicted to win — this is a misprediction; NACK conservatively
+    // without aborting.
+    if (u_bit) {
+      return {coherence::ConflictDecision::kNack, 0, /*mispredicted=*/true};
+    }
+    abort(write ? AbortCause::kRemoteWrite : AbortCause::kRemoteRead);
+    return {coherence::ConflictDecision::kGrantAfterAbort, 0, false};
+  }
+
+  // We are older: NACK. Under PUNO, attach the estimated remaining running
+  // time so the requester can back off instead of polling (Section III.D).
+  remember_waiter(requester, addr);
+  const Cycle note =
+      cfg_.scheme == Scheme::kPuno && cfg_.puno.enable_notification
+          ? estimate_remaining()
+          : 0;
+  return {coherence::ConflictDecision::kNack, note, false};
+}
+
+Cycle TxnContext::estimate_remaining() const {
+  const Cycle avg = txlb_.estimate(static_id_);
+  if (avg == 0) return 0;
+  const Cycle ran = kernel_.now() - attempt_begin_;
+  return avg > ran ? avg - ran : 0;
+}
+
+bool TxnContext::is_txn_line(BlockAddr addr) const {
+  return in_txn_ && !aborted_ &&
+         (read_set_.contains(addr) || write_set_.contains(addr));
+}
+
+void TxnContext::on_overflow_eviction(BlockAddr /*addr*/) {
+  abort(AbortCause::kOverflow);
+}
+
+Cycle TxnContext::retry_backoff(Cycle notification, std::uint32_t /*retries*/) {
+  if (cfg_.scheme == Scheme::kPuno && notification > 0) {
+    // Back off until the nacker is expected to finish, minus the round trip
+    // (twice the average cache-to-cache latency, Section III.D).
+    const Cycle rtt = 2 * avg_c2c_latency_;
+    if (notification > rtt) {
+      notified_backoffs_.add();
+      Cycle wait = notification - rtt;
+      if (cfg_.puno.max_notified_backoff > 0 &&
+          wait > cfg_.puno.max_notified_backoff) {
+        wait = cfg_.puno.max_notified_backoff;
+      }
+      return wait;
+    }
+  }
+  return cfg_.htm.fixed_backoff;
+}
+
+void TxnContext::on_getx_outcome(BlockAddr /*addr*/, bool success,
+                                 std::uint32_t nacks,
+                                 std::uint32_t aborted_sharers) {
+  if (!success && nacks > 0 && aborted_sharers > 0) {
+    // The request was nacked, so the sharers it aborted were aborted for
+    // nothing: false aborting (Section II.C).
+    false_abort_events_.add();
+    falsely_aborted_txns_.add(aborted_sharers);
+    false_abort_multiplicity_.sample(aborted_sharers);
+  }
+}
+
+}  // namespace puno::htm

@@ -1,0 +1,182 @@
+// Per-node transaction context: the HTM's architectural state.
+//
+// Models a log-based, eager-versioning / eager-conflict-detection HTM in the
+// LogTM family with FASTM-style fast abort recovery (Section IV.A):
+//
+//   * read/write sets at cache-block granularity;
+//   * the time-based conflict-resolution policy [Rajwar & Goodman]: each
+//     transaction carries a timestamp, older (smaller) wins, and the
+//     timestamp is retained across aborts so every transaction eventually
+//     becomes the oldest and commits (starvation freedom);
+//   * the conflict rule of Section II.B: an incoming request that touches
+//     the local sets is NACKed if the local transaction is older, otherwise
+//     the local transaction aborts itself and grants;
+//   * scheme-dependent contention management: fixed 20-cycle retry backoff
+//     (baseline), randomized linear backoff on restart [Scherer & Scott],
+//     the RMW predictor [Bobba et al.], or PUNO's notification-guided
+//     backoff (Section III.D).
+//
+// It also owns the false-abort accounting that Figures 2 and 3 report: a
+// transactional GETX that collected at least one NACK plus at least one
+// "I aborted" ACK is a false-aborting request, and every such abort was
+// unnecessary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coherence/hooks.hpp"
+#include "htm/rmw_predictor.hpp"
+#include "htm/txlb.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+
+namespace puno::coherence {
+class L1Controller;
+}
+
+namespace puno::htm {
+
+enum class AbortCause : std::uint8_t {
+  kRemoteWrite,  ///< Invalidation from a remote transactional GETX.
+  kRemoteRead,   ///< Forwarded GETS hit our write set.
+  kOverflow,     ///< L1 set conflict forced a transactional line out.
+};
+
+class TxnContext final : public coherence::TxnHooks {
+ public:
+  TxnContext(sim::Kernel& kernel, const SystemConfig& cfg, NodeId node,
+             Cycle avg_c2c_latency);
+
+  TxnContext(const TxnContext&) = delete;
+  TxnContext& operator=(const TxnContext&) = delete;
+
+  void attach_l1(coherence::L1Controller* l1) noexcept { l1_ = l1; }
+
+  /// Commit-hint extension wiring: callback that delivers a RetryHint for
+  /// `addr` to a waiting requester node (see PunoConfig::enable_commit_hint)
+  using HintSender = std::function<void(NodeId, BlockAddr)>;
+  void set_hint_sender(HintSender sender) {
+    send_hint_ = std::move(sender);
+  }
+
+  // --- Core-facing transaction interface ---
+
+  /// Starts (or restarts after an abort) a dynamic instance of static
+  /// transaction `id`. The timestamp is fresh for a first attempt and
+  /// retained across aborts of the same instance.
+  void begin(StaticTxId id);
+
+  /// Commits the running transaction: clears the sets, trains the TxLB,
+  /// accumulates good transactional cycles.
+  void commit();
+
+  [[nodiscard]] bool in_txn() const noexcept { return in_txn_; }
+  /// True if the running attempt has been aborted (by a remote conflict or
+  /// overflow) and the core must roll back to begin().
+  [[nodiscard]] bool aborted() const noexcept { return aborted_; }
+  [[nodiscard]] std::uint32_t attempt_aborts() const noexcept {
+    return attempt_aborts_;
+  }
+
+  /// Scheme-dependent delay before re-running an aborted transaction,
+  /// *excluding* the fixed abort-recovery latency (randomized linear backoff
+  /// for the Backoff scheme [17], zero otherwise).
+  [[nodiscard]] Cycle restart_backoff();
+
+  /// Records a completed transactional access into the read/write set and
+  /// trains the RMW predictor.
+  void on_access(Addr addr, bool write, std::uint64_t pc);
+
+  /// RMW predictor consultation: should the load at `pc` fetch exclusive?
+  [[nodiscard]] bool should_load_exclusive(std::uint64_t pc) const;
+
+  // --- coherence::TxnHooks ---
+  [[nodiscard]] coherence::ConflictVerdict on_remote_request(
+      BlockAddr addr, bool write, Timestamp ts, NodeId requester,
+      bool u_bit) override;
+  [[nodiscard]] bool is_txn_line(BlockAddr addr) const override;
+  void on_overflow_eviction(BlockAddr addr) override;
+  [[nodiscard]] Cycle retry_backoff(Cycle notification,
+                                    std::uint32_t retries) override;
+  void on_getx_outcome(BlockAddr addr, bool success, std::uint32_t nacks,
+                       std::uint32_t aborted_sharers) override;
+  [[nodiscard]] Timestamp current_ts() const override { return ts_; }
+  [[nodiscard]] Cycle avg_txn_len() const override {
+    return txlb_.overall_average();
+  }
+
+  // --- Introspection ---
+  [[nodiscard]] const TxLB& txlb() const noexcept { return txlb_; }
+  [[nodiscard]] const RmwPredictor& rmw_predictor() const noexcept {
+    return rmw_;
+  }
+  [[nodiscard]] std::size_t read_set_size() const noexcept {
+    return read_set_.size();
+  }
+  [[nodiscard]] std::size_t write_set_size() const noexcept {
+    return write_set_.size();
+  }
+  [[nodiscard]] const std::unordered_set<BlockAddr>& read_set() const noexcept {
+    return read_set_;
+  }
+  [[nodiscard]] const std::unordered_set<BlockAddr>& write_set()
+      const noexcept {
+    return write_set_;
+  }
+
+ private:
+  void abort(AbortCause cause);
+  /// Remembers a requester this transaction just nacked (commit-hint
+  /// extension), bounded by commit_hint_entries.
+  void remember_waiter(NodeId requester, BlockAddr addr);
+  /// Transaction finished (commit or abort): wake every remembered waiter.
+  void flush_waiters();
+  /// Estimated remaining running time of the current transaction, from the
+  /// TxLB average minus cycles already executed (Section III.D).
+  [[nodiscard]] Cycle estimate_remaining() const;
+
+  sim::Kernel& kernel_;
+  const SystemConfig& cfg_;
+  NodeId node_;
+  Cycle avg_c2c_latency_;
+  coherence::L1Controller* l1_ = nullptr;
+  sim::Rng rng_;
+
+  bool in_txn_ = false;
+  bool aborted_ = false;
+  Timestamp ts_ = kInvalidTimestamp;
+  StaticTxId static_id_ = 0;
+  Cycle attempt_begin_ = 0;
+  std::uint32_t attempt_aborts_ = 0;  ///< Aborts of the current instance.
+
+  std::unordered_set<BlockAddr> read_set_;
+  std::unordered_set<BlockAddr> write_set_;
+  /// block -> PC of the first load, for RMW-predictor training.
+  std::unordered_map<BlockAddr, std::uint64_t> txn_loads_;
+  std::unordered_set<BlockAddr> txn_stored_;
+
+  TxLB txlb_;
+  RmwPredictor rmw_;
+  HintSender send_hint_;
+  std::vector<std::pair<NodeId, BlockAddr>> waiters_;
+
+  sim::Counter& commits_;
+  sim::Counter& aborts_;
+  sim::Counter& aborts_by_write_;
+  sim::Counter& aborts_by_read_;
+  sim::Counter& aborts_overflow_;
+  sim::Counter& good_cycles_;
+  sim::Counter& discarded_cycles_;
+  sim::Counter& false_abort_events_;
+  sim::Counter& falsely_aborted_txns_;
+  sim::Histogram& false_abort_multiplicity_;
+  sim::Counter& notified_backoffs_;
+  sim::Counter& commit_hints_sent_;
+};
+
+}  // namespace puno::htm

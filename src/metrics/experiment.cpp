@@ -1,0 +1,49 @@
+#include "metrics/experiment.hpp"
+
+#include "arch/cmp.hpp"
+#include "workloads/stamp.hpp"
+
+namespace puno::metrics {
+
+RunResult run_experiment(const ExperimentParams& params) {
+  SystemConfig cfg = params.base_config;
+  cfg.scheme = params.scheme;
+  cfg.seed = params.seed;
+
+  auto workload = workloads::stamp::make(params.workload, cfg.num_nodes,
+                                         params.seed, params.scale);
+  arch::Cmp cmp(cfg, *workload);
+  const bool completed = cmp.run(params.max_cycles);
+
+  RunResult r = RunResult::from_stats(cmp.kernel().stats());
+  r.workload = params.workload;
+  r.scheme = params.scheme;
+  r.completed = completed;
+  r.cycles = cmp.kernel().now();
+  return r;
+}
+
+std::vector<RunResult> run_suite(Scheme scheme, std::uint64_t seed,
+                                 double scale) {
+  std::vector<RunResult> results;
+  for (const std::string& name : workloads::stamp::benchmark_names()) {
+    ExperimentParams p;
+    p.workload = name;
+    p.scheme = scheme;
+    p.seed = seed;
+    p.scale = scale;
+    results.push_back(run_experiment(p));
+  }
+  return results;
+}
+
+SuiteComparison run_comparison(std::uint64_t seed, double scale) {
+  SuiteComparison c;
+  c.baseline = run_suite(Scheme::kBaseline, seed, scale);
+  c.backoff = run_suite(Scheme::kRandomBackoff, seed, scale);
+  c.rmw = run_suite(Scheme::kRmwPred, seed, scale);
+  c.puno = run_suite(Scheme::kPuno, seed, scale);
+  return c;
+}
+
+}  // namespace puno::metrics

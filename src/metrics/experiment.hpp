@@ -1,0 +1,44 @@
+// One-call experiment driver: build a STAMP-like workload and a CMP with a
+// given scheme, run it to completion, and extract a RunResult. This is the
+// entry point the benches, examples and integration tests share.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/run_result.hpp"
+#include "sim/config.hpp"
+
+namespace puno::metrics {
+
+struct ExperimentParams {
+  std::string workload = "vacation";  ///< STAMP benchmark name.
+  Scheme scheme = Scheme::kBaseline;
+  std::uint64_t seed = 1;
+  /// Scales the per-node committed-transaction quota (1.0 = bench default).
+  double scale = 1.0;
+  Cycle max_cycles = 30'000'000;
+  /// Overrides applied on top of the Table II defaults (set by ablations).
+  SystemConfig base_config{};
+};
+
+/// Runs one (workload, scheme) experiment and returns its metrics.
+[[nodiscard]] RunResult run_experiment(const ExperimentParams& params);
+
+/// Runs all 8 STAMP-like workloads under one scheme.
+[[nodiscard]] std::vector<RunResult> run_suite(Scheme scheme,
+                                               std::uint64_t seed = 1,
+                                               double scale = 1.0);
+
+/// Runs the full cross product: every workload under every scheme, in the
+/// paper's order (Baseline, Backoff, RMW-Pred, PUNO).
+struct SuiteComparison {
+  std::vector<RunResult> baseline;
+  std::vector<RunResult> backoff;
+  std::vector<RunResult> rmw;
+  std::vector<RunResult> puno;
+};
+[[nodiscard]] SuiteComparison run_comparison(std::uint64_t seed = 1,
+                                             double scale = 1.0);
+
+}  // namespace puno::metrics

@@ -1,0 +1,54 @@
+#include "metrics/run_result.hpp"
+
+namespace puno::metrics {
+
+namespace {
+[[nodiscard]] std::uint64_t counter_of(const sim::StatsRegistry& stats,
+                                       const std::string& name) {
+  const auto it = stats.counters().find(name);
+  return it == stats.counters().end() ? 0 : it->second.value();
+}
+}  // namespace
+
+RunResult RunResult::from_stats(const sim::StatsRegistry& stats) {
+  RunResult r;
+  r.commits = counter_of(stats, "htm.commits");
+  r.aborts = counter_of(stats, "htm.aborts");
+  r.aborts_by_getx = counter_of(stats, "htm.aborts_by_getx");
+  r.aborts_by_gets = counter_of(stats, "htm.aborts_by_gets");
+  r.aborts_overflow = counter_of(stats, "htm.aborts_overflow");
+  r.tx_getx_issued = counter_of(stats, "l1.tx_getx_issued");
+  r.tx_getx_nacked = counter_of(stats, "l1.tx_getx_nacked");
+  r.request_retries = counter_of(stats, "l1.request_retries");
+  r.false_abort_events = counter_of(stats, "htm.false_abort_events");
+  r.falsely_aborted_txns = counter_of(stats, "htm.falsely_aborted_txns");
+  r.router_traversals = counter_of(stats, "noc.router_traversals");
+  r.good_cycles = counter_of(stats, "htm.good_cycles");
+  r.discarded_cycles = counter_of(stats, "htm.discarded_cycles");
+  r.unicast_forwards = counter_of(stats, "dir.unicast_forwards");
+  r.mp_feedbacks = counter_of(stats, "dir.mp_feedbacks");
+  r.notified_backoffs = counter_of(stats, "htm.notified_backoffs");
+  r.commit_hints_sent = counter_of(stats, "htm.commit_hints_sent");
+  r.hint_wakeups = counter_of(stats, "l1.hint_wakeups");
+  r.dir_txgetx_services = counter_of(stats, "dir.txgetx_services");
+
+  if (const auto it = stats.scalars().find("dir.txgetx_blocked_cycles");
+      it != stats.scalars().end()) {
+    r.dir_blocked_mean = it->second.mean();
+  }
+  if (const auto it = stats.scalars().find("l1.retries_per_contended_acquire");
+      it != stats.scalars().end()) {
+    r.retries_per_contended_acquire = it->second.mean();
+  }
+  if (const auto it = stats.histograms().find("htm.false_abort_multiplicity");
+      it != stats.histograms().end()) {
+    const sim::Histogram& h = it->second;
+    r.false_abort_multiplicity.resize(h.num_buckets());
+    for (std::size_t k = 0; k < h.num_buckets(); ++k) {
+      r.false_abort_multiplicity[k] = h.fraction(k);
+    }
+  }
+  return r;
+}
+
+}  // namespace puno::metrics

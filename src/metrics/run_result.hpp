@@ -1,0 +1,93 @@
+// Experiment result extraction: one RunResult per (workload, scheme) run,
+// carrying every metric the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace puno::metrics {
+
+struct RunResult {
+  std::string workload;
+  Scheme scheme = Scheme::kBaseline;
+  bool completed = false;  ///< All cores finished within the cycle budget.
+
+  // Figure 13: execution time.
+  Cycle cycles = 0;
+
+  // Figure 10: transaction aborts (and their causes).
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t aborts_by_getx = 0;
+  std::uint64_t aborts_by_gets = 0;
+  std::uint64_t aborts_overflow = 0;
+
+  // Figures 2-3: false aborting.
+  std::uint64_t tx_getx_issued = 0;
+  std::uint64_t tx_getx_nacked = 0;
+  std::uint64_t request_retries = 0;  ///< Re-issues after NACK ("polling").
+  /// Mean number of re-issues per acquisition that was nacked at least once
+  /// — the per-handoff polling intensity notification throttles.
+  double retries_per_contended_acquire = 0.0;
+  std::uint64_t false_abort_events = 0;
+  std::uint64_t falsely_aborted_txns = 0;
+  /// Fraction of false-aborting events that aborted exactly k transactions
+  /// (index k, 1..); the Figure 3 distribution.
+  std::vector<double> false_abort_multiplicity;
+
+  // Figure 11: network traffic (router traversals by all flits).
+  std::uint64_t router_traversals = 0;
+
+  // Figure 12: mean cycles a directory entry stays blocked while servicing
+  // a transactional GETX.
+  double dir_blocked_mean = 0.0;
+  std::uint64_t dir_txgetx_services = 0;
+
+  // Figure 14: transaction execution efficiency.
+  std::uint64_t good_cycles = 0;
+  std::uint64_t discarded_cycles = 0;
+
+  // PUNO internals (prediction quality, Section III.C's "90%+ hit rate").
+  std::uint64_t unicast_forwards = 0;
+  std::uint64_t mp_feedbacks = 0;
+  std::uint64_t notified_backoffs = 0;
+  // Commit-hint extension (off by default).
+  std::uint64_t commit_hints_sent = 0;
+  std::uint64_t hint_wakeups = 0;
+
+  [[nodiscard]] double abort_rate() const {
+    const double total = static_cast<double>(commits + aborts);
+    return total == 0.0 ? 0.0 : static_cast<double>(aborts) / total;
+  }
+  /// Good/Discarded transactional-cycle ratio (Figure 14; larger = better).
+  [[nodiscard]] double gd_ratio() const {
+    return discarded_cycles == 0
+               ? static_cast<double>(good_cycles)
+               : static_cast<double>(good_cycles) /
+                     static_cast<double>(discarded_cycles);
+  }
+  /// Fraction of transactional GETX requests that triggered false aborting
+  /// (Figure 2).
+  [[nodiscard]] double false_abort_fraction() const {
+    return tx_getx_issued == 0
+               ? 0.0
+               : static_cast<double>(false_abort_events) /
+                     static_cast<double>(tx_getx_issued);
+  }
+  /// Unicast prediction hit rate (fraction of unicasts not flagged MP).
+  [[nodiscard]] double prediction_hit_rate() const {
+    return unicast_forwards == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(mp_feedbacks) /
+                           static_cast<double>(unicast_forwards);
+  }
+
+  /// Populates the stat-derived fields from a finished run's registry.
+  static RunResult from_stats(const sim::StatsRegistry& stats);
+};
+
+}  // namespace puno::metrics

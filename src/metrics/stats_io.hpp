@@ -1,0 +1,27 @@
+// Statistics export: CSV serialization of the stats registry and of
+// RunResult rows, for spreadsheet/pandas post-processing of experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/run_result.hpp"
+#include "sim/stats.hpp"
+
+namespace puno::metrics {
+
+/// Writes every counter/scalar/histogram as "kind,name,field,value" rows.
+void write_stats_csv(const sim::StatsRegistry& stats, std::ostream& out);
+
+/// Header row matching write_result_csv's columns.
+[[nodiscard]] std::string result_csv_header();
+
+/// One experiment as a CSV row (workload, scheme, and every metric).
+void write_result_csv(const RunResult& result, std::ostream& out);
+
+/// Convenience: a whole sweep with header.
+void write_results_csv(const std::vector<RunResult>& results,
+                       std::ostream& out);
+
+}  // namespace puno::metrics

@@ -1,0 +1,109 @@
+#include "noc/network_interface.hpp"
+
+#include <cassert>
+
+#include "sim/log.hpp"
+
+namespace puno::noc {
+
+NetworkInterface::NetworkInterface(sim::Kernel& kernel, const NocConfig& cfg,
+                                   NodeId id, Router& router,
+                                   sim::StatsRegistry& stats)
+    : kernel_(kernel),
+      cfg_(cfg),
+      id_(id),
+      router_(router),
+      lanes_(cfg.num_vnets),
+      local_vc_(cfg.total_vcs()),
+      packets_sent_(stats.counter("noc.packets_sent")),
+      packets_received_(stats.counter("noc.packets_received")),
+      flits_sent_(stats.counter("noc.flits_sent")),
+      packet_latency_(stats.scalar("noc.packet_latency")) {
+  for (auto& vc : local_vc_) vc.credits = cfg.vc_depth;
+}
+
+bool NetworkInterface::idle() const {
+  for (const VnetLane& lane : lanes_) {
+    if (!lane.queue.empty() || lane.inflight) return false;
+  }
+  return true;
+}
+
+void NetworkInterface::send(NodeId dst, VNet vnet, std::uint32_t data_bytes,
+                            std::shared_ptr<const PacketPayload> payload) {
+  assert(dst != id_ && "NoC messages to self must be short-circuited above");
+  auto pkt = std::make_shared<Packet>();
+  pkt->id = (static_cast<std::uint64_t>(id_) << 48) | next_packet_seq_++;
+  pkt->src = id_;
+  pkt->dst = dst;
+  pkt->vnet = vnet;
+  pkt->num_flits = 1 + (data_bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes;
+  pkt->injected_at = kernel_.now();
+  pkt->payload = std::move(payload);
+  lanes_[static_cast<std::size_t>(vnet)].queue.push_back(std::move(pkt));
+}
+
+int NetworkInterface::pick_vc(VNet vnet) const {
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(vnet) * cfg_.vcs_per_vnet;
+  for (std::uint32_t i = 0; i < cfg_.vcs_per_vnet; ++i) {
+    if (local_vc_[base + i].credits > 0) return static_cast<int>(base + i);
+  }
+  return -1;
+}
+
+void NetworkInterface::tick(Cycle now) {
+  // One flit per cycle, round-robin across vnet lanes for fairness.
+  for (std::uint32_t k = 0; k < cfg_.num_vnets; ++k) {
+    const std::uint32_t v = (rr_vnet_ + k) % cfg_.num_vnets;
+    VnetLane& lane = lanes_[v];
+    if (!lane.inflight) {
+      if (lane.queue.empty()) continue;
+      const int vc = pick_vc(static_cast<VNet>(v));
+      if (vc < 0) continue;  // no credited VC this cycle
+      lane.inflight = lane.queue.front();
+      lane.queue.pop_front();
+      lane.vc = static_cast<std::uint32_t>(vc);
+      lane.sent = 0;
+    }
+    VcCredit& credit = local_vc_[lane.vc];
+    if (credit.credits == 0) continue;
+
+    Flit flit;
+    flit.packet = lane.inflight;
+    flit.is_head = lane.sent == 0;
+    flit.is_tail = lane.sent + 1 == lane.inflight->num_flits;
+    --credit.credits;
+    router_.receive_flit(Port::kLocal, lane.vc, std::move(flit));
+    flits_sent_.add();
+    ++lane.sent;
+    if (lane.sent == lane.inflight->num_flits) {
+      PUNO_TRACE(sim::TraceCat::kNoc, now, "NI ", id_, " injected pkt ",
+                 lane.inflight->id, " -> node ", lane.inflight->dst);
+      packets_sent_.add();
+      lane.inflight = nullptr;
+    }
+    rr_vnet_ = (v + 1) % cfg_.num_vnets;
+    return;  // injected our one flit for this cycle
+  }
+}
+
+void NetworkInterface::eject_flit(std::uint32_t /*vc*/, Flit flit) {
+  const std::shared_ptr<Packet>& pkt = flit.packet;
+  const std::uint32_t have = ++reassembly_[pkt->id];
+  if (have < pkt->num_flits) return;
+  reassembly_.erase(pkt->id);
+  packets_received_.add();
+  packet_latency_.sample(
+      static_cast<double>(kernel_.now() - pkt->injected_at));
+  PUNO_TRACE(sim::TraceCat::kNoc, kernel_.now(), "NI ", id_, " delivered pkt ",
+             pkt->id, " from node ", pkt->src);
+  if (deliver_) deliver_(*pkt);
+}
+
+void NetworkInterface::return_credit(std::uint32_t vc) {
+  assert(vc < local_vc_.size());
+  ++local_vc_[vc].credits;
+}
+
+}  // namespace puno::noc

@@ -1,0 +1,92 @@
+// Network interface (NI): packetizes protocol messages into flits on the
+// injection side and reassembles flits into packets on the ejection side.
+//
+// The NI keeps an unbounded per-vnet injection queue (endpoint queues must
+// be able to sink/source without backpressure for the protocol-deadlock
+// argument to hold) and injects at most one flit per cycle into its router's
+// local input port, subject to VC availability and credits. One packet per
+// virtual network may be in flight from the NI at a time, so response
+// traffic is never blocked behind request traffic at the injection point.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+
+namespace puno::noc {
+
+class NetworkInterface {
+ public:
+  /// Callback invoked when a whole packet has been ejected at this node.
+  using DeliveryHandler = std::function<void(Packet)>;
+
+  NetworkInterface(sim::Kernel& kernel, const NocConfig& cfg, NodeId id,
+                   Router& router, sim::StatsRegistry& stats);
+
+  NetworkInterface(const NetworkInterface&) = delete;
+  NetworkInterface& operator=(const NetworkInterface&) = delete;
+
+  void set_delivery_handler(DeliveryHandler h) { deliver_ = std::move(h); }
+
+  /// Queues a packet for injection. The flit count is 1 head flit plus
+  /// ceil(data_bytes / flit_bytes) body flits (data_bytes == 0 for control
+  /// messages, which fit in the head flit — Section III.E notes the PUNO
+  /// message extensions never add flits).
+  void send(NodeId dst, VNet vnet, std::uint32_t data_bytes,
+            std::shared_ptr<const PacketPayload> payload);
+
+  /// Injection side: pushes at most one flit into the router per cycle.
+  void tick(Cycle now);
+
+  /// Ejection side, wired as the router's local-output sink.
+  void eject_flit(std::uint32_t vc, Flit flit);
+
+  /// Credit returned by the router for the local input port.
+  void return_credit(std::uint32_t vc);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct VcCredit {
+    std::uint32_t credits = 0;
+  };
+  /// Per-vnet injection state: queued packets plus the one being serialized.
+  struct VnetLane {
+    std::deque<std::shared_ptr<Packet>> queue;
+    std::shared_ptr<Packet> inflight;
+    std::uint32_t vc = 0;
+    std::uint32_t sent = 0;
+  };
+
+  /// Picks a credited VC in the vnet's slice, or -1 if none available.
+  [[nodiscard]] int pick_vc(VNet vnet) const;
+
+  sim::Kernel& kernel_;
+  const NocConfig cfg_;
+  NodeId id_;
+  Router& router_;
+  DeliveryHandler deliver_;
+
+  std::vector<VnetLane> lanes_;     // one per vnet
+  std::uint32_t rr_vnet_ = 0;       // round-robin over vnets for injection
+  std::vector<VcCredit> local_vc_;  // credits toward router local input port
+
+  // Ejection reassembly: packet id -> flits received so far.
+  std::unordered_map<std::uint64_t, std::uint32_t> reassembly_;
+
+  std::uint64_t next_packet_seq_ = 0;
+  sim::Counter& packets_sent_;
+  sim::Counter& packets_received_;
+  sim::Counter& flits_sent_;
+  sim::Scalar& packet_latency_;
+};
+
+}  // namespace puno::noc

@@ -1,0 +1,143 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+
+#include "sim/log.hpp"
+
+namespace puno::noc {
+
+Router::Router(sim::Kernel& kernel, const NocConfig& cfg, NodeId id,
+               sim::Counter& traversals, std::uint64_t& inflight_flits)
+    : kernel_(kernel),
+      cfg_(cfg),
+      id_(id),
+      traversals_(traversals),
+      inflight_flits_(inflight_flits),
+      inputs_(kNumPorts * cfg.total_vcs()),
+      outputs_(kNumPorts),
+      credit_return_(kNumPorts) {
+  for (auto& port : outputs_) port.vcs.resize(cfg.total_vcs());
+}
+
+void Router::connect_output(Port p, FlitSink sink,
+                            std::uint32_t initial_credits) {
+  OutputPort& port = out(p);
+  port.sink = std::move(sink);
+  for (auto& vc : port.vcs) vc.credits = initial_credits;
+}
+
+void Router::connect_input(Port p, CreditSink credit_return) {
+  credit_return_[static_cast<std::size_t>(p)] = std::move(credit_return);
+}
+
+void Router::receive_flit(Port p, std::uint32_t vc, Flit flit) {
+  InputVc& in = in_vc(p, vc);
+  assert(in.buffer.size() < cfg_.vc_depth && "credit protocol violated");
+  // The flit occupies the 4-stage pipeline before it may traverse the switch.
+  flit.ready_at = kernel_.now() + cfg_.pipeline_stages - 1;
+  in.buffer.push_back(std::move(flit));
+  ++buffered_flits_;
+}
+
+void Router::return_credit(Port p, std::uint32_t vc) {
+  OutputVc& ovc = out(p).vcs[vc];
+  assert(ovc.credits < cfg_.vc_depth || p == Port::kLocal);
+  ++ovc.credits;
+}
+
+bool Router::try_allocate_vc(Port p, std::uint32_t vc, const Packet& pkt) {
+  InputVc& in = in_vc(p, vc);
+  in.out_port = route_xy(id_, pkt.dst, cfg_.mesh_width);
+  OutputPort& oport = out(in.out_port);
+  // VCs are partitioned per virtual network; a packet may only claim a VC
+  // inside its vnet's slice, which is what breaks protocol deadlock.
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(pkt.vnet) * cfg_.vcs_per_vnet;
+  for (std::uint32_t i = 0; i < cfg_.vcs_per_vnet; ++i) {
+    const std::uint32_t cand = base + i;
+    if (!oport.vcs[cand].held) {
+      oport.vcs[cand].held = true;
+      in.out_vc = cand;
+      in.active = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Router::tick(Cycle now) {
+  if (buffered_flits_ == 0) return;
+
+  const std::uint32_t total_vcs = cfg_.total_vcs();
+
+  // VC allocation: any idle input VC whose front flit is a ready head.
+  for (std::uint32_t p = 0; p < kNumPorts; ++p) {
+    for (std::uint32_t vc = 0; vc < total_vcs; ++vc) {
+      InputVc& in = in_vc(static_cast<Port>(p), vc);
+      if (in.active || in.buffer.empty()) continue;
+      const Flit& head = in.buffer.front();
+      if (!head.is_head || head.ready_at > now) continue;
+      try_allocate_vc(static_cast<Port>(p), vc, *head.packet);
+    }
+  }
+
+  // Switch allocation + traversal: one flit per output port and per input
+  // port per cycle, round-robin among competing input VCs.
+  bool input_port_used[kNumPorts] = {};
+  for (std::uint32_t op = 0; op < kNumPorts; ++op) {
+    OutputPort& oport = out(static_cast<Port>(op));
+    if (!oport.sink) continue;
+    const std::uint32_t num_cand = kNumPorts * total_vcs;
+    for (std::uint32_t k = 0; k < num_cand; ++k) {
+      const std::uint32_t idx = (oport.rr_next + k) % num_cand;
+      const auto ip = static_cast<Port>(idx / total_vcs);
+      const std::uint32_t ivc = idx % total_vcs;
+      if (input_port_used[static_cast<std::size_t>(ip)]) continue;
+      InputVc& in = in_vc(ip, ivc);
+      if (!in.active || in.buffer.empty()) continue;
+      if (static_cast<std::uint32_t>(in.out_port) != op) continue;
+      const Flit& front = in.buffer.front();
+      if (front.ready_at > now) continue;
+      OutputVc& ovc = oport.vcs[in.out_vc];
+      if (ovc.credits == 0) continue;
+
+      // Winner: traverse the switch.
+      Flit flit = std::move(in.buffer.front());
+      in.buffer.pop_front();
+      --buffered_flits_;
+      --ovc.credits;
+      input_port_used[static_cast<std::size_t>(ip)] = true;
+      oport.rr_next = (idx + 1) % num_cand;
+      traversals_.add();
+      PUNO_TRACE(sim::TraceCat::kNoc, now, "router ", id_, " ",
+                 to_string(ip), ivc, " -> ", to_string(static_cast<Port>(op)),
+                 in.out_vc, " pkt ", flit.packet->id,
+                 flit.is_tail ? " (tail)" : "");
+
+      if (flit.is_tail) {
+        ovc.held = false;
+        in.active = false;
+      }
+
+      // Return the freed buffer slot's credit upstream (one-cycle turnaround)
+      if (CreditSink& cr = credit_return_[static_cast<std::size_t>(ip)]) {
+        kernel_.schedule(1, [cr, ivc] { cr(ivc); });
+      }
+
+      // Link traversal to the downstream receiver. The flit is accounted
+      // as in-flight until the receiver has taken it, so Mesh::idle() never
+      // reports an empty network while flits ride the links.
+      const std::uint32_t out_vc = in.out_vc;
+      FlitSink& sink = oport.sink;
+      ++inflight_flits_;
+      kernel_.schedule(cfg_.link_latency,
+                       [this, &sink, out_vc, f = std::move(flit)]() mutable {
+                         sink(out_vc, std::move(f));
+                         --inflight_flits_;
+                       });
+      break;  // This output port is done for the cycle.
+    }
+  }
+}
+
+}  // namespace puno::noc

@@ -1,0 +1,109 @@
+// Virtual-channel wormhole router with credit-based flow control.
+//
+// Microarchitecture (Table II: "4-stage router"): a flit entering an input
+// buffer at cycle T becomes eligible for switch traversal at
+// T + pipeline_stages - 1, which models the BW/RC, VA, SA, ST pipeline
+// occupancy without simulating each stage's register separately. Route
+// computation (XY) happens when the head flit reaches the front of its VC;
+// output-VC allocation grabs a free downstream VC in the packet's virtual
+// network; switch allocation arbitrates round-robin per output port with at
+// most one flit per input port and per output port per cycle; switch
+// traversal forwards the flit and returns a credit upstream.
+//
+// Every successful switch traversal increments the mesh-wide
+// "flit router traversals" counter — the exact network-traffic metric of
+// the paper's Figure 11.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+
+namespace puno::noc {
+
+class Router {
+ public:
+  /// Downstream flit sink for an output port: (vc, flit).
+  using FlitSink = std::function<void(std::uint32_t, Flit)>;
+  /// Upstream credit return for an input port: (vc).
+  using CreditSink = std::function<void(std::uint32_t)>;
+
+  Router(sim::Kernel& kernel, const NocConfig& cfg, NodeId id,
+         sim::Counter& traversals, std::uint64_t& inflight_flits);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Wires an output port to a downstream receiver. `initial_credits` is the
+  /// downstream buffer depth per VC (use a large value for ejection ports,
+  /// whose reassembly buffers are unbounded).
+  void connect_output(Port p, FlitSink sink, std::uint32_t initial_credits);
+
+  /// Wires an input port's credit-return path back to its upstream sender.
+  void connect_input(Port p, CreditSink credit_return);
+
+  /// Delivers a flit into input buffer (p, vc). Called by the upstream link.
+  /// The caller must have reserved a credit; overflow is a protocol bug and
+  /// asserts.
+  void receive_flit(Port p, std::uint32_t vc, Flit flit);
+
+  /// Restores one credit for output (p, vc). Called by downstream.
+  void return_credit(Port p, std::uint32_t vc);
+
+  /// One cycle of switch allocation + traversal.
+  void tick(Cycle now);
+
+  /// True if no flit is buffered anywhere in this router.
+  [[nodiscard]] bool idle() const noexcept { return buffered_flits_ == 0; }
+
+ private:
+  struct InputVc {
+    std::deque<Flit> buffer;
+    bool active = false;        ///< Holds an in-flight packet (post-VA).
+    Port out_port = Port::kLocal;
+    std::uint32_t out_vc = 0;
+  };
+  struct OutputVc {
+    std::uint32_t credits = 0;
+    bool held = false;          ///< Allocated to some upstream packet.
+  };
+  struct OutputPort {
+    FlitSink sink;
+    std::vector<OutputVc> vcs;
+    std::uint32_t rr_next = 0;  ///< Round-robin pointer over input VCs.
+  };
+
+  [[nodiscard]] InputVc& in_vc(Port p, std::uint32_t vc) {
+    return inputs_[static_cast<std::size_t>(p) * cfg_.total_vcs() + vc];
+  }
+  [[nodiscard]] OutputPort& out(Port p) {
+    return outputs_[static_cast<std::size_t>(p)];
+  }
+
+  /// Tries VC allocation for the head flit at the front of (p, vc).
+  bool try_allocate_vc(Port p, std::uint32_t vc, const Packet& pkt);
+
+  sim::Kernel& kernel_;
+  const NocConfig cfg_;
+  NodeId id_;
+  sim::Counter& traversals_;
+  /// Mesh-wide count of flits currently traversing links (they live in the
+  /// kernel's event queue, so buffer occupancy alone cannot see them; the
+  /// mesh needs this for a correct idle() check).
+  std::uint64_t& inflight_flits_;
+
+  std::vector<InputVc> inputs_;            // [port][vc]
+  std::vector<OutputPort> outputs_;        // [port]
+  std::vector<CreditSink> credit_return_;  // [port]
+  std::uint64_t buffered_flits_ = 0;
+};
+
+}  // namespace puno::noc

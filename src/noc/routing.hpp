@@ -1,0 +1,67 @@
+// 2D-mesh coordinates and dimension-order (XY) routing.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "sim/types.hpp"
+
+namespace puno::noc {
+
+/// Router ports. kLocal connects to the node's network interface.
+enum class Port : std::uint8_t {
+  kLocal = 0,
+  kNorth = 1,
+  kSouth = 2,
+  kEast = 3,
+  kWest = 4,
+};
+inline constexpr std::uint32_t kNumPorts = 5;
+
+[[nodiscard]] constexpr const char* to_string(Port p) noexcept {
+  switch (p) {
+    case Port::kLocal: return "L";
+    case Port::kNorth: return "N";
+    case Port::kSouth: return "S";
+    case Port::kEast: return "E";
+    case Port::kWest: return "W";
+  }
+  return "?";
+}
+
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+[[nodiscard]] constexpr Coord coord_of(NodeId n, std::uint32_t width) noexcept {
+  return Coord{static_cast<std::int32_t>(n % width),
+               static_cast<std::int32_t>(n / width)};
+}
+
+[[nodiscard]] constexpr NodeId node_of(Coord c, std::uint32_t width) noexcept {
+  return static_cast<NodeId>(c.y * static_cast<std::int32_t>(width) + c.x);
+}
+
+/// Dimension-order routing: fully resolve X before moving in Y. Deadlock-free
+/// on a mesh because the turn set excludes all cycles.
+[[nodiscard]] constexpr Port route_xy(NodeId here, NodeId dst,
+                                      std::uint32_t width) noexcept {
+  const Coord h = coord_of(here, width);
+  const Coord d = coord_of(dst, width);
+  if (h.x != d.x) return d.x > h.x ? Port::kEast : Port::kWest;
+  if (h.y != d.y) return d.y > h.y ? Port::kSouth : Port::kNorth;
+  return Port::kLocal;
+}
+
+/// Manhattan hop count between two nodes.
+[[nodiscard]] constexpr std::uint32_t hop_distance(NodeId a, NodeId b,
+                                                   std::uint32_t width) noexcept {
+  const Coord ca = coord_of(a, width);
+  const Coord cb = coord_of(b, width);
+  return static_cast<std::uint32_t>(std::abs(ca.x - cb.x) +
+                                    std::abs(ca.y - cb.y));
+}
+
+}  // namespace puno::noc

@@ -1,0 +1,80 @@
+// Transaction Priority Buffer (P-Buffer), Section III.B / Figure 5.
+//
+// One per directory (i.e. per node). N entries record the latest known
+// transaction priority (timestamp) of each node on the CMP, refreshed from
+// every incoming transactional coherence request. Each entry carries a 2-bit
+// validity counter driven by a shared rollover timeout:
+//
+//   * timeout  -> every non-zero validity counter decrements (staleness);
+//   * update   -> the entry's counter increments, and an update to a
+//                 0-validity entry increments twice (Figure 5(b)), giving
+//                 freshly revived entries a longer grace period;
+//   * only entries with validity counter > 1 participate in unicast
+//     prediction.
+//
+// Misprediction feedback (Section III.C) zeroes the offending entry.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace puno::core {
+
+class PBuffer {
+ public:
+  struct Entry {
+    Timestamp ts = kInvalidTimestamp;
+    std::uint8_t validity = 0;  ///< 2-bit saturating counter, 0..3.
+  };
+
+  explicit PBuffer(std::uint32_t num_entries) : entries_(num_entries) {}
+
+  /// Refreshes node `n`'s priority from an incoming transactional request.
+  void update(NodeId n, Timestamp ts) {
+    assert(n < entries_.size());
+    Entry& e = entries_[n];
+    e.ts = ts;
+    // Figure 5(b): +1 on update, +2 when reviving a fully stale entry.
+    const std::uint8_t inc = e.validity == 0 ? 2 : 1;
+    e.validity = static_cast<std::uint8_t>(
+        e.validity + inc > 3 ? 3 : e.validity + inc);
+  }
+
+  /// Rollover-counter timeout: age every entry.
+  void on_timeout() {
+    for (Entry& e : entries_) {
+      if (e.validity > 0) --e.validity;
+    }
+  }
+
+  /// Misprediction feedback: the recorded priority was stale; kill it.
+  void invalidate(NodeId n) {
+    assert(n < entries_.size());
+    entries_[n].validity = 0;
+  }
+
+  [[nodiscard]] const Entry& get(NodeId n) const {
+    assert(n < entries_.size());
+    return entries_[n];
+  }
+
+  /// True if entry `n` may be used for unicast prediction (validity > 1,
+  /// Section III.B).
+  [[nodiscard]] bool usable(NodeId n,
+                            std::uint8_t threshold = 1) const {
+    const Entry& e = entries_[n];
+    return e.validity > threshold && e.ts != kInvalidTimestamp;
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace puno::core

@@ -1,0 +1,92 @@
+#include "puno/puno_directory.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "coherence/directory.hpp"
+
+namespace puno::core {
+
+PunoDirectory::PunoDirectory(sim::Kernel& kernel, const SystemConfig& cfg,
+                             NodeId node)
+    : kernel_(kernel),
+      cfg_(cfg),
+      node_(node),
+      pbuf_(cfg.puno.pbuffer_entries),
+      period_(cfg.puno.min_timeout),
+      predictions_(kernel.stats().counter("puno.unicast_predictions")),
+      multicast_fallbacks_(kernel.stats().counter("puno.multicast_fallbacks")) {
+}
+
+void PunoDirectory::observe_request(NodeId src, Timestamp ts,
+                                    Cycle avg_txn_len) {
+  pbuf_.update(src, ts);
+  if (avg_txn_len > 0) {
+    // Adaptive timeout: EWMA of the requesters' average transaction lengths,
+    // scaled by the configured fraction.
+    const auto target = static_cast<Cycle>(
+        static_cast<double>(avg_txn_len) * cfg_.puno.timeout_fraction);
+    const Cycle ewma = (period_ + target) / 2;
+    period_ = std::clamp<Cycle>(ewma, cfg_.puno.min_timeout,
+                                cfg_.puno.max_timeout);
+  }
+  if (!rollover_armed_) {
+    rollover_armed_ = true;
+    schedule_rollover();
+  }
+}
+
+void PunoDirectory::schedule_rollover() {
+  // The 32-bit rollover counter of Figure 5(a): on overflow, all validity
+  // counters age by one and the counter restarts with the current period.
+  kernel_.schedule(period_, [this] {
+    pbuf_.on_timeout();
+    schedule_rollover();
+  });
+}
+
+NodeId PunoDirectory::predict_unicast(std::uint64_t sharer_mask,
+                                      NodeId /*requester*/, Timestamp req_ts,
+                                      NodeId ud_hint) {
+  // No unicast for single-sharer lines: false aborting needs at least one
+  // nacker plus one aborted sharer, which a lone sharer cannot produce.
+  if (static_cast<std::uint32_t>(std::popcount(sharer_mask)) <
+      cfg_.puno.unicast_min_sharers) {
+    multicast_fallbacks_.add();
+    return kInvalidNode;
+  }
+  // The UD pointer indexes the P-Buffer; unicast only when the pointed-to
+  // sharer is still predicted valid and out-prioritizes the requester.
+  if (cfg_.puno.enable_unicast && ud_hint != kInvalidNode &&
+      (sharer_mask & coherence::node_bit(ud_hint)) != 0 &&
+      pbuf_.usable(ud_hint, cfg_.puno.validity_threshold) &&
+      pbuf_.get(ud_hint).ts < req_ts) {
+    predictions_.add();
+    return ud_hint;
+  }
+  multicast_fallbacks_.add();
+  return kInvalidNode;
+}
+
+NodeId PunoDirectory::recompute_ud(std::uint64_t sharer_mask) {
+  NodeId best = kInvalidNode;
+  Timestamp best_ts = kInvalidTimestamp;
+  for (NodeId n = 0; n < pbuf_.size(); ++n) {
+    if ((sharer_mask & coherence::node_bit(n)) == 0) continue;
+    const PBuffer::Entry& e = pbuf_.get(n);
+    if (e.validity == 0 || e.ts == kInvalidTimestamp) continue;
+    if (e.ts < best_ts) {
+      best_ts = e.ts;
+      best = n;
+    }
+  }
+  return best;
+}
+
+void PunoDirectory::on_misprediction(NodeId mp_node) {
+  if (mp_node != kInvalidNode && mp_node < pbuf_.size()) {
+    pbuf_.invalidate(mp_node);
+  }
+}
+
+}  // namespace puno::core

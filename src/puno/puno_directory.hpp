@@ -1,0 +1,56 @@
+// PUNO's directory-side assist: unicast-destination prediction.
+//
+// Implements coherence::DirectoryAssist on top of the P-Buffer, the per-entry
+// UD (Unicast Destination) pointers (stored inside the directory entries and
+// recomputed here off the critical path), and the adaptive rollover timeout:
+// the timeout period tracks an exponentially weighted average of the
+// transaction lengths that requesters piggyback on their requests, clamped
+// to [min_timeout, max_timeout] (Section III.B notes the period is derived
+// from the average transaction length so that workloads with long
+// transactions age their priorities more slowly).
+#pragma once
+
+#include <cstdint>
+
+#include "coherence/hooks.hpp"
+#include "puno/pbuffer.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+
+namespace puno::core {
+
+class PunoDirectory final : public coherence::DirectoryAssist {
+ public:
+  PunoDirectory(sim::Kernel& kernel, const SystemConfig& cfg, NodeId node);
+
+  PunoDirectory(const PunoDirectory&) = delete;
+  PunoDirectory& operator=(const PunoDirectory&) = delete;
+
+  // --- coherence::DirectoryAssist ---
+  void observe_request(NodeId src, Timestamp ts, Cycle avg_txn_len) override;
+  [[nodiscard]] NodeId predict_unicast(std::uint64_t sharer_mask,
+                                       NodeId requester, Timestamp req_ts,
+                                       NodeId ud_hint) override;
+  [[nodiscard]] NodeId recompute_ud(std::uint64_t sharer_mask) override;
+  void on_misprediction(NodeId mp_node) override;
+  [[nodiscard]] Cycle prediction_latency() const override { return 2; }
+
+  // --- Introspection ---
+  [[nodiscard]] const PBuffer& pbuffer() const noexcept { return pbuf_; }
+  [[nodiscard]] Cycle timeout_period() const noexcept { return period_; }
+
+ private:
+  void schedule_rollover();
+
+  sim::Kernel& kernel_;
+  const SystemConfig& cfg_;
+  NodeId node_;
+  PBuffer pbuf_;
+  Cycle period_;
+  bool rollover_armed_ = false;
+
+  sim::Counter& predictions_;
+  sim::Counter& multicast_fallbacks_;
+};
+
+}  // namespace puno::core

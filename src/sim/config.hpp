@@ -1,0 +1,129 @@
+// System configuration (the paper's Table II, plus the knobs of every
+// mechanism evaluated in Section IV).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace puno {
+
+/// Which contention-management mechanism the HTM runs (Section IV.A).
+enum class Scheme : std::uint8_t {
+  kBaseline,       ///< Eager HTM, fixed 20-cycle retry backoff.
+  kRandomBackoff,  ///< Randomized linear backoff on abort [Scherer&Scott].
+  kRmwPred,        ///< Read-modify-write predictor [Bobba et al.].
+  kPuno,           ///< Predictive Unicast and Notification (this paper).
+};
+
+[[nodiscard]] constexpr const char* to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kBaseline: return "Baseline";
+    case Scheme::kRandomBackoff: return "Backoff";
+    case Scheme::kRmwPred: return "RMW-Pred";
+    case Scheme::kPuno: return "PUNO";
+  }
+  return "?";
+}
+
+struct NocConfig {
+  std::uint32_t mesh_width = 4;      ///< 4x4 mesh of 16 routers (Table II).
+  /// Three virtual networks (requests, forwards, responses) prevent
+  /// protocol-level deadlock, as in GEMS/Garnet configurations.
+  std::uint32_t num_vnets = 3;
+  std::uint32_t vcs_per_vnet = 2;    ///< Virtual channels per vnet per port.
+  std::uint32_t vc_depth = 4;        ///< Flit buffer depth per VC.
+  std::uint32_t pipeline_stages = 4; ///< 4-stage router (Table II).
+  std::uint32_t link_latency = 1;    ///< Cycles per inter-router hop.
+  std::uint32_t flit_bytes = 16;     ///< Channel width; 64B line = 4 body flits.
+
+  [[nodiscard]] std::uint32_t total_vcs() const noexcept {
+    return num_vnets * vcs_per_vnet;
+  }
+};
+
+struct CacheConfig {
+  std::uint32_t block_bytes = 64;
+
+  std::uint32_t l1_size_bytes = 32 * 1024;  ///< 32 KB private L1.
+  std::uint32_t l1_assoc = 4;
+  std::uint32_t l1_latency = 1;             ///< 1-cycle hit (Table II).
+
+  std::uint64_t l2_size_bytes = 8ull * 1024 * 1024;  ///< 8 MB shared NUCA L2.
+  std::uint32_t l2_assoc = 8;
+  std::uint32_t l2_latency = 20;            ///< 20-cycle bank access.
+
+  std::uint32_t memory_latency = 200;       ///< 200-cycle DRAM (Table II).
+  std::uint32_t num_memory_controllers = 4;
+};
+
+struct HtmConfig {
+  /// Baseline nacked-requester retry backoff (Section IV.A: fixed 20 cycles).
+  std::uint32_t fixed_backoff = 20;
+  /// Randomized linear backoff: slot width; window grows linearly with the
+  /// number of aborts of the restarting transaction.
+  std::uint32_t backoff_slot = 40;
+  std::uint32_t backoff_max_slots = 32;
+  /// Cycles to restore pre-transaction state from the hardware abort buffer
+  /// (FASTM-style fast abort recovery).
+  std::uint32_t abort_recovery_latency = 10;
+  /// RMW predictor capacity: up to 256 load instructions per node.
+  std::uint32_t rmw_entries = 256;
+};
+
+struct PunoConfig {
+  std::uint32_t pbuffer_entries = 16;  ///< One per node (Table II).
+  std::uint32_t txlb_entries = 32;     ///< Static transactions per node.
+  /// Clamp bounds for the adaptive rollover-counter timeout period.
+  std::uint32_t min_timeout = 64;
+  std::uint32_t max_timeout = 1u << 16;
+  /// Validity threshold: only priorities with validity counter > 1 are used
+  /// for unicast prediction (Section III.B).
+  std::uint8_t validity_threshold = 1;
+  /// Ablation switches: PUNO = predictive unicast + notification; disabling
+  /// one isolates the other's contribution.
+  bool enable_unicast = true;
+  bool enable_notification = true;
+  /// Cap on the notification-guided backoff (0 = uncapped, the paper's
+  /// formula). Exposed for the sensitivity ablation.
+  Cycle max_notified_backoff = 0;
+  /// The rollover-counter period as a fraction of the observed average
+  /// transaction length (Section III.B says the period is "determined
+  /// dynamically based on the average transaction length" without giving
+  /// the factor; smaller = faster staleness decay = fewer but more accurate
+  /// unicasts).
+  double timeout_fraction = 1.0;
+  /// EXTENSION (paper Section VI, future work): when a transaction that
+  /// nacked requesters commits or aborts, it sends those requesters a
+  /// single-flit retry hint so they stop waiting on a (possibly stale)
+  /// notification estimate. Off by default: plain PUNO.
+  bool enable_commit_hint = false;
+  /// Waiting requesters remembered per node for commit hints.
+  std::uint32_t commit_hint_entries = 8;
+  /// Minimum sharer count for unicast prediction. With a single sharer,
+  /// false aborting cannot occur (a lone sharer either nacks — and then no
+  /// one was aborted — or grants and the request succeeds), so a unicast
+  /// can only add a wasted round trip. Default 2.
+  std::uint32_t unicast_min_sharers = 2;
+};
+
+/// Top-level simulated-system configuration.
+struct SystemConfig {
+  std::uint32_t num_nodes = 16;  ///< 16 cores (Table II).
+  NocConfig noc;
+  CacheConfig cache;
+  HtmConfig htm;
+  PunoConfig puno;
+  Scheme scheme = Scheme::kBaseline;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] BlockAddr block_of(Addr a) const noexcept {
+    return a & ~static_cast<Addr>(cache.block_bytes - 1);
+  }
+  /// Static NUCA home-node mapping: block address interleaved across nodes.
+  [[nodiscard]] NodeId home_of(BlockAddr b) const noexcept {
+    return static_cast<NodeId>((b / cache.block_bytes) % num_nodes);
+  }
+};
+
+}  // namespace puno

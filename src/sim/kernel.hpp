@@ -1,0 +1,104 @@
+// The simulation kernel: a synchronous clocked engine plus a delayed-event
+// scheduler.
+//
+// Components that do per-cycle work (routers, cache controllers, cores)
+// implement Tickable and register with the kernel; latency-shaped work
+// (memory access completion, backoff expiry) is scheduled as one-shot events.
+// Everything runs single-threaded and deterministically: within one cycle,
+// tickables run in registration order and events in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace puno::sim {
+
+/// Interface for components that act every cycle.
+class Tickable {
+ public:
+  virtual ~Tickable() = default;
+  /// Perform this component's work for the current cycle.
+  virtual void tick(Cycle now) = 0;
+};
+
+/// Single-clock-domain simulation kernel.
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// Registers a per-cycle component. Order of registration fixes the order
+  /// of evaluation within a cycle (and therefore determinism).
+  void add_tickable(Tickable& t) { tickables_.push_back(&t); }
+
+  /// Schedules `fn` to run `delay` cycles from now (0 = later this cycle,
+  /// after all tickables). Events at the same cycle run in scheduling order.
+  void schedule(Cycle delay, std::function<void()> fn) {
+    events_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+
+  /// Advances one cycle: run all tickables, then all events due this cycle.
+  void step() {
+    for (Tickable* t : tickables_) t->tick(now_);
+    while (!events_.empty() && events_.top().when <= now_) {
+      // Copy out before pop so the handler can schedule without invalidation.
+      auto fn = std::move(const_cast<Event&>(events_.top()).fn);
+      events_.pop();
+      fn();
+    }
+    ++now_;
+  }
+
+  /// Runs until `done()` returns true or `max_cycles` elapse.
+  /// Returns true if `done()` fired (i.e., we did not hit the cycle limit).
+  bool run_until(const std::function<bool()>& done, Cycle max_cycles) {
+    const Cycle limit = now_ + max_cycles;
+    while (now_ < limit) {
+      if (done()) return true;
+      step();
+    }
+    return done();
+  }
+
+  /// Runs a fixed number of cycles.
+  void run_for(Cycle cycles) {
+    const Cycle limit = now_ + cycles;
+    while (now_ < limit) step();
+  }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return events_.size();
+  }
+
+  /// Global stats registry for this simulation instance.
+  [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;  // tie-break: FIFO among same-cycle events
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Tickable*> tickables_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  StatsRegistry stats_;
+};
+
+}  // namespace puno::sim

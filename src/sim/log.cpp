@@ -1,0 +1,39 @@
+#include "sim/log.hpp"
+
+#include <cstdlib>
+
+namespace puno::sim {
+
+TraceLog::TraceLog() {
+  if (const char* spec = std::getenv("PUNO_TRACE")) {
+    enable_from_spec(spec);
+  }
+}
+
+void TraceLog::enable_from_spec(std::string_view spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string_view tok =
+        spec.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+    if (tok == "kernel") enable(TraceCat::kKernel);
+    else if (tok == "noc") enable(TraceCat::kNoc);
+    else if (tok == "coherence") enable(TraceCat::kCoherence);
+    else if (tok == "htm") enable(TraceCat::kHtm);
+    else if (tok == "puno") enable(TraceCat::kPuno);
+    else if (tok == "workload") enable(TraceCat::kWorkload);
+    else if (tok == "all") {
+      enable(TraceCat::kKernel);
+      enable(TraceCat::kNoc);
+      enable(TraceCat::kCoherence);
+      enable(TraceCat::kHtm);
+      enable(TraceCat::kPuno);
+      enable(TraceCat::kWorkload);
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+}
+
+}  // namespace puno::sim

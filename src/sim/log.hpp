@@ -1,0 +1,64 @@
+// Lightweight category-gated trace logging.
+//
+// Tracing is off by default and costs one branch per call site when
+// disabled. Enable categories programmatically (TraceLog::enable) or through
+// the PUNO_TRACE environment variable, e.g. PUNO_TRACE=coherence,htm.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace puno::sim {
+
+enum class TraceCat : std::uint32_t {
+  kKernel = 1u << 0,
+  kNoc = 1u << 1,
+  kCoherence = 1u << 2,
+  kHtm = 1u << 3,
+  kPuno = 1u << 4,
+  kWorkload = 1u << 5,
+};
+
+class TraceLog {
+ public:
+  static TraceLog& instance() {
+    static TraceLog log;
+    return log;
+  }
+
+  void enable(TraceCat cat) noexcept {
+    mask_ |= static_cast<std::uint32_t>(cat);
+  }
+  void disable_all() noexcept { mask_ = 0; }
+  [[nodiscard]] bool enabled(TraceCat cat) const noexcept {
+    return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+  }
+
+  /// Parses a comma-separated category list ("noc,htm,all").
+  void enable_from_spec(std::string_view spec);
+
+  template <typename... Args>
+  void trace(TraceCat cat, Cycle now, Args&&... args) {
+    if (!enabled(cat)) return;
+    std::ostringstream os;
+    os << "[" << now << "] ";
+    (os << ... << args);
+    std::clog << os.str() << '\n';
+  }
+
+ private:
+  TraceLog();
+  std::uint32_t mask_ = 0;
+};
+
+#define PUNO_TRACE(cat, now, ...)                                      \
+  do {                                                                 \
+    auto& puno_log_ = ::puno::sim::TraceLog::instance();               \
+    if (puno_log_.enabled(cat)) puno_log_.trace(cat, now, __VA_ARGS__); \
+  } while (false)
+
+}  // namespace puno::sim

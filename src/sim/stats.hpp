@@ -1,0 +1,131 @@
+// Statistics primitives: counters, scalars and histograms, grouped in a
+// registry so experiment harnesses can dump everything by name.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace puno::sim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Running mean/min/max of a sampled quantity.
+class Scalar {
+ public:
+  void sample(double v) noexcept {
+    sum_ += v;
+    count_ += 1;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = count_ == 1 ? v : std::max(max_, v);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  void reset() noexcept { *this = Scalar{}; }
+
+ private:
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Integer-bucketed histogram with a configurable cap; samples beyond the
+/// cap land in the overflow bucket. Used e.g. for the Fig. 3 distribution of
+/// transactions falsely aborted per event.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t max_bucket = 64) : buckets_(max_bucket + 1) {}
+
+  void sample(std::uint64_t v) noexcept {
+    const std::size_t idx =
+        std::min<std::uint64_t>(v, buckets_.size() - 1);
+    buckets_[idx] += 1;
+    total_ += 1;
+    sum_ += v;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < buckets_.size() ? buckets_[i] : 0;
+  }
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+  /// Fraction of samples with value == i.
+  [[nodiscard]] double fraction(std::size_t i) const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(bucket(i)) /
+                             static_cast<double>(total_);
+  }
+  void reset() noexcept {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Name → stat registry. Components create their stats through a registry so
+/// a harness can enumerate and print them without knowing every component.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Scalar& scalar(const std::string& name) { return scalars_[name]; }
+  Histogram& histogram(const std::string& name, std::size_t max_bucket = 64) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{max_bucket}).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Scalar>& scalars() const {
+    return scalars_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void reset() {
+    for (auto& [_, c] : counters_) c.reset();
+    for (auto& [_, s] : scalars_) s.reset();
+    for (auto& [_, h] : histograms_) h.reset();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Scalar> scalars_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace puno::sim

@@ -1,0 +1,37 @@
+// Fundamental scalar types shared by every simulator subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace puno {
+
+/// Simulated clock cycle. The whole CMP is modelled in one clock domain
+/// (Table II: 1 GHz cores, network and caches on the same grid clock).
+using Cycle = std::uint64_t;
+
+/// Identifier of a node (core + L1 + L2 bank + router). 16 nodes in the
+/// paper's CMP, but nothing in the code assumes 16.
+using NodeId = std::uint16_t;
+
+/// Physical byte address.
+using Addr = std::uint64_t;
+
+/// Cache-block-aligned address (byte address with the offset bits cleared).
+using BlockAddr = std::uint64_t;
+
+/// Transaction timestamp used by the time-based conflict-resolution policy
+/// [Rajwar & Goodman]. Smaller value = older transaction = higher priority.
+using Timestamp = std::uint64_t;
+
+/// Identifier of a *static* transaction (a TX_BEGIN/TX_END site in the
+/// program text). Dynamic instances of the same static transaction share a
+/// TxLB entry.
+using StaticTxId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Timestamp kInvalidTimestamp =
+    std::numeric_limits<Timestamp>::max();
+inline constexpr Cycle kInfiniteCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace puno

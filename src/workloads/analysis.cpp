@@ -1,0 +1,107 @@
+#include "workloads/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace puno::workloads {
+
+WorkloadProfile analyze(Workload& workload, std::uint32_t num_nodes,
+                        std::uint32_t max_per_node) {
+  WorkloadProfile p;
+  p.name = workload.name();
+
+  std::set<StaticTxId> sites;
+  std::unordered_map<BlockAddr, std::uint64_t> block_accesses;
+  std::unordered_map<BlockAddr, std::unordered_set<NodeId>> block_nodes;
+  std::unordered_map<BlockAddr, std::unordered_set<NodeId>> block_writers;
+
+  std::uint64_t total_ops = 0, total_reads = 0, total_writes = 0;
+  std::uint64_t total_think = 0;
+  std::uint64_t max_ops = 0;
+
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    std::uint32_t count = 0;
+    while (auto d = workload.next(n)) {
+      ++p.total_txns;
+      sites.insert(d->static_id);
+      max_ops = std::max<std::uint64_t>(max_ops, d->ops.size());
+      total_ops += d->ops.size();
+      total_think += d->pre_think + d->post_think;
+      for (const TxOp& op : d->ops) {
+        const BlockAddr block = op.addr & ~BlockAddr{63};
+        total_think += op.pre_think;
+        ++block_accesses[block];
+        block_nodes[block].insert(n);
+        if (op.is_store) {
+          ++total_writes;
+          block_writers[block].insert(n);
+        } else {
+          ++total_reads;
+        }
+      }
+      if (max_per_node != 0 && ++count >= max_per_node) break;
+    }
+  }
+
+  p.static_txns = static_cast<std::uint32_t>(sites.size());
+  p.footprint_blocks = block_accesses.size();
+  p.max_ops_in_txn = static_cast<double>(max_ops);
+  if (p.total_txns > 0) {
+    const auto txns = static_cast<double>(p.total_txns);
+    p.avg_ops_per_txn = static_cast<double>(total_ops) / txns;
+    p.avg_reads_per_txn = static_cast<double>(total_reads) / txns;
+    p.avg_writes_per_txn = static_cast<double>(total_writes) / txns;
+    p.avg_think_per_txn = static_cast<double>(total_think) / txns;
+  }
+
+  if (total_ops > 0 && !block_accesses.empty()) {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(block_accesses.size());
+    for (const auto& [_, c] : block_accesses) counts.push_back(c);
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    std::uint64_t top16 = 0;
+    for (std::size_t i = 0; i < counts.size() && i < 16; ++i) {
+      top16 += counts[i];
+    }
+    p.top16_access_share = static_cast<double>(top16) / total_ops;
+    p.hottest_block_share = static_cast<double>(counts.front()) / total_ops;
+
+    std::uint64_t degree_sum = 0;
+    std::uint64_t write_shared = 0;
+    for (const auto& [block, nodes] : block_nodes) {
+      degree_sum += nodes.size();
+    }
+    for (const auto& [block, writers] : block_writers) {
+      // Write-shared: written by >=2 nodes, or written by one and read by
+      // others (the read-write sharing that GETX invalidations hit).
+      if (writers.size() >= 2 ||
+          (writers.size() == 1 && block_nodes[block].size() >= 2)) {
+        ++write_shared;
+      }
+    }
+    p.avg_sharing_degree =
+        static_cast<double>(degree_sum) / block_nodes.size();
+    p.write_shared_fraction =
+        static_cast<double>(write_shared) / block_accesses.size();
+  }
+  return p;
+}
+
+std::string summarize(const WorkloadProfile& p) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed;
+  os << p.name << ": " << p.total_txns << " txns across " << p.static_txns
+     << " sites, " << p.avg_ops_per_txn << " ops/txn ("
+     << p.avg_reads_per_txn << "r/" << p.avg_writes_per_txn << "w), "
+     << "footprint " << p.footprint_blocks << " blocks, top16 share "
+     << p.top16_access_share * 100 << "%, sharing degree "
+     << p.avg_sharing_degree;
+  return os.str();
+}
+
+}  // namespace puno::workloads

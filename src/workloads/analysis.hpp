@@ -1,0 +1,58 @@
+// Static workload characterization: drain a workload's descriptor streams
+// (without simulating) and compute the structural properties that determine
+// its contention behaviour — transaction sizes, read/write mix, footprint,
+// and how concentrated the accesses are on hot blocks.
+//
+// Used by the calibration workflow (comparing profiles against STAMP's
+// published characteristics) and by the Table I bench for reporting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace puno::workloads {
+
+struct WorkloadProfile {
+  std::string name;
+  std::uint64_t total_txns = 0;
+  std::uint32_t static_txns = 0;  ///< Distinct TX_BEGIN sites observed.
+
+  double avg_ops_per_txn = 0.0;
+  double avg_reads_per_txn = 0.0;
+  double avg_writes_per_txn = 0.0;
+  double max_ops_in_txn = 0.0;
+
+  /// Distinct blocks touched anywhere (bytes = blocks * 64).
+  std::uint64_t footprint_blocks = 0;
+
+  /// Concentration: fraction of all *accesses* landing on the 16 most
+  /// accessed blocks, and on the single hottest block. High values mean
+  /// queue-head-style contention; low values mean scattered accesses.
+  double top16_access_share = 0.0;
+  double hottest_block_share = 0.0;
+
+  /// Average number of distinct nodes that touch each block (sharing
+  /// degree over the whole run; >1 means actual inter-node sharing).
+  double avg_sharing_degree = 0.0;
+  /// Fraction of blocks written by at least two different nodes —
+  /// write-sharing is what generates transactional conflicts.
+  double write_shared_fraction = 0.0;
+
+  /// Mean think cycles accompanying each transaction (pre+post+per-op).
+  double avg_think_per_txn = 0.0;
+};
+
+/// Drains up to `max_per_node` descriptors per node from `workload` and
+/// aggregates the profile. The workload is consumed (next() is destructive);
+/// construct a fresh instance for simulation afterwards.
+[[nodiscard]] WorkloadProfile analyze(Workload& workload,
+                                      std::uint32_t num_nodes,
+                                      std::uint32_t max_per_node = 0);
+
+/// Formats a one-line summary (name, txns, sizes, concentration).
+[[nodiscard]] std::string summarize(const WorkloadProfile& p);
+
+}  // namespace puno::workloads

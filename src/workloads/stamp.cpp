@@ -1,0 +1,425 @@
+#include "workloads/stamp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace puno::workloads::stamp {
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {
+      "bayes",  "intruder", "labyrinth", "yada",
+      "genome", "kmeans",   "ssca2",     "vacation"};
+  return names;
+}
+
+bool is_high_contention(const std::string& name) {
+  return name == "bayes" || name == "intruder" || name == "labyrinth" ||
+         name == "yada";
+}
+
+std::string input_parameters(const std::string& name) {
+  if (name == "bayes") return "32 var, 1024 records, 2 edge/var";
+  if (name == "intruder") return "2k flow, 10 attack, 4 pkt/flow";
+  if (name == "labyrinth") return "32*32*3 maze, 96 paths";
+  if (name == "yada") return "1264 elements, min-angle 20";
+  if (name == "genome") return "32 var, 1024 records";
+  if (name == "kmeans") return "16K seg, 256 gene, 16 sample";
+  if (name == "ssca2") return "8k nodes, 3 len, 3 para edge";
+  if (name == "vacation") return "16K record, 4K req, 60% coverage";
+  throw std::invalid_argument("unknown STAMP benchmark: " + name);
+}
+
+double paper_abort_rate(const std::string& name) {
+  if (name == "bayes") return 0.971;
+  if (name == "intruder") return 0.776;
+  if (name == "labyrinth") return 0.986;
+  if (name == "yada") return 0.479;
+  if (name == "genome") return 0.013;
+  if (name == "kmeans") return 0.074;
+  if (name == "ssca2") return 0.003;
+  if (name == "vacation") return 0.38;
+  throw std::invalid_argument("unknown STAMP benchmark: " + name);
+}
+
+namespace {
+
+SyntheticSpec bayes_spec() {
+  // Bayesian-network structure learning: few, very long transactions that
+  // read large slices of the adjacency/score structures and write several
+  // of them; extremely high contention (Table I: 97.1% aborts). Bayes has
+  // the largest static-transaction count in STAMP (15, Section III.D).
+  SyntheticSpec s;
+  s.name = "bayes";
+  s.txns_per_node = 14;
+  s.hot_blocks = 24;
+  s.anchor_blocks = 2;
+  s.shared_blocks = 2048;
+  s.pre_think_min = 20;
+  s.pre_think_max = 80;
+  s.post_think_min = 20;
+  s.post_think_max = 80;
+  // learnStructure-style sites: long scans + scattered writes.
+  for (int i = 0; i < 12; ++i) {
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 30;
+    t.reads_max = 40;
+    t.writes_min = 2;
+    t.writes_max = 5;
+    t.op_think_min = 8;
+    t.op_think_max = 14;
+    t.hot_read_frac = 0.9;
+    t.hot_write_frac = 0.9;
+    t.rmw_frac = 0.3;
+    t.anchor_reads = 2;  // the shared network root, read by every learner
+    s.txns.push_back(t);
+  }
+  // Three short bookkeeping sites.
+  for (int i = 0; i < 3; ++i) {
+    StaticTxnSpec t;
+    t.weight = 0.5;
+    t.reads_min = 2;
+    t.reads_max = 6;
+    t.writes_min = 1;
+    t.writes_max = 3;
+    t.hot_read_frac = 0.6;
+    t.hot_write_frac = 0.6;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+SyntheticSpec intruder_spec() {
+  // Network-intrusion detection: packets flow through shared queues whose
+  // head/tail blocks are extremely hot; transactions are short-to-medium
+  // and frequent (77.6% aborts).
+  SyntheticSpec s;
+  s.name = "intruder";
+  s.txns_per_node = 96;
+  s.hot_blocks = 12;
+  s.anchor_blocks = 4;
+  s.shared_blocks = 2048;
+  s.pre_think_min = 5;
+  s.pre_think_max = 25;
+  s.post_think_min = 5;
+  s.post_think_max = 25;
+  {
+    // Queue pop (decoder stage): read-modify-write of the queue head.
+    StaticTxnSpec t;
+    t.weight = 1.5;
+    t.reads_min = 2;
+    t.reads_max = 5;
+    t.writes_min = 1;
+    t.writes_max = 3;
+    t.op_think_min = 2;
+    t.op_think_max = 6;
+    t.hot_read_frac = 0.9;
+    t.hot_write_frac = 0.9;
+    t.rmw_frac = 0.6;
+    t.anchor_reads = 1;  // queue head
+    t.anchor_writes = 1;
+    s.txns.push_back(t);
+  }
+  {
+    // Fragment reassembly: a few map lookups plus inserts.
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 8;
+    t.reads_max = 12;
+    t.writes_min = 1;
+    t.writes_max = 2;
+    t.op_think_min = 3;
+    t.op_think_max = 8;
+    t.hot_read_frac = 0.75;
+    t.hot_write_frac = 0.8;
+    t.rmw_frac = 0.3;
+    t.anchor_reads = 1;  // flow-table root
+    s.txns.push_back(t);
+  }
+  {
+    // Queue push into the detector stage.
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 1;
+    t.reads_max = 3;
+    t.writes_min = 1;
+    t.writes_max = 2;
+    t.op_think_min = 1;
+    t.op_think_max = 4;
+    t.hot_read_frac = 0.85;
+    t.hot_write_frac = 0.85;
+    t.rmw_frac = 0.5;
+    t.anchor_reads = 1;  // queue tail
+    t.anchor_writes = 1;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+SyntheticSpec labyrinth_spec() {
+  // Lee-routing: every transaction reads (essentially) the whole maze grid
+  // and writes the cells of its routed path. Read-read sharing is total and
+  // every write conflicts with every concurrent reader: 98.6% aborts and
+  // the paper's worst directory-blocking case (many sharers per line).
+  SyntheticSpec s;
+  s.name = "labyrinth";
+  s.txns_per_node = 8;
+  s.hot_blocks = 72;  // the grid
+  s.shared_blocks = 512;
+  s.pre_think_min = 30;
+  s.pre_think_max = 100;
+  s.post_think_min = 30;
+  s.post_think_max = 100;
+  {
+    // Route a path: scan the grid, then claim the path cells.
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 58;
+    t.reads_max = 70;
+    t.writes_min = 1;
+    t.writes_max = 4;
+    t.op_think_min = 2;
+    t.op_think_max = 6;
+    t.hot_read_frac = 1.0;
+    t.hot_write_frac = 1.0;
+    t.rmw_frac = 0.8;  // path cells were read during the scan
+    t.scan_hot = true;
+    s.txns.push_back(t);
+  }
+  {
+    // Work-queue pop of the next path request.
+    StaticTxnSpec t;
+    t.weight = 0.6;
+    t.reads_min = 1;
+    t.reads_max = 2;
+    t.writes_min = 1;
+    t.writes_max = 1;
+    t.hot_read_frac = 0.3;
+    t.hot_write_frac = 0.3;
+    t.rmw_frac = 0.5;
+    t.anchor_reads = 1;  // path work-queue head
+    t.anchor_writes = 1;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+SyntheticSpec yada_spec() {
+  // Delaunay mesh refinement: medium-to-long cavity retriangulations over a
+  // shared mesh; moderate-to-high contention (47.9%).
+  SyntheticSpec s;
+  s.name = "yada";
+  s.txns_per_node = 32;
+  s.hot_blocks = 160;
+  s.anchor_blocks = 6;
+  s.shared_blocks = 2048;
+  s.pre_think_min = 10;
+  s.pre_think_max = 60;
+  s.post_think_min = 10;
+  s.post_think_max = 60;
+  {
+    // Retriangulate a cavity.
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 16;
+    t.reads_max = 24;
+    t.writes_min = 2;
+    t.writes_max = 4;
+    t.op_think_min = 5;
+    t.op_think_max = 10;
+    t.hot_read_frac = 0.5;
+    t.hot_write_frac = 0.5;
+    t.rmw_frac = 0.4;
+    t.anchor_reads = 1;  // the mesh root every cavity walk starts from
+    s.txns.push_back(t);
+  }
+  {
+    // Work-heap extraction.
+    StaticTxnSpec t;
+    t.weight = 0.12;
+    t.reads_min = 2;
+    t.reads_max = 4;
+    t.writes_min = 1;
+    t.writes_max = 1;
+    t.hot_read_frac = 0.7;
+    t.hot_write_frac = 0.7;
+    t.rmw_frac = 0.5;
+    t.anchor_reads = 1;  // work-heap root
+    t.anchor_writes = 1;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+SyntheticSpec genome_spec() {
+  // Gene sequencing: hashtable segment deduplication; large key space so
+  // transactions almost never collide (1.3%).
+  SyntheticSpec s;
+  s.name = "genome";
+  s.txns_per_node = 256;
+  s.hot_blocks = 16;
+  s.shared_blocks = 8192;
+  s.pre_think_min = 5;
+  s.pre_think_max = 30;
+  s.post_think_min = 5;
+  s.post_think_max = 30;
+  {
+    // Hashtable insert of a segment.
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 2;
+    t.reads_max = 6;
+    t.writes_min = 1;
+    t.writes_max = 2;
+    t.op_think_min = 2;
+    t.op_think_max = 6;
+    t.hot_read_frac = 0.02;
+    t.hot_write_frac = 0.02;
+    t.rmw_frac = 0.3;
+    s.txns.push_back(t);
+  }
+  {
+    // String-chaining phase.
+    StaticTxnSpec t;
+    t.weight = 0.7;
+    t.reads_min = 3;
+    t.reads_max = 8;
+    t.writes_min = 1;
+    t.writes_max = 2;
+    t.hot_read_frac = 0.05;
+    t.hot_write_frac = 0.03;
+    t.rmw_frac = 0.4;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+SyntheticSpec kmeans_spec() {
+  // K-means clustering: tiny read-modify-write updates of cluster centers;
+  // low contention (7.4%) and the RMW predictor's best case.
+  SyntheticSpec s;
+  s.name = "kmeans";
+  s.txns_per_node = 160;
+  s.hot_blocks = 96;  // the cluster-center array
+  s.shared_blocks = 4096;
+  s.pre_think_min = 8;
+  s.pre_think_max = 40;
+  s.post_think_min = 8;
+  s.post_think_max = 40;
+  {
+    // Update one center: load it, accumulate, store it back.
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 1;
+    t.reads_max = 3;
+    t.writes_min = 1;
+    t.writes_max = 2;
+    t.op_think_min = 1;
+    t.op_think_max = 4;
+    t.hot_read_frac = 0.8;
+    t.hot_write_frac = 0.8;
+    t.rmw_frac = 0.95;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+SyntheticSpec ssca2_spec() {
+  // Scalable Synthetic Compact Applications graph kernel: tiny transactions
+  // adding edges over a huge node array; almost no conflicts (0.3%).
+  SyntheticSpec s;
+  s.name = "ssca2";
+  s.txns_per_node = 384;
+  s.hot_blocks = 8;
+  s.shared_blocks = 8192;
+  s.pre_think_min = 4;
+  s.pre_think_max = 20;
+  s.post_think_min = 4;
+  s.post_think_max = 20;
+  {
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 1;
+    t.reads_max = 2;
+    t.writes_min = 1;
+    t.writes_max = 2;
+    t.op_think_min = 1;
+    t.op_think_max = 3;
+    t.hot_read_frac = 0.005;
+    t.hot_write_frac = 0.005;
+    t.rmw_frac = 0.9;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+SyntheticSpec vacation_spec() {
+  // Travel-reservation system: mid-size transactions over customer/flight/
+  // room tables with moderate contention (38%).
+  SyntheticSpec s;
+  s.name = "vacation";
+  s.txns_per_node = 64;
+  s.hot_blocks = 64;
+  s.shared_blocks = 4096;
+  s.pre_think_min = 10;
+  s.pre_think_max = 40;
+  s.post_think_min = 10;
+  s.post_think_max = 40;
+  {
+    // Make a reservation: read several table entries, update a few.
+    StaticTxnSpec t;
+    t.weight = 1.0;
+    t.reads_min = 8;
+    t.reads_max = 12;
+    t.writes_min = 2;
+    t.writes_max = 4;
+    t.op_think_min = 3;
+    t.op_think_max = 7;
+    t.hot_read_frac = 0.45;
+    t.hot_write_frac = 0.45;
+    t.rmw_frac = 0.4;
+    s.txns.push_back(t);
+  }
+  {
+    // Delete / update a customer record.
+    StaticTxnSpec t;
+    t.weight = 0.5;
+    t.reads_min = 4;
+    t.reads_max = 7;
+    t.writes_min = 1;
+    t.writes_max = 2;
+    t.hot_read_frac = 0.4;
+    t.hot_write_frac = 0.4;
+    t.rmw_frac = 0.5;
+    s.txns.push_back(t);
+  }
+  return s;
+}
+
+}  // namespace
+
+SyntheticSpec make_spec(const std::string& name, double scale) {
+  SyntheticSpec s;
+  if (name == "bayes") s = bayes_spec();
+  else if (name == "intruder") s = intruder_spec();
+  else if (name == "labyrinth") s = labyrinth_spec();
+  else if (name == "yada") s = yada_spec();
+  else if (name == "genome") s = genome_spec();
+  else if (name == "kmeans") s = kmeans_spec();
+  else if (name == "ssca2") s = ssca2_spec();
+  else if (name == "vacation") s = vacation_spec();
+  else throw std::invalid_argument("unknown STAMP benchmark: " + name);
+  s.txns_per_node = static_cast<std::uint32_t>(
+      std::lround(s.txns_per_node * scale));
+  if (s.txns_per_node == 0) s.txns_per_node = 1;
+  return s;
+}
+
+std::unique_ptr<SyntheticWorkload> make(const std::string& name,
+                                        std::uint32_t num_nodes,
+                                        std::uint64_t seed, double scale) {
+  return std::make_unique<SyntheticWorkload>(make_spec(name, scale),
+                                             num_nodes, seed);
+}
+
+}  // namespace puno::workloads::stamp

@@ -1,0 +1,48 @@
+// STAMP-like workload profiles (Table I).
+//
+// Each profile reproduces the contention structure of one STAMP benchmark:
+// transaction granularity (ops per transaction and think time), read/write
+// set sizes, the size of the contended region, and the access mix. The
+// profiles are calibrated so the *baseline* scheme's abort rate lands near
+// Table I's "Abort %" column; EXPERIMENTS.md records the achieved values.
+//
+// Characterization sources: Table I of the paper, plus the paper's prose
+// (Section IV): bayes/labyrinth = long coarse transactions with huge
+// read sets; intruder = hot queue structures; kmeans/ssca2 = tiny
+// low-conflict RMW transactions; genome = mostly-disjoint hashtable inserts;
+// vacation = mid-size reservation-table transactions; yada = mid-to-long
+// cavity re-triangulation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hpp"
+
+namespace puno::workloads::stamp {
+
+/// Names of the 8 benchmarks in the paper's presentation order.
+[[nodiscard]] const std::vector<std::string>& benchmark_names();
+
+/// The high-contention subset the paper's headline numbers refer to
+/// (Section IV: bayes, intruder, labyrinth, yada).
+[[nodiscard]] bool is_high_contention(const std::string& name);
+
+/// Table I "Input Parameters" string for a benchmark (reporting only).
+[[nodiscard]] std::string input_parameters(const std::string& name);
+
+/// Table I "Abort %" for a benchmark (the paper's measured baseline rate).
+[[nodiscard]] double paper_abort_rate(const std::string& name);
+
+/// Builds the named benchmark profile. `scale` multiplies the per-node
+/// committed-transaction quota (1.0 = the default used by the benches).
+[[nodiscard]] SyntheticSpec make_spec(const std::string& name,
+                                      double scale = 1.0);
+
+/// Convenience: construct the workload directly.
+[[nodiscard]] std::unique_ptr<SyntheticWorkload> make(
+    const std::string& name, std::uint32_t num_nodes, std::uint64_t seed,
+    double scale = 1.0);
+
+}  // namespace puno::workloads::stamp

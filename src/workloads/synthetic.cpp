@@ -1,0 +1,139 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace puno::workloads {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticSpec spec,
+                                     std::uint32_t num_nodes,
+                                     std::uint64_t seed)
+    : spec_(std::move(spec)), num_nodes_(num_nodes), issued_(num_nodes, 0) {
+  assert(!spec_.txns.empty());
+  rngs_.reserve(num_nodes);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    rngs_.emplace_back(seed, 0x900 + n);
+  }
+  for (const StaticTxnSpec& t : spec_.txns) total_weight_ += t.weight;
+}
+
+Addr SyntheticWorkload::hot_addr(sim::Rng& rng) const {
+  return rng.next_below(spec_.hot_blocks) * spec_.block_bytes;
+}
+
+Addr SyntheticWorkload::cold_addr(NodeId node, sim::Rng& rng) const {
+  const std::uint64_t hot_end = spec_.hot_blocks;
+  if (rng.next_bool(spec_.private_frac)) {
+    const std::uint64_t base = hot_end + spec_.shared_blocks +
+                               static_cast<std::uint64_t>(node) *
+                                   spec_.private_blocks_per_node;
+    return (base + rng.next_below(spec_.private_blocks_per_node)) *
+           spec_.block_bytes;
+  }
+  return (hot_end + rng.next_below(spec_.shared_blocks)) * spec_.block_bytes;
+}
+
+std::size_t SyntheticWorkload::pick_site(sim::Rng& rng) const {
+  double r = rng.next_double() * total_weight_;
+  for (std::size_t i = 0; i < spec_.txns.size(); ++i) {
+    r -= spec_.txns[i].weight;
+    if (r <= 0.0) return i;
+  }
+  return spec_.txns.size() - 1;
+}
+
+std::optional<TxnDesc> SyntheticWorkload::next(NodeId node) {
+  assert(node < num_nodes_);
+  if (issued_[node] >= spec_.txns_per_node) return std::nullopt;
+  ++issued_[node];
+  sim::Rng& rng = rngs_[node];
+
+  const std::size_t site = pick_site(rng);
+  const StaticTxnSpec& t = spec_.txns[site];
+
+  TxnDesc desc;
+  desc.static_id = static_cast<StaticTxId>(site);
+  desc.pre_think = static_cast<std::uint32_t>(
+      rng.next_range(spec_.pre_think_min, spec_.pre_think_max));
+  desc.post_think = static_cast<std::uint32_t>(
+      rng.next_range(spec_.post_think_min, spec_.post_think_max));
+
+  const auto reads =
+      static_cast<std::uint32_t>(rng.next_range(t.reads_min, t.reads_max));
+  const auto writes =
+      static_cast<std::uint32_t>(rng.next_range(t.writes_min, t.writes_max));
+  desc.ops.reserve(reads + writes);
+
+  // PCs are static per (site, op position): the same code site issues the
+  // same instruction across dynamic instances, which is what PC-indexed
+  // structures like the RMW predictor rely on.
+  const std::uint64_t pc_base = (static_cast<std::uint64_t>(site) + 1) << 16;
+
+  std::vector<Addr> read_addrs;
+  read_addrs.reserve(reads);
+
+  // Anchor ops first: the structure every instance of this site touches.
+  if (t.anchor_reads + t.anchor_writes > 0) {
+    const Addr anchor =
+        rng.next_below(std::max<std::uint32_t>(spec_.anchor_blocks, 1)) *
+        spec_.block_bytes;
+    for (std::uint32_t i = 0; i < t.anchor_reads; ++i) {
+      TxOp op;
+      op.is_store = false;
+      op.addr = anchor;
+      op.pc = pc_base + 0xA000 + i;
+      op.pre_think = static_cast<std::uint32_t>(
+          rng.next_range(t.op_think_min, t.op_think_max));
+      read_addrs.push_back(anchor);
+      desc.ops.push_back(op);
+    }
+    for (std::uint32_t i = 0; i < t.anchor_writes; ++i) {
+      TxOp op;
+      op.is_store = true;
+      op.addr = anchor;
+      op.pc = pc_base + 0xB000 + i;
+      op.pre_think = static_cast<std::uint32_t>(
+          rng.next_range(t.op_think_min, t.op_think_max));
+      desc.ops.push_back(op);
+    }
+  }
+
+  std::uint32_t scan_cursor =
+      static_cast<std::uint32_t>(rng.next_below(spec_.hot_blocks));
+  for (std::uint32_t i = 0; i < reads; ++i) {
+    TxOp op;
+    op.is_store = false;
+    if (t.scan_hot) {
+      // Sweep the hot region (labyrinth-style whole-grid read).
+      op.addr = (scan_cursor % spec_.hot_blocks) * spec_.block_bytes;
+      ++scan_cursor;
+    } else if (rng.next_bool(t.hot_read_frac)) {
+      op.addr = hot_addr(rng);
+    } else {
+      op.addr = cold_addr(node, rng);
+    }
+    op.pc = pc_base + i;
+    op.pre_think = static_cast<std::uint32_t>(
+        rng.next_range(t.op_think_min, t.op_think_max));
+    read_addrs.push_back(op.addr);
+    desc.ops.push_back(op);
+  }
+  for (std::uint32_t i = 0; i < writes; ++i) {
+    TxOp op;
+    op.is_store = true;
+    if (!read_addrs.empty() && rng.next_bool(t.rmw_frac)) {
+      op.addr = read_addrs[rng.next_below(read_addrs.size())];
+    } else if (rng.next_bool(t.hot_write_frac)) {
+      op.addr = hot_addr(rng);
+    } else {
+      op.addr = cold_addr(node, rng);
+    }
+    op.pc = pc_base + 0x8000 + i;
+    op.pre_think = static_cast<std::uint32_t>(
+        rng.next_range(t.op_think_min, t.op_think_max));
+    desc.ops.push_back(op);
+  }
+  return desc;
+}
+
+}  // namespace puno::workloads

@@ -1,0 +1,99 @@
+// Parameterized synthetic transactional workload generator.
+//
+// The paper evaluates on the 8 STAMP benchmarks (Table I). STAMP itself is
+// C/SPARC application code driven through a full-system simulator; what the
+// HTM and PUNO machinery observe, however, is only each benchmark's
+// *contention structure*: how many static transactions there are, how long
+// their dynamic instances run, how large their read and write sets are, and
+// how those sets overlap across cores. This generator reproduces exactly
+// that structure (see stamp.hpp for the per-benchmark profiles calibrated
+// against Table I's abort rates), per the substitution policy in DESIGN.md.
+//
+// Address space layout (block granular):
+//   [0, hot_blocks)                      -- the contended shared region
+//   [hot, hot+shared_blocks)             -- the large low-contention region
+//   [hot+shared + node*priv, ...)        -- per-node private data
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace puno::workloads {
+
+/// One static transaction site's behavioural profile.
+struct StaticTxnSpec {
+  double weight = 1.0;  ///< Relative frequency of this site.
+  std::uint32_t reads_min = 1;
+  std::uint32_t reads_max = 4;
+  std::uint32_t writes_min = 0;
+  std::uint32_t writes_max = 2;
+  std::uint32_t op_think_min = 1;   ///< Compute cycles between ops.
+  std::uint32_t op_think_max = 4;
+  double hot_read_frac = 0.5;   ///< Reads that hit the hot region.
+  double hot_write_frac = 0.5;  ///< Writes that hit the hot region.
+  /// Fraction of writes that update a block read earlier in the same
+  /// transaction (the read-modify-write idiom the RMW predictor targets).
+  double rmw_frac = 0.0;
+  /// Reads that sweep the hot region in order instead of sampling it
+  /// randomly (labyrinth reads the whole maze grid).
+  bool scan_hot = false;
+  /// Anchor ops: accesses to one of the workload's few "anchor" blocks
+  /// (queue heads, work-list roots, global counters) that *every* dynamic
+  /// instance touches. These concentrate contention the way real STAMP hot
+  /// structures do, and are what makes the directory's priority tracking
+  /// predictive: a cached sharer of an anchor block almost always has it in
+  /// its current transaction's read set.
+  std::uint32_t anchor_reads = 0;
+  std::uint32_t anchor_writes = 0;
+};
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::uint32_t txns_per_node = 64;  ///< Committed-transaction quota per core
+  std::uint32_t hot_blocks = 64;
+  /// Number of distinct anchor blocks (the first blocks of the hot region);
+  /// each transaction instance picks one and performs its anchor ops on it.
+  std::uint32_t anchor_blocks = 1;
+  std::uint32_t shared_blocks = 4096;
+  std::uint32_t private_blocks_per_node = 256;
+  std::uint32_t pre_think_min = 10;
+  std::uint32_t pre_think_max = 50;
+  std::uint32_t post_think_min = 10;
+  std::uint32_t post_think_max = 50;
+  /// Fraction of non-hot accesses that go to the private region (the rest
+  /// sample the shared region).
+  double private_frac = 0.3;
+  std::uint32_t block_bytes = 64;
+  std::vector<StaticTxnSpec> txns;
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  SyntheticWorkload(SyntheticSpec spec, std::uint32_t num_nodes,
+                    std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const override {
+    return spec_.name;
+  }
+  [[nodiscard]] std::optional<TxnDesc> next(NodeId node) override;
+
+  [[nodiscard]] const SyntheticSpec& spec() const noexcept { return spec_; }
+
+ private:
+  [[nodiscard]] Addr hot_addr(sim::Rng& rng) const;
+  [[nodiscard]] Addr cold_addr(NodeId node, sim::Rng& rng) const;
+  [[nodiscard]] std::size_t pick_site(sim::Rng& rng) const;
+
+  SyntheticSpec spec_;
+  std::uint32_t num_nodes_;
+  std::vector<sim::Rng> rngs_;        // one stream per node
+  std::vector<std::uint32_t> issued_;  // committed quota tracking per node
+  double total_weight_ = 0.0;
+};
+
+}  // namespace puno::workloads

@@ -1,0 +1,148 @@
+#include "workloads/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace puno::workloads {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+/// Parses "key=value" returning value; fails otherwise.
+std::uint64_t parse_kv(const std::string& token, const char* key,
+                       std::size_t line) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    fail(line, "expected '" + prefix + "...', got '" + token + "'");
+  }
+  return std::stoull(token.substr(prefix.size()));
+}
+
+}  // namespace
+
+TraceWorkload TraceWorkload::parse(std::istream& in) {
+  TraceWorkload w;
+  std::string line;
+  std::size_t lineno = 0;
+
+  bool header_seen = false;
+  bool in_txn = false;
+  NodeId cur_node = 0;
+  TxnDesc cur;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank/comment line
+
+    if (!header_seen) {
+      if (tok != "trace-v1") fail(lineno, "missing 'trace-v1' header");
+      if (!(ls >> w.name_)) w.name_ = "trace";
+      header_seen = true;
+      continue;
+    }
+
+    if (tok == "txn") {
+      if (in_txn) fail(lineno, "nested 'txn'");
+      std::uint64_t node = 0, sid = 0;
+      std::string pre, post;
+      if (!(ls >> node >> sid >> pre >> post)) fail(lineno, "bad 'txn' line");
+      cur = TxnDesc{};
+      cur.static_id = static_cast<StaticTxId>(sid);
+      cur.pre_think = static_cast<std::uint32_t>(parse_kv(pre, "pre", lineno));
+      cur.post_think =
+          static_cast<std::uint32_t>(parse_kv(post, "post", lineno));
+      cur_node = static_cast<NodeId>(node);
+      in_txn = true;
+    } else if (tok == "r" || tok == "w") {
+      if (!in_txn) fail(lineno, "'" + tok + "' outside a txn block");
+      std::uint64_t addr = 0;
+      std::string pc, think;
+      if (!(ls >> addr >> pc >> think)) fail(lineno, "bad op line");
+      TxOp op;
+      op.is_store = tok == "w";
+      op.addr = addr;
+      op.pc = parse_kv(pc, "pc", lineno);
+      op.pre_think =
+          static_cast<std::uint32_t>(parse_kv(think, "think", lineno));
+      cur.ops.push_back(op);
+    } else if (tok == "end") {
+      if (!in_txn) fail(lineno, "'end' outside a txn block");
+      w.streams_[cur_node].push_back(std::move(cur));
+      in_txn = false;
+    } else {
+      fail(lineno, "unknown directive '" + tok + "'");
+    }
+  }
+  if (in_txn) fail(lineno, "unterminated txn block");
+  if (!header_seen) fail(lineno, "empty trace");
+  return w;
+}
+
+TraceWorkload TraceWorkload::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return parse(in);
+}
+
+void TraceWorkload::record(Workload& source, std::uint32_t num_nodes,
+                           std::ostream& out, std::uint32_t max_per_node) {
+  out << "trace-v1 " << source.name() << "\n";
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    std::uint32_t count = 0;
+    while (auto d = source.next(n)) {
+      out << "txn " << n << " " << d->static_id << " pre=" << d->pre_think
+          << " post=" << d->post_think << "\n";
+      for (const TxOp& op : d->ops) {
+        out << (op.is_store ? "w " : "r ") << op.addr << " pc=" << op.pc
+            << " think=" << op.pre_think << "\n";
+      }
+      out << "end\n";
+      if (max_per_node != 0 && ++count >= max_per_node) break;
+    }
+  }
+}
+
+void TraceWorkload::write(std::ostream& out) const {
+  out << "trace-v1 " << name_ << "\n";
+  for (const auto& [node, stream] : streams_) {
+    for (const TxnDesc& d : stream) {
+      out << "txn " << node << " " << d.static_id << " pre=" << d.pre_think
+          << " post=" << d.post_think << "\n";
+      for (const TxOp& op : d.ops) {
+        out << (op.is_store ? "w " : "r ") << op.addr << " pc=" << op.pc
+            << " think=" << op.pre_think << "\n";
+      }
+      out << "end\n";
+    }
+  }
+}
+
+std::optional<TxnDesc> TraceWorkload::next(NodeId node) {
+  const auto it = streams_.find(node);
+  if (it == streams_.end()) return std::nullopt;
+  std::size_t& pos = cursor_[node];
+  if (pos >= it->second.size()) return std::nullopt;
+  return it->second[pos++];
+}
+
+std::size_t TraceWorkload::total_txns() const {
+  std::size_t total = 0;
+  for (const auto& [_, stream] : streams_) total += stream.size();
+  return total;
+}
+
+std::size_t TraceWorkload::txns_for(NodeId node) const {
+  const auto it = streams_.find(node);
+  return it == streams_.end() ? 0 : it->second.size();
+}
+
+}  // namespace puno::workloads

@@ -1,0 +1,117 @@
+#include "coherence/cache_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace puno::coherence {
+namespace {
+
+struct Meta {
+  int tag = 0;
+};
+using Array = CacheArray<Meta>;
+
+TEST(CacheArray, Geometry) {
+  Array a(32 * 1024, 4, 64);
+  EXPECT_EQ(a.num_sets(), 128u);
+  EXPECT_EQ(a.assoc(), 4u);
+}
+
+TEST(CacheArray, MissThenHit) {
+  Array a(32 * 1024, 4, 64);
+  EXPECT_EQ(a.find(0x1000), nullptr);
+  auto& line = a.victim(0x1000);
+  a.fill(line, 0x1000);
+  ASSERT_NE(a.find(0x1000), nullptr);
+  EXPECT_EQ(a.find(0x1000)->addr, 0x1000u);
+}
+
+TEST(CacheArray, SetIndexSeparatesBlocks) {
+  Array a(32 * 1024, 4, 64);
+  EXPECT_NE(a.set_index(0), a.set_index(64));
+  // Same set: addresses 128 sets * 64 bytes apart.
+  EXPECT_EQ(a.set_index(0), a.set_index(128 * 64));
+}
+
+TEST(CacheArray, FillsAllWaysBeforeEvicting) {
+  Array a(32 * 1024, 4, 64);
+  const std::uint64_t stride = 128ull * 64;  // same set
+  for (int i = 0; i < 4; ++i) {
+    auto& v = a.victim(i * stride);
+    EXPECT_FALSE(v.valid) << "4-way set has room for 4 blocks";
+    a.fill(v, i * stride);
+  }
+  auto& v = a.victim(4 * stride);
+  EXPECT_TRUE(v.valid) << "5th block in a set must evict";
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed) {
+  Array a(32 * 1024, 4, 64);
+  const std::uint64_t stride = 128ull * 64;
+  for (std::uint64_t i = 0; i < 4; ++i) a.fill(a.victim(i * stride), i * stride);
+  // Touch block 0, making block 1 the LRU.
+  a.touch(*a.find(0));
+  auto& v = a.victim(4 * stride);
+  EXPECT_EQ(v.addr, stride) << "block 1 is least recently used";
+}
+
+TEST(CacheArray, VictimExcludingSkipsPinned) {
+  Array a(32 * 1024, 4, 64);
+  const std::uint64_t stride = 128ull * 64;
+  for (std::uint64_t i = 0; i < 4; ++i) a.fill(a.victim(i * stride), i * stride);
+  // Pin the two LRU blocks (0 and 1).
+  auto* v = a.victim_excluding(4 * stride, [&](const CacheLine<Meta>& l) {
+    return l.addr == 0 || l.addr == stride;
+  });
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->addr, 2 * stride);
+}
+
+TEST(CacheArray, VictimExcludingAllPinnedReturnsNull) {
+  Array a(32 * 1024, 4, 64);
+  const std::uint64_t stride = 128ull * 64;
+  for (std::uint64_t i = 0; i < 4; ++i) a.fill(a.victim(i * stride), i * stride);
+  auto* v = a.victim_excluding(4 * stride,
+                               [](const CacheLine<Meta>&) { return true; });
+  EXPECT_EQ(v, nullptr);
+}
+
+TEST(CacheArray, VictimExcludingPrefersInvalidWay) {
+  Array a(32 * 1024, 4, 64);
+  const std::uint64_t stride = 128ull * 64;
+  a.fill(a.victim(0), 0);
+  auto* v = a.victim_excluding(stride,
+                               [](const CacheLine<Meta>&) { return true; });
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->valid) << "invalid ways are usable even when all pinned";
+}
+
+TEST(CacheArray, InvalidateFreesWay) {
+  Array a(32 * 1024, 4, 64);
+  a.fill(a.victim(0x40), 0x40);
+  a.invalidate(*a.find(0x40));
+  EXPECT_EQ(a.find(0x40), nullptr);
+}
+
+TEST(CacheArray, FillResetsState) {
+  Array a(32 * 1024, 4, 64);
+  auto& line = a.victim(0x40);
+  a.fill(line, 0x40);
+  line.state.tag = 7;
+  a.invalidate(line);
+  a.fill(a.victim(0x40), 0x40);
+  EXPECT_EQ(a.find(0x40)->state.tag, 0) << "fill() default-initializes state";
+}
+
+TEST(CacheArray, ForEachValidVisitsExactlyValidLines) {
+  Array a(32 * 1024, 4, 64);
+  a.fill(a.victim(0x40), 0x40);
+  a.fill(a.victim(0x80), 0x80);
+  std::set<BlockAddr> seen;
+  a.for_each_valid([&](const CacheLine<Meta>& l) { seen.insert(l.addr); });
+  EXPECT_EQ(seen, (std::set<BlockAddr>{0x40, 0x80}));
+}
+
+}  // namespace
+}  // namespace puno::coherence

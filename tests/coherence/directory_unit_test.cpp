@@ -1,0 +1,333 @@
+// Directory FSM unit tests: drive handle_message() directly and capture the
+// outgoing messages, with no network and no L1s, so every (state, message)
+// transition is observable in isolation.
+#include "coherence/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+namespace puno::coherence {
+namespace {
+
+struct SentMsg {
+  NodeId dst;
+  Message msg;
+};
+
+class DirectoryUnitTest : public ::testing::Test {
+ protected:
+  DirectoryUnitTest() {
+    dir_ = std::make_unique<Directory>(
+        kernel_, cfg_, kHome,
+        [this](NodeId dst, std::shared_ptr<const Message> m) {
+          sent_.push_back({dst, *m});
+        });
+  }
+
+  /// Runs the kernel until pending events (delayed data sends) fire.
+  void settle(Cycle cycles = 400) { kernel_.run_for(cycles); }
+
+  /// Pops the oldest captured message, asserting its type.
+  SentMsg expect_sent(MsgType type) {
+    if (sent_.empty()) {
+      ADD_FAILURE() << "expected " << to_string(type) << ", nothing sent";
+      return {};
+    }
+    SentMsg m = sent_.front();
+    sent_.pop_front();
+    EXPECT_EQ(m.msg.type, type);
+    return m;
+  }
+
+  Message make(MsgType t, BlockAddr addr, NodeId sender,
+               bool transactional = false, Timestamp ts = kInvalidTimestamp) {
+    Message m;
+    m.type = t;
+    m.addr = addr;
+    m.sender = sender;
+    m.requester = sender;
+    m.transactional = transactional;
+    m.ts = ts;
+    return m;
+  }
+
+  void unblock(BlockAddr addr, NodeId requester, bool success,
+               std::uint64_t surviving = 0) {
+    Message u = make(MsgType::kUnblock, addr, requester);
+    u.success = success;
+    u.surviving_sharers = surviving;
+    dir_->handle_message(u);
+  }
+
+  /// Brings `addr` to S state with the given sharers.
+  void make_shared_line(BlockAddr addr, std::initializer_list<NodeId> nodes) {
+    bool first = true;
+    for (NodeId n : nodes) {
+      dir_->handle_message(make(MsgType::kGetS, addr, n));
+      settle();
+      if (first) {
+        // First reader gets E; it must "downgrade" via a second reader's
+        // FwdGetS in the real system — here we emulate the responses.
+        expect_sent(MsgType::kData);
+        unblock(addr, n, true);
+        first = false;
+        continue;
+      }
+      // Owned at previous reader: dir forwards. Emulate the owner granting.
+      const SentMsg fwd = sent_.front();
+      if (fwd.msg.type == MsgType::kFwdGetS) {
+        sent_.pop_front();
+        unblock(addr, n, true);
+      } else {
+        expect_sent(MsgType::kData);
+        unblock(addr, n, true);
+      }
+    }
+    sent_.clear();
+  }
+
+  static constexpr NodeId kHome = 2;
+  sim::Kernel kernel_;
+  SystemConfig cfg_;
+  std::unique_ptr<Directory> dir_;
+  std::deque<SentMsg> sent_;
+};
+
+TEST_F(DirectoryUnitTest, GetSOnIdleGrantsExclusiveData) {
+  dir_->handle_message(make(MsgType::kGetS, 0x1000, 4));
+  settle();
+  const SentMsg m = expect_sent(MsgType::kData);
+  EXPECT_EQ(m.dst, 4);
+  EXPECT_TRUE(m.msg.exclusive);
+  EXPECT_TRUE(m.msg.sole);
+  EXPECT_TRUE(m.msg.has_payload);
+  unblock(0x1000, 4, true);
+  const auto* e = dir_->peek(0x1000);
+  EXPECT_EQ(e->state, Directory::DirState::kEM);
+  EXPECT_EQ(e->owner, 4);
+}
+
+TEST_F(DirectoryUnitTest, ColdMissPaysMemoryLatencyThenL2Hits) {
+  dir_->handle_message(make(MsgType::kGetS, 0x1000, 4));
+  settle(cfg_.cache.l2_latency + 2);
+  EXPECT_TRUE(sent_.empty()) << "memory latency (200) not yet elapsed";
+  settle(cfg_.cache.memory_latency);
+  expect_sent(MsgType::kData);
+  unblock(0x1000, 4, true);
+
+  // Writeback brings the line home; the next idle-state fetch is an L2 hit.
+  Message putx = make(MsgType::kPutX, 0x1000, 4);
+  dir_->handle_message(putx);
+  expect_sent(MsgType::kWbAck);
+  dir_->handle_message(make(MsgType::kGetS, 0x1000, 5));
+  settle(cfg_.cache.l2_latency + 2);
+  expect_sent(MsgType::kData);
+  unblock(0x1000, 5, true);
+}
+
+TEST_F(DirectoryUnitTest, GetSOnOwnedForwardsToOwner) {
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 1));
+  settle();
+  expect_sent(MsgType::kData);
+  unblock(0x40, 1, true);
+
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 7));
+  const SentMsg fwd = expect_sent(MsgType::kFwdGetS);
+  EXPECT_EQ(fwd.dst, 1);
+  EXPECT_EQ(fwd.msg.requester, 7);
+  EXPECT_TRUE(fwd.msg.sole);
+  unblock(0x40, 7, true);
+  const auto* e = dir_->peek(0x40);
+  EXPECT_EQ(e->state, Directory::DirState::kS);
+  EXPECT_EQ(e->sharers, node_bit(1) | node_bit(7));
+}
+
+TEST_F(DirectoryUnitTest, FailedGetSOnOwnedKeepsOwner) {
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 1));
+  settle();
+  expect_sent(MsgType::kData);
+  unblock(0x40, 1, true);
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 7));
+  expect_sent(MsgType::kFwdGetS);
+  unblock(0x40, 7, /*success=*/false);  // owner nacked
+  const auto* e = dir_->peek(0x40);
+  EXPECT_EQ(e->state, Directory::DirState::kEM);
+  EXPECT_EQ(e->owner, 1);
+}
+
+TEST_F(DirectoryUnitTest, GetXOnSharedMulticastsAndSendsAckCount) {
+  make_shared_line(0x80, {1, 3, 5});
+  dir_->handle_message(make(MsgType::kGetX, 0x80, 9));
+  settle();
+  int invs = 0;
+  std::uint64_t inv_dsts = 0;
+  bool data_seen = false;
+  std::uint32_t expected = 0;
+  while (!sent_.empty()) {
+    const SentMsg m = sent_.front();
+    sent_.pop_front();
+    if (m.msg.type == MsgType::kInv) {
+      ++invs;
+      inv_dsts |= node_bit(m.dst);
+      EXPECT_FALSE(m.msg.u_bit);
+    } else if (m.msg.type == MsgType::kData) {
+      data_seen = true;
+      expected = m.msg.expected_responses;
+      EXPECT_EQ(m.dst, 9);
+    }
+  }
+  EXPECT_EQ(invs, 3);
+  EXPECT_EQ(inv_dsts, node_bit(1) | node_bit(3) | node_bit(5));
+  EXPECT_TRUE(data_seen);
+  EXPECT_EQ(expected, 3u);
+  unblock(0x80, 9, true);
+  EXPECT_EQ(dir_->peek(0x80)->state, Directory::DirState::kEM);
+  EXPECT_EQ(dir_->peek(0x80)->owner, 9);
+}
+
+TEST_F(DirectoryUnitTest, FailedGetXRestoresSurvivingSharers) {
+  make_shared_line(0x80, {1, 3, 5});
+  dir_->handle_message(make(MsgType::kGetX, 0x80, 9));
+  settle();
+  sent_.clear();
+  // Suppose only node 3 nacked; 1 and 5 were (falsely) invalidated.
+  unblock(0x80, 9, /*success=*/false, node_bit(3));
+  const auto* e = dir_->peek(0x80);
+  EXPECT_EQ(e->state, Directory::DirState::kS);
+  EXPECT_EQ(e->sharers, node_bit(3));
+}
+
+TEST_F(DirectoryUnitTest, UpgradeByExistingSharerKeepsOwnCopyOnFailure) {
+  make_shared_line(0x80, {1, 3});
+  dir_->handle_message(make(MsgType::kGetX, 0x80, 1));  // 1 upgrades
+  settle();
+  sent_.clear();
+  unblock(0x80, 1, /*success=*/false, node_bit(3));
+  EXPECT_EQ(dir_->peek(0x80)->sharers, node_bit(3) | node_bit(1))
+      << "the upgrading requester was never invalidated";
+}
+
+TEST_F(DirectoryUnitTest, UpgradeGrantHasNoPayload) {
+  // Reach S with a single sharer: a failed GETX whose only survivor is
+  // node 1 (a lone *reader* would be EM, not S).
+  make_shared_line(0x80, {1, 3});
+  dir_->handle_message(make(MsgType::kGetX, 0x80, 9));
+  settle();
+  sent_.clear();
+  unblock(0x80, 9, /*success=*/false, node_bit(1));
+  ASSERT_EQ(dir_->peek(0x80)->sharers, node_bit(1));
+
+  dir_->handle_message(make(MsgType::kGetX, 0x80, 1));
+  settle();
+  const SentMsg m = expect_sent(MsgType::kData);
+  EXPECT_FALSE(m.msg.has_payload) << "sole-sharer upgrade is control-only";
+  EXPECT_TRUE(m.msg.sole);
+  unblock(0x80, 1, true);
+  EXPECT_EQ(dir_->peek(0x80)->owner, 1);
+}
+
+TEST_F(DirectoryUnitTest, BusyEntryQueuesSecondRequest) {
+  dir_->handle_message(make(MsgType::kGetS, 0xC0, 1));
+  dir_->handle_message(make(MsgType::kGetS, 0xC0, 2));  // queued
+  settle();
+  EXPECT_EQ(sent_.size(), 1u) << "only the first service may act";
+  expect_sent(MsgType::kData);
+  unblock(0xC0, 1, true);
+  settle();
+  // Second service proceeds after the unblock: EM(1) -> forward to 1.
+  const SentMsg fwd = expect_sent(MsgType::kFwdGetS);
+  EXPECT_EQ(fwd.dst, 1);
+  unblock(0xC0, 2, true);
+}
+
+TEST_F(DirectoryUnitTest, RequestsToDistinctLinesServiceConcurrently) {
+  dir_->handle_message(make(MsgType::kGetS, 0x100, 1));
+  dir_->handle_message(make(MsgType::kGetS, 0x200, 2));
+  settle();
+  EXPECT_EQ(sent_.size(), 2u) << "different lines never block each other";
+}
+
+TEST_F(DirectoryUnitTest, StalePutXGetsWbStale) {
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 1));
+  settle();
+  expect_sent(MsgType::kData);
+  unblock(0x40, 1, true);
+  // Ownership moved to node 6 via a GetX before node 1's PutX arrives.
+  dir_->handle_message(make(MsgType::kGetX, 0x40, 6));
+  expect_sent(MsgType::kInv);
+  unblock(0x40, 6, true);
+  dir_->handle_message(make(MsgType::kPutX, 0x40, 1));
+  const SentMsg m = expect_sent(MsgType::kWbStale);
+  EXPECT_EQ(m.dst, 1);
+  EXPECT_EQ(dir_->peek(0x40)->owner, 6) << "stale writeback changes nothing";
+}
+
+TEST_F(DirectoryUnitTest, PutXQueuedBehindBusyService) {
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 1));
+  settle();
+  expect_sent(MsgType::kData);
+  unblock(0x40, 1, true);
+  // Busy the entry with a second reader, then let the owner's PutX arrive.
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 7));
+  expect_sent(MsgType::kFwdGetS);
+  dir_->handle_message(make(MsgType::kPutX, 0x40, 1));
+  EXPECT_TRUE(sent_.empty()) << "PutX must wait for the active service";
+  unblock(0x40, 7, true);
+  settle();
+  const SentMsg m = expect_sent(MsgType::kWbStale);
+  EXPECT_EQ(m.dst, 1) << "after the fwd, node 1 is no longer sole owner";
+}
+
+TEST_F(DirectoryUnitTest, RequestQueuedBehindPutXIsStillServiced) {
+  // Regression test: a PutX dequeued from the pending list must not strand
+  // the requests queued behind it (it never blocks the entry itself).
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 1));
+  settle();
+  expect_sent(MsgType::kData);
+  unblock(0x40, 1, true);
+  // Busy the entry, then queue a PutX AND a GetS behind the busy service.
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 7));
+  expect_sent(MsgType::kFwdGetS);
+  dir_->handle_message(make(MsgType::kPutX, 0x40, 1));
+  dir_->handle_message(make(MsgType::kGetS, 0x40, 9));
+  EXPECT_TRUE(sent_.empty());
+  unblock(0x40, 7, true);
+  settle();
+  // Order: stale PutX answered, then node 9's read serviced from home.
+  expect_sent(MsgType::kWbStale);
+  const SentMsg data = expect_sent(MsgType::kData);
+  EXPECT_EQ(data.dst, 9);
+  unblock(0x40, 9, true);
+}
+
+TEST_F(DirectoryUnitTest, TransactionalGetxBlockedCyclesAreSampled) {
+  make_shared_line(0x80, {1, 3});
+  Message getx = make(MsgType::kGetX, 0x80, 9, /*transactional=*/true, 77);
+  dir_->handle_message(getx);
+  settle(50);
+  unblock(0x80, 9, true);
+  const auto& scalar = kernel_.stats().scalar("dir.txgetx_blocked_cycles");
+  EXPECT_EQ(scalar.count(), 1u);
+  EXPECT_GT(scalar.mean(), 0.0);
+}
+
+TEST_F(DirectoryUnitTest, WbDataRefillsL2) {
+  // An owner downgrade's WbData must land in the L2 so the next idle fetch
+  // is a 20-cycle hit instead of 200-cycle memory.
+  dir_->handle_message(make(MsgType::kGetS, 0x140, 1));
+  settle();
+  expect_sent(MsgType::kData);
+  unblock(0x140, 1, true);
+  dir_->handle_message(make(MsgType::kWbData, 0x140, 1));
+  // Drop ownership so the next read is serviced from home.
+  dir_->handle_message(make(MsgType::kPutX, 0x140, 1));
+  expect_sent(MsgType::kWbAck);
+  dir_->handle_message(make(MsgType::kGetS, 0x140, 2));
+  settle(cfg_.cache.l2_latency + 2);
+  expect_sent(MsgType::kData);  // arrived within L2 latency: it was a hit
+}
+
+}  // namespace
+}  // namespace puno::coherence

@@ -1,0 +1,395 @@
+// Directed protocol tests over the real stack (mesh + directory + L1 +
+// TxnContext): MESI transitions, NACK conflict flows, false aborting, and
+// writeback handling.
+#include <gtest/gtest.h>
+
+#include "../support/fixture.hpp"
+
+namespace puno::testing {
+namespace {
+
+using coherence::Directory;
+
+// Block addresses homed at specific nodes: block k*64 is homed at node k%16.
+constexpr Addr block_homed_at(NodeId home, int k = 0) {
+  return (static_cast<Addr>(home) + 16ull * k) * 64;
+}
+
+class MesiTest : public ProtocolFixture {};
+
+TEST_F(MesiTest, ColdLoadGrantsExclusive) {
+  const Addr a = block_homed_at(3);
+  EXPECT_TRUE(do_load(0, a));
+  EXPECT_EQ(l1s_[0]->line_state(a), L1State::kE);
+  const auto* e = dirs_[3]->peek(a);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, Directory::DirState::kEM);
+  EXPECT_EQ(e->owner, 0);
+  EXPECT_FALSE(e->busy);
+}
+
+TEST_F(MesiTest, SecondLoadSharesAndDowngradesOwner) {
+  const Addr a = block_homed_at(3);
+  ASSERT_TRUE(do_load(0, a));
+  ASSERT_TRUE(do_load(1, a));
+  EXPECT_EQ(l1s_[0]->line_state(a), L1State::kS);
+  EXPECT_EQ(l1s_[1]->line_state(a), L1State::kS);
+  const auto* e = dirs_[3]->peek(a);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, Directory::DirState::kS);
+  EXPECT_EQ(e->sharers, coherence::node_bit(0) | coherence::node_bit(1));
+}
+
+TEST_F(MesiTest, ColdStoreGrantsModified) {
+  const Addr a = block_homed_at(7);
+  EXPECT_TRUE(do_store(2, a));
+  EXPECT_EQ(l1s_[2]->line_state(a), L1State::kM);
+  const auto* e = dirs_[7]->peek(a);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, Directory::DirState::kEM);
+  EXPECT_EQ(e->owner, 2);
+}
+
+TEST_F(MesiTest, StoreToExclusiveIsSilentUpgrade) {
+  const Addr a = block_homed_at(4);
+  ASSERT_TRUE(do_load(1, a));
+  ASSERT_EQ(l1s_[1]->line_state(a), L1State::kE);
+  const std::uint64_t misses_before = stat("l1.misses");
+  EXPECT_TRUE(do_store(1, a));
+  EXPECT_EQ(l1s_[1]->line_state(a), L1State::kM);
+  EXPECT_EQ(stat("l1.misses"), misses_before) << "E->M needs no protocol";
+}
+
+TEST_F(MesiTest, StoreInvalidatesAllSharers) {
+  const Addr a = block_homed_at(5);
+  ASSERT_TRUE(do_load(0, a));
+  ASSERT_TRUE(do_load(1, a));
+  ASSERT_TRUE(do_load(2, a));
+  EXPECT_TRUE(do_store(3, a));
+  EXPECT_EQ(l1s_[3]->line_state(a), L1State::kM);
+  EXPECT_EQ(l1s_[0]->line_state(a), std::nullopt);
+  EXPECT_EQ(l1s_[1]->line_state(a), std::nullopt);
+  EXPECT_EQ(l1s_[2]->line_state(a), std::nullopt);
+  const auto* e = dirs_[5]->peek(a);
+  EXPECT_EQ(e->state, Directory::DirState::kEM);
+  EXPECT_EQ(e->owner, 3);
+}
+
+TEST_F(MesiTest, UpgradeFromSharedInvalidatesPeers) {
+  const Addr a = block_homed_at(6);
+  ASSERT_TRUE(do_load(0, a));
+  ASSERT_TRUE(do_load(1, a));
+  // Node 0 upgrades its S copy.
+  EXPECT_TRUE(do_store(0, a));
+  EXPECT_EQ(l1s_[0]->line_state(a), L1State::kM);
+  EXPECT_EQ(l1s_[1]->line_state(a), std::nullopt);
+}
+
+TEST_F(MesiTest, StoreToOwnedLineTransfersOwnership) {
+  const Addr a = block_homed_at(2);
+  ASSERT_TRUE(do_store(0, a));
+  ASSERT_EQ(l1s_[0]->line_state(a), L1State::kM);
+  EXPECT_TRUE(do_store(1, a));
+  EXPECT_EQ(l1s_[1]->line_state(a), L1State::kM);
+  EXPECT_EQ(l1s_[0]->line_state(a), std::nullopt);
+  EXPECT_EQ(dirs_[2]->peek(a)->owner, 1);
+}
+
+TEST_F(MesiTest, LoadFromModifiedDowngradesOwner) {
+  const Addr a = block_homed_at(9);
+  ASSERT_TRUE(do_store(4, a));
+  EXPECT_TRUE(do_load(5, a));
+  EXPECT_EQ(l1s_[4]->line_state(a), L1State::kS);
+  EXPECT_EQ(l1s_[5]->line_state(a), L1State::kS);
+  const auto* e = dirs_[9]->peek(a);
+  EXPECT_EQ(e->state, Directory::DirState::kS);
+  EXPECT_EQ(e->sharers, coherence::node_bit(4) | coherence::node_bit(5));
+}
+
+TEST_F(MesiTest, HomeNodeAccessesWorkLocally) {
+  // Node 3 accessing a block homed at node 3: no network traversal needed.
+  const Addr a = block_homed_at(3);
+  const std::uint64_t before = mesh_->router_traversals();
+  EXPECT_TRUE(do_load(3, a));
+  EXPECT_EQ(mesh_->router_traversals(), before);
+}
+
+TEST_F(MesiTest, CapacityEvictionWritesBackDirtyLine) {
+  // Fill one L1 set (4 ways) with dirty lines homed at various nodes, then
+  // load a 5th block mapping to the same set: the LRU must be written back.
+  const Addr set_stride = 128ull * 64;  // 128 L1 sets
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 5; ++i) blocks.push_back(i * set_stride);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(do_store(0, blocks[i]));
+  const std::uint64_t evictions_before = stat("l1.evictions");
+  ASSERT_TRUE(do_load(0, blocks[4]));
+  EXPECT_EQ(stat("l1.evictions"), evictions_before + 1);
+  EXPECT_EQ(l1s_[0]->line_state(blocks[0]), std::nullopt);
+  // Give the PutX time to complete; the directory must return to idle.
+  run(2000);
+  const auto* e = dirs_[cfg_.home_of(blocks[0])]->peek(blocks[0]);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, Directory::DirState::kI);
+}
+
+TEST_F(MesiTest, ReaccessAfterEvictionRefetches) {
+  const Addr set_stride = 128ull * 64;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(do_store(0, i * set_stride));
+  // Block 0 was evicted; loading it again must miss and refetch.
+  EXPECT_TRUE(do_load(0, 0));
+  EXPECT_EQ(l1s_[0]->line_state(0), L1State::kE);
+}
+
+class ConflictTest : public ProtocolFixture {};
+
+TEST_F(ConflictTest, ReadReadSharingIsNoConflict) {
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);
+  ASSERT_TRUE(do_load(0, a, /*transactional=*/true));
+  txns_[2]->begin(0);
+  EXPECT_TRUE(do_load(2, a, /*transactional=*/true));
+  EXPECT_FALSE(txns_[0]->aborted());
+  EXPECT_FALSE(txns_[2]->aborted());
+  txns_[0]->commit();
+  txns_[2]->commit();
+}
+
+TEST_F(ConflictTest, YoungerWriterIsNackedByOlderReader) {
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);  // older (begins first)
+  ASSERT_TRUE(do_load(0, a, true));
+  run(10);
+  txns_[1]->begin(0);  // younger
+  auto done = async_store(1, a);
+  run(3000);
+  EXPECT_FALSE(*done) << "younger writer must stall behind older reader";
+  EXPECT_FALSE(txns_[0]->aborted()) << "older reader keeps running";
+  EXPECT_GT(stat("l1.tx_getx_nacked"), 0u);
+  // Once the reader commits, the writer's polling succeeds.
+  txns_[0]->commit();
+  kernel_.run_until([&] { return *done; }, 100000);
+  EXPECT_TRUE(*done);
+  EXPECT_EQ(l1s_[1]->line_state(a), L1State::kM);
+  txns_[1]->commit();
+}
+
+TEST_F(ConflictTest, OlderWriterAbortsYoungerReader) {
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);  // older
+  run(10);
+  txns_[1]->begin(0);  // younger reader
+  ASSERT_TRUE(do_load(1, a, true));
+  // Older node 0 now writes: the younger reader must abort.
+  ASSERT_TRUE(do_store(0, a, true));
+  EXPECT_TRUE(txns_[1]->aborted());
+  EXPECT_FALSE(txns_[0]->aborted());
+  EXPECT_EQ(l1s_[1]->line_state(a), std::nullopt);
+  txns_[0]->commit();
+}
+
+TEST_F(ConflictTest, OlderReaderAbortsYoungerWriterOnFwdGetS) {
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);  // older
+  run(10);
+  txns_[1]->begin(0);  // younger writer
+  ASSERT_TRUE(do_store(1, a, true));
+  // Older node 0 reads: the younger writer must abort and supply data.
+  ASSERT_TRUE(do_load(0, a, true));
+  EXPECT_TRUE(txns_[1]->aborted());
+  EXPECT_EQ(l1s_[0]->line_state(a), L1State::kS);
+  EXPECT_EQ(stat("htm.aborts_by_gets"), 1u);
+  txns_[0]->commit();
+}
+
+TEST_F(ConflictTest, YoungerReaderIsNackedByOlderWriter) {
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);  // older writer
+  ASSERT_TRUE(do_store(0, a, true));
+  run(10);
+  txns_[1]->begin(0);  // younger reader
+  auto done = async_load(1, a);
+  run(3000);
+  EXPECT_FALSE(*done);
+  EXPECT_FALSE(txns_[0]->aborted());
+  txns_[0]->commit();
+  kernel_.run_until([&] { return *done; }, 100000);
+  EXPECT_TRUE(*done);
+  txns_[1]->commit();
+}
+
+TEST_F(ConflictTest, FalseAbortingIsDetectedAndCounted) {
+  // The paper's Section II.C scenario (Figure 4): a line read-shared by an
+  // older transaction (TxA) and two younger ones (TxC, TxD); a mid-priority
+  // writer (TxB) multicasts a GETX. TxA nacks; TxC and TxD abort for
+  // nothing: one false-aborting event of multiplicity 2.
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);  // TxA: oldest
+  ASSERT_TRUE(do_load(0, a, true));
+  run(10);
+  txns_[5]->begin(0);  // TxB: requester-to-be (older than C and D)
+  run(10);
+  txns_[2]->begin(0);  // TxC
+  ASSERT_TRUE(do_load(2, a, true));
+  txns_[3]->begin(0);  // TxD
+  ASSERT_TRUE(do_load(3, a, true));
+
+  auto done = async_store(5, a);
+  run(3000);
+  EXPECT_FALSE(*done) << "TxA's NACK defeats the request";
+  EXPECT_TRUE(txns_[2]->aborted()) << "TxC was falsely aborted";
+  EXPECT_TRUE(txns_[3]->aborted()) << "TxD was falsely aborted";
+  EXPECT_FALSE(txns_[0]->aborted());
+  EXPECT_GE(stat("htm.false_abort_events"), 1u);
+  EXPECT_GE(stat("htm.falsely_aborted_txns"), 2u);
+  txns_[0]->commit();
+  kernel_.run_until([&] { return *done; }, 100000);
+  EXPECT_TRUE(*done);
+}
+
+TEST_F(ConflictTest, AbortCancelsOutstandingMiss) {
+  const Addr a = block_homed_at(1);
+  const Addr b = block_homed_at(2);
+  txns_[0]->begin(0);  // older, will own `a`
+  ASSERT_TRUE(do_store(0, a, true));
+  run(10);
+  txns_[1]->begin(0);  // younger: reads b, then stalls requesting a
+  ASSERT_TRUE(do_load(1, b, true));
+  auto done = async_store(1, a);
+  run(2000);
+  ASSERT_FALSE(*done);
+  // Older node 0 now writes b -> aborts node 1, whose pending store to `a`
+  // must be cancelled rather than retried forever.
+  ASSERT_TRUE(do_store(0, b, true));
+  EXPECT_TRUE(txns_[1]->aborted());
+  kernel_.run_until([&] { return *done; }, 100000);
+  EXPECT_TRUE(*done);
+  EXPECT_FALSE(l1s_[1]->has_outstanding_miss());
+  txns_[0]->commit();
+}
+
+TEST_F(ConflictTest, OverflowEvictionAbortsTransaction) {
+  // Pin a whole L1 set with transactional lines, then touch a 5th block in
+  // the same set: bounded-HTM overflow must abort the transaction.
+  const Addr set_stride = 128ull * 64;
+  txns_[0]->begin(0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(do_load(0, i * set_stride, true));
+  }
+  ASSERT_FALSE(txns_[0]->aborted());
+  ASSERT_TRUE(do_load(0, 4 * set_stride, true));
+  EXPECT_TRUE(txns_[0]->aborted());
+  EXPECT_EQ(stat("htm.aborts_overflow"), 1u);
+  EXPECT_EQ(stat("l1.overflow_aborts"), 1u);
+}
+
+TEST_F(ConflictTest, NonTransactionalRequesterLosesToTransaction) {
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);
+  ASSERT_TRUE(do_load(0, a, true));
+  auto done = async_store(1, a, /*transactional=*/false);
+  run(3000);
+  EXPECT_FALSE(*done) << "non-transactional writer waits for the txn";
+  txns_[0]->commit();
+  kernel_.run_until([&] { return *done; }, 100000);
+  EXPECT_TRUE(*done);
+}
+
+TEST_F(ConflictTest, DuelingUpgradersResolveByPriority) {
+  // Two sharers both upgrade the same line: the younger's GETX is nacked by
+  // the older sharer; the older's GETX aborts the younger. Exactly one
+  // writer emerges, the other retries after the winner commits.
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);  // older
+  ASSERT_TRUE(do_load(0, a, true));
+  run(10);
+  txns_[1]->begin(0);  // younger
+  ASSERT_TRUE(do_load(1, a, true));
+
+  auto w0 = async_store(0, a);
+  auto w1 = async_store(1, a);
+  kernel_.run_until([&] { return *w0; }, 100000);
+  EXPECT_TRUE(*w0) << "the older upgrader wins";
+  EXPECT_TRUE(txns_[1]->aborted());
+  kernel_.run_until([&] { return *w1; }, 100000);
+  EXPECT_TRUE(*w1) << "the younger's pending store resolves (cancelled)";
+  txns_[0]->commit();
+  run(100);
+  EXPECT_EQ(l1s_[0]->line_state(a), L1State::kM);
+}
+
+TEST_F(ConflictTest, RequestToCommittedOwnerSucceedsImmediately) {
+  // A transaction writes a line and commits; a later reader must get the
+  // data without any NACK (committed state is not a conflict).
+  const Addr a = block_homed_at(1);
+  txns_[0]->begin(0);
+  ASSERT_TRUE(do_store(0, a, true));
+  txns_[0]->commit();
+  const auto nacked_before = stat("l1.tx_getx_nacked");
+  txns_[1]->begin(0);
+  EXPECT_TRUE(do_load(1, a, true));
+  EXPECT_EQ(stat("l1.tx_getx_nacked"), nacked_before);
+  EXPECT_FALSE(txns_[1]->aborted());
+  txns_[1]->commit();
+}
+
+TEST_F(ConflictTest, ChainOfConflictsResolvesInPriorityOrder) {
+  // Three writers pile onto one line in age order; they must all complete
+  // eventually, oldest first (the time-base policy's global order).
+  const Addr a = block_homed_at(1);
+  std::vector<std::shared_ptr<bool>> done;
+  for (NodeId n = 0; n < 3; ++n) {
+    txns_[n]->begin(0);
+    run(5);
+  }
+  for (NodeId n = 0; n < 3; ++n) done.push_back(async_store(n, a));
+  // Oldest (node 0) completes first.
+  kernel_.run_until([&] { return *done[0]; }, 200000);
+  EXPECT_TRUE(*done[0]);
+  txns_[0]->commit();
+  kernel_.run_until([&] { return *done[1]; }, 200000);
+  EXPECT_TRUE(*done[1]);
+  // Node 1 may have been aborted by node 0's winning store (its own store
+  // then completed as cancelled); restart it the way a core would.
+  if (txns_[1]->aborted()) {
+    txns_[1]->begin(0);
+    auto retry = async_store(1, a);
+    kernel_.run_until([&] { return *retry; }, 200000);
+    EXPECT_TRUE(*retry);
+  }
+  txns_[1]->commit();
+  kernel_.run_until([&] { return *done[2]; }, 200000);
+  if (txns_[2]->aborted()) {
+    txns_[2]->begin(0);
+    auto retry = async_store(2, a);
+    kernel_.run_until([&] { return *retry; }, 200000);
+    EXPECT_TRUE(*retry);
+  }
+  txns_[2]->commit();
+  EXPECT_EQ(l1s_[2]->line_state(a), L1State::kM);
+}
+
+TEST_F(ConflictTest, TimestampRetainedAcrossAbortGivesEventualPriority) {
+  const Addr a = block_homed_at(1);
+  // Node 1 begins first but gets aborted; on retry it keeps its timestamp
+  // and therefore out-prioritizes node 0's *new* transaction.
+  txns_[1]->begin(0);
+  ASSERT_TRUE(do_load(1, a, true));
+  run(10);
+  txns_[0]->begin(0);
+  // Hmm: node 0 is younger, so node 0's write would be nacked. Force the
+  // abort with a fresh *older* transaction instead: impossible by
+  // construction — so instead abort node 1 via overflow and check the ts.
+  const Timestamp ts_before = txns_[1]->current_ts();
+  const Addr set_stride = 128ull * 64;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(do_load(1, i * set_stride, true));
+  ASSERT_TRUE(do_load(1, 4 * set_stride, true));
+  ASSERT_TRUE(txns_[1]->aborted());
+  txns_[1]->begin(0);  // restart
+  EXPECT_EQ(txns_[1]->current_ts(), ts_before)
+      << "time-base policy: timestamp survives the abort";
+  txns_[0]->commit();
+  txns_[1]->commit();
+}
+
+}  // namespace
+}  // namespace puno::testing

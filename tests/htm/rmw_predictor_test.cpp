@@ -1,0 +1,72 @@
+#include "htm/rmw_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno::htm {
+namespace {
+
+TEST(RmwPredictor, ColdPredictorPredictsNothing) {
+  RmwPredictor p(256);
+  EXPECT_FALSE(p.predict_exclusive(0x400));
+}
+
+TEST(RmwPredictor, SingleRmwObservationEnablesPrediction) {
+  RmwPredictor p(256);
+  p.train(0x400, true);
+  EXPECT_TRUE(p.predict_exclusive(0x400));
+}
+
+TEST(RmwPredictor, NegativeTrainingDecays) {
+  RmwPredictor p(256);
+  p.train(0x400, true);   // confidence 2
+  p.train(0x400, false);  // confidence 1
+  EXPECT_FALSE(p.predict_exclusive(0x400));
+  p.train(0x400, true);  // back to 2
+  EXPECT_TRUE(p.predict_exclusive(0x400));
+}
+
+TEST(RmwPredictor, ConfidenceSaturates) {
+  RmwPredictor p(256);
+  for (int i = 0; i < 10; ++i) p.train(0x400, true);
+  // Needs more than one negative observation to flip after saturation.
+  p.train(0x400, false);
+  EXPECT_TRUE(p.predict_exclusive(0x400));
+  p.train(0x400, false);
+  EXPECT_FALSE(p.predict_exclusive(0x400));
+}
+
+TEST(RmwPredictor, PlainReadsNeverAllocateEntries) {
+  RmwPredictor p(256);
+  p.train(0x400, false);
+  EXPECT_FALSE(p.predict_exclusive(0x400));
+  // The slot must still be free for a real RMW pc that aliases to it.
+  p.train(0x400 + 256, true);
+  EXPECT_TRUE(p.predict_exclusive(0x400 + 256));
+}
+
+TEST(RmwPredictor, AliasingPcsEvict) {
+  RmwPredictor p(256);
+  p.train(0x100, true);
+  ASSERT_TRUE(p.predict_exclusive(0x100));
+  p.train(0x100 + 256, true);  // same slot, different tag
+  EXPECT_FALSE(p.predict_exclusive(0x100)) << "tag mismatch after takeover";
+  EXPECT_TRUE(p.predict_exclusive(0x100 + 256));
+}
+
+TEST(RmwPredictor, DistinctSlotsIndependent) {
+  RmwPredictor p(256);
+  p.train(1, true);
+  p.train(2, true);
+  p.train(2, false);
+  p.train(2, false);
+  EXPECT_TRUE(p.predict_exclusive(1));
+  EXPECT_FALSE(p.predict_exclusive(2));
+}
+
+TEST(RmwPredictor, Capacity) {
+  RmwPredictor p(256);
+  EXPECT_EQ(p.capacity(), 256u);
+}
+
+}  // namespace
+}  // namespace puno::htm

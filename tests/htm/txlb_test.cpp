@@ -1,0 +1,72 @@
+#include "htm/txlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno::htm {
+namespace {
+
+TEST(TxLB, UnknownTransactionHasNoEstimate) {
+  TxLB t(32);
+  EXPECT_EQ(t.estimate(7), 0u);
+}
+
+TEST(TxLB, FirstCommitSeedsAverage) {
+  TxLB t(32);
+  t.on_commit(1, 100);
+  EXPECT_EQ(t.estimate(1), 100u);
+}
+
+TEST(TxLB, Formula1RecencyWeightedAverage) {
+  // StaticTxLen_new = (StaticTxLen_prev + DynTxLen) / 2  -- paper formula (1)
+  TxLB t(32);
+  t.on_commit(1, 100);
+  t.on_commit(1, 200);
+  EXPECT_EQ(t.estimate(1), 150u);
+  t.on_commit(1, 50);
+  EXPECT_EQ(t.estimate(1), 100u);
+}
+
+TEST(TxLB, RecentInstancesDominate) {
+  TxLB t(32);
+  t.on_commit(1, 1000);
+  for (int i = 0; i < 10; ++i) t.on_commit(1, 100);
+  // After 10 halvings the old 1000 contributes < 1 cycle.
+  EXPECT_LE(t.estimate(1), 101u);
+  EXPECT_GE(t.estimate(1), 99u);
+}
+
+TEST(TxLB, TracksStaticTransactionsSeparately) {
+  TxLB t(32);
+  t.on_commit(1, 100);
+  t.on_commit(2, 900);
+  EXPECT_EQ(t.estimate(1), 100u);
+  EXPECT_EQ(t.estimate(2), 900u);
+}
+
+TEST(TxLB, CapacityEvictsLeastRecentlyUpdated) {
+  TxLB t(4);
+  for (StaticTxId id = 0; id < 4; ++id) t.on_commit(id, 100 * (id + 1));
+  t.on_commit(0, 100);  // refresh id 0; id 1 is now LRU
+  t.on_commit(9, 500);  // overflow: evicts id 1
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.estimate(1), 0u) << "id 1 was evicted";
+  EXPECT_NE(t.estimate(0), 0u);
+  EXPECT_EQ(t.estimate(9), 500u);
+}
+
+TEST(TxLB, OverallAverageTracksAllCommits) {
+  TxLB t(32);
+  EXPECT_EQ(t.overall_average(), 0u);
+  t.on_commit(1, 100);
+  EXPECT_EQ(t.overall_average(), 100u);
+  t.on_commit(2, 300);
+  EXPECT_EQ(t.overall_average(), 200u);
+}
+
+TEST(TxLB, CapacityAccessor) {
+  TxLB t(32);
+  EXPECT_EQ(t.capacity(), 32u);
+}
+
+}  // namespace
+}  // namespace puno::htm

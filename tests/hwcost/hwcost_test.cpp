@@ -1,0 +1,83 @@
+#include "hwcost/hwcost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno::hwcost {
+namespace {
+
+TEST(HwCost, ReproducesTableIIIComponents) {
+  SystemConfig cfg;  // Table II defaults: 16 nodes, 16-entry P-Buffer, 32 TxLB
+  const PunoCost c = estimate(cfg);
+  EXPECT_NEAR(c.pbuffer.area_um2, 4700.0, 1.0);
+  EXPECT_NEAR(c.pbuffer.power_mw, 7.28, 0.01);
+  EXPECT_NEAR(c.txlb.area_um2, 5380.0, 1.0);
+  EXPECT_NEAR(c.txlb.power_mw, 7.52, 0.01);
+  EXPECT_NEAR(c.ud_pointers.area_um2, 47400.0, 1.0);
+  EXPECT_NEAR(c.ud_pointers.power_mw, 16.43, 0.01);
+}
+
+TEST(HwCost, ReproducesTableIIITotals) {
+  const PunoCost c = estimate(SystemConfig{});
+  EXPECT_NEAR(c.total.area_um2, 57480.0, 1.0);
+  EXPECT_NEAR(c.total.power_mw, 31.23, 0.01);
+}
+
+TEST(HwCost, ReproducesHeadlineOverheads) {
+  // Abstract: 0.41% area and 0.31% power versus a Sun Rock core.
+  const PunoCost c = estimate(SystemConfig{});
+  EXPECT_NEAR(c.area_overhead, 0.0041, 0.0002);
+  EXPECT_NEAR(c.power_overhead, 0.0031, 0.0002);
+}
+
+TEST(HwCost, BitCountsScaleWithEntries) {
+  SystemConfig cfg;
+  const PunoBits base = count_bits(cfg);
+  cfg.puno.pbuffer_entries *= 2;
+  const PunoBits doubled = count_bits(cfg);
+  EXPECT_GT(doubled.pbuffer_bits, base.pbuffer_bits);
+  EXPECT_LT(doubled.pbuffer_bits, 2 * base.pbuffer_bits)
+      << "the rollover counter is shared, so scaling is sub-linear";
+  EXPECT_EQ(doubled.txlb_bits, base.txlb_bits);
+}
+
+TEST(HwCost, CostScalesWithStructureSizes) {
+  SystemConfig big;
+  big.puno.txlb_entries = 64;
+  const PunoCost c_big = estimate(big);
+  const PunoCost c_base = estimate(SystemConfig{});
+  EXPECT_NEAR(c_big.txlb.area_um2, 2 * c_base.txlb.area_um2, 1.0);
+  EXPECT_NEAR(c_big.pbuffer.area_um2, c_base.pbuffer.area_um2, 1.0);
+}
+
+TEST(HwCost, TechnologyScaling) {
+  TechPoint tech32;
+  tech32.node_nm = 32;  // ~(32/65)^2 of the area
+  const PunoCost scaled = estimate(SystemConfig{}, ReferenceChip{}, tech32);
+  const PunoCost base = estimate(SystemConfig{});
+  EXPECT_LT(scaled.total.area_um2, base.total.area_um2 * 0.3);
+  // Lower Vdd cuts power quadratically.
+  TechPoint lowv;
+  lowv.vdd = 0.45;
+  const PunoCost lv = estimate(SystemConfig{}, ReferenceChip{}, lowv);
+  EXPECT_NEAR(lv.total.power_mw, base.total.power_mw * 0.25, 0.1);
+}
+
+TEST(HwCost, ReferenceChipIsRock) {
+  ReferenceChip rock;
+  EXPECT_EQ(rock.cores, 16u);
+  EXPECT_DOUBLE_EQ(rock.core_area_um2, 14'000'000.0);
+  EXPECT_DOUBLE_EQ(rock.core_power_w, 10.0);
+  EXPECT_DOUBLE_EQ(rock.total_area_um2(), 224'000'000.0);
+}
+
+TEST(HwCost, PBufferBitAccounting) {
+  SystemConfig cfg;
+  const PunoBits b = count_bits(cfg, /*timestamp_bits=*/32);
+  // Per node: 16 entries * (32+2) bits + 32-bit rollover = 576; x16 nodes.
+  EXPECT_EQ(b.pbuffer_bits, 576u * 16u);
+  // TxLB: 32 entries * (16+24) = 1280 bits per node.
+  EXPECT_EQ(b.txlb_bits, 1280u * 16u);
+}
+
+}  // namespace
+}  // namespace puno::hwcost

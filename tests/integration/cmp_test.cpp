@@ -1,0 +1,143 @@
+// Whole-CMP integration: cores + HTM + coherence + NoC running real
+// workloads end to end.
+#include "arch/cmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hpp"
+#include "workloads/stamp.hpp"
+
+namespace puno::arch {
+namespace {
+
+SystemConfig small_cfg(Scheme s = Scheme::kBaseline) {
+  SystemConfig cfg;
+  cfg.scheme = s;
+  return cfg;
+}
+
+TEST(Cmp, RunsVacationToCompletion) {
+  SystemConfig cfg = small_cfg();
+  auto wl = workloads::stamp::make("vacation", cfg.num_nodes, 1, 0.2);
+  Cmp cmp(cfg, *wl);
+  EXPECT_TRUE(cmp.run(5'000'000));
+  EXPECT_TRUE(cmp.all_done());
+  EXPECT_TRUE(cmp.mesh().idle());
+}
+
+TEST(Cmp, EveryCoreMeetsItsQuota) {
+  SystemConfig cfg = small_cfg();
+  auto wl = workloads::stamp::make("genome", cfg.num_nodes, 1, 0.1);
+  const auto quota = workloads::stamp::make_spec("genome", 0.1).txns_per_node;
+  Cmp cmp(cfg, *wl);
+  ASSERT_TRUE(cmp.run(5'000'000));
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+    EXPECT_EQ(cmp.core(n).committed(), quota) << "node " << n;
+  }
+  EXPECT_EQ(cmp.total_committed(),
+            static_cast<std::uint64_t>(quota) * cfg.num_nodes);
+}
+
+TEST(Cmp, CommitsMatchHtmStat) {
+  SystemConfig cfg = small_cfg();
+  auto wl = workloads::stamp::make("kmeans", cfg.num_nodes, 2, 0.1);
+  Cmp cmp(cfg, *wl);
+  ASSERT_TRUE(cmp.run(5'000'000));
+  EXPECT_EQ(cmp.total_committed(),
+            cmp.kernel().stats().counter("htm.commits").value());
+}
+
+TEST(Cmp, DeterministicForIdenticalSeeds) {
+  auto run_once = [] {
+    SystemConfig cfg = small_cfg(Scheme::kPuno);
+    cfg.seed = 11;
+    auto wl = workloads::stamp::make("intruder", cfg.num_nodes, 11, 0.15);
+    Cmp cmp(cfg, *wl);
+    cmp.run(10'000'000);
+    return std::tuple{cmp.kernel().now(),
+                      cmp.kernel().stats().counter("htm.aborts").value(),
+                      cmp.mesh().router_traversals()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Cmp, DifferentSeedsGiveDifferentExecutions) {
+  auto run_once = [](std::uint64_t seed) {
+    SystemConfig cfg = small_cfg();
+    cfg.seed = seed;
+    auto wl = workloads::stamp::make("intruder", cfg.num_nodes, seed, 0.15);
+    Cmp cmp(cfg, *wl);
+    cmp.run(10'000'000);
+    return cmp.kernel().now();
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+TEST(Cmp, NoTransactionLeftRunningAfterCompletion) {
+  SystemConfig cfg = small_cfg();
+  auto wl = workloads::stamp::make("ssca2", cfg.num_nodes, 3, 0.1);
+  Cmp cmp(cfg, *wl);
+  ASSERT_TRUE(cmp.run(5'000'000));
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+    EXPECT_FALSE(cmp.txn(n).in_txn());
+    EXPECT_FALSE(cmp.l1(n).has_outstanding_miss());
+  }
+}
+
+TEST(RunExperiment, PopulatesResult) {
+  metrics::ExperimentParams p;
+  p.workload = "vacation";
+  p.scheme = Scheme::kBaseline;
+  p.scale = 0.2;
+  const auto r = metrics::run_experiment(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.workload, "vacation");
+  EXPECT_EQ(r.scheme, Scheme::kBaseline);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.commits, 0u);
+  EXPECT_GT(r.router_traversals, 0u);
+  EXPECT_GT(r.tx_getx_issued, 0u);
+  EXPECT_GT(r.good_cycles, 0u);
+  EXPECT_GT(r.gd_ratio(), 0.0);
+  EXPECT_GE(r.abort_rate(), 0.0);
+  EXPECT_LE(r.abort_rate(), 1.0);
+}
+
+TEST(RunExperiment, BaselineHasNoPunoActivity) {
+  metrics::ExperimentParams p;
+  p.workload = "intruder";
+  p.scheme = Scheme::kBaseline;
+  p.scale = 0.1;
+  const auto r = metrics::run_experiment(p);
+  EXPECT_EQ(r.unicast_forwards, 0u);
+  EXPECT_EQ(r.mp_feedbacks, 0u);
+  EXPECT_EQ(r.notified_backoffs, 0u);
+}
+
+TEST(RunExperiment, PunoProducesUnicastsOnContendedWorkload) {
+  metrics::ExperimentParams p;
+  p.workload = "intruder";
+  p.scheme = Scheme::kPuno;
+  p.scale = 0.25;
+  const auto r = metrics::run_experiment(p);
+  EXPECT_GT(r.unicast_forwards, 0u);
+  EXPECT_GT(r.notified_backoffs, 0u);
+  EXPECT_GT(r.prediction_hit_rate(), 0.5);
+}
+
+TEST(RunExperiment, FalseAbortMultiplicityIsDistribution) {
+  metrics::ExperimentParams p;
+  p.workload = "bayes";
+  p.scheme = Scheme::kBaseline;
+  p.scale = 0.25;
+  const auto r = metrics::run_experiment(p);
+  ASSERT_GT(r.false_abort_events, 0u);
+  double total = 0;
+  for (double f : r.false_abort_multiplicity) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.false_abort_multiplicity[0], 0.0)
+      << "an event aborts at least one transaction";
+}
+
+}  // namespace
+}  // namespace puno::arch

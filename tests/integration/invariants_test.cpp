@@ -1,0 +1,99 @@
+// Property tests: HTM isolation invariants checked continuously while full
+// workloads run, parameterized over every (workload, scheme) combination.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "arch/cmp.hpp"
+#include "workloads/stamp.hpp"
+
+namespace puno::arch {
+namespace {
+
+using Param = std::tuple<std::string, Scheme>;
+
+class InvariantTest : public ::testing::TestWithParam<Param> {};
+
+/// The "single-writer, multi-reader" invariant (Section II.B): at any point,
+/// a block in one live transaction's write set must not appear in any other
+/// live transaction's read or write set.
+void check_isolation(Cmp& cmp, const SystemConfig& cfg) {
+  for (NodeId w = 0; w < cfg.num_nodes; ++w) {
+    const auto& writer = cmp.txn(w);
+    if (!writer.in_txn() || writer.aborted()) continue;
+    for (const BlockAddr block : writer.write_set()) {
+      for (NodeId o = 0; o < cfg.num_nodes; ++o) {
+        if (o == w) continue;
+        const auto& other = cmp.txn(o);
+        if (!other.in_txn() || other.aborted()) continue;
+        ASSERT_FALSE(other.read_set().contains(block))
+            << "block " << block << " written by txn on node " << w
+            << " and read by live txn on node " << o;
+        ASSERT_FALSE(other.write_set().contains(block))
+            << "block " << block << " in two live write sets (" << w << ", "
+            << o << ")";
+      }
+    }
+  }
+}
+
+TEST_P(InvariantTest, IsolationHoldsThroughoutExecution) {
+  const auto& [workload, scheme] = GetParam();
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 5;
+  auto wl = workloads::stamp::make(workload, cfg.num_nodes, 5, 0.12);
+  Cmp cmp(cfg, *wl);
+
+  // Periodic invariant probe woven through the run.
+  std::function<void()> probe = [&] {
+    check_isolation(cmp, cfg);
+    if (!cmp.all_done()) cmp.kernel().schedule(50, probe);
+  };
+  cmp.kernel().schedule(50, probe);
+
+  ASSERT_TRUE(cmp.run(20'000'000)) << "run must complete within budget";
+  EXPECT_TRUE(cmp.mesh().idle());
+}
+
+TEST_P(InvariantTest, AllCommitsAccountedAndSystemDrains) {
+  const auto& [workload, scheme] = GetParam();
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 9;
+  auto wl = workloads::stamp::make(workload, cfg.num_nodes, 9, 0.12);
+  const auto quota =
+      workloads::stamp::make_spec(workload, 0.12).txns_per_node;
+  Cmp cmp(cfg, *wl);
+  ASSERT_TRUE(cmp.run(20'000'000));
+  EXPECT_EQ(cmp.total_committed(),
+            static_cast<std::uint64_t>(quota) * cfg.num_nodes);
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+    EXPECT_FALSE(cmp.l1(n).has_outstanding_miss()) << "node " << n;
+    EXPECT_EQ(cmp.directory(n).pending_services(), 0u) << "node " << n;
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name =
+      std::get<0>(info.param) + "_" + to_string(std::get<1>(info.param));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllSchemes, InvariantTest,
+    ::testing::Combine(
+        ::testing::Values("bayes", "intruder", "labyrinth", "yada", "genome",
+                          "kmeans", "ssca2", "vacation"),
+        ::testing::Values(Scheme::kBaseline, Scheme::kRandomBackoff,
+                          Scheme::kRmwPred, Scheme::kPuno)),
+    param_name);
+
+}  // namespace
+}  // namespace puno::arch

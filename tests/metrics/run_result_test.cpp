@@ -1,0 +1,97 @@
+#include "metrics/run_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace puno::metrics {
+namespace {
+
+TEST(RunResult, DerivedMetricsFromEmptyRun) {
+  RunResult r;
+  EXPECT_DOUBLE_EQ(r.abort_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.false_abort_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.prediction_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.gd_ratio(), 0.0);
+}
+
+TEST(RunResult, AbortRate) {
+  RunResult r;
+  r.commits = 25;
+  r.aborts = 75;
+  EXPECT_DOUBLE_EQ(r.abort_rate(), 0.75);
+}
+
+TEST(RunResult, GdRatio) {
+  RunResult r;
+  r.good_cycles = 300;
+  r.discarded_cycles = 100;
+  EXPECT_DOUBLE_EQ(r.gd_ratio(), 3.0);
+  r.discarded_cycles = 0;
+  EXPECT_DOUBLE_EQ(r.gd_ratio(), 300.0)
+      << "no discarded work: ratio degenerates to good cycles";
+}
+
+TEST(RunResult, FalseAbortFraction) {
+  RunResult r;
+  r.tx_getx_issued = 200;
+  r.false_abort_events = 82;
+  EXPECT_DOUBLE_EQ(r.false_abort_fraction(), 0.41);
+}
+
+TEST(RunResult, PredictionHitRate) {
+  RunResult r;
+  r.unicast_forwards = 100;
+  r.mp_feedbacks = 10;
+  EXPECT_DOUBLE_EQ(r.prediction_hit_rate(), 0.9);
+}
+
+TEST(RunResult, FromStatsPicksUpAllCounters) {
+  sim::StatsRegistry stats;
+  stats.counter("htm.commits").add(10);
+  stats.counter("htm.aborts").add(4);
+  stats.counter("htm.aborts_by_getx").add(3);
+  stats.counter("htm.aborts_by_gets").add(1);
+  stats.counter("l1.tx_getx_issued").add(50);
+  stats.counter("htm.false_abort_events").add(5);
+  stats.counter("htm.falsely_aborted_txns").add(9);
+  stats.counter("noc.router_traversals").add(1234);
+  stats.counter("htm.good_cycles").add(1000);
+  stats.counter("htm.discarded_cycles").add(200);
+  stats.counter("dir.unicast_forwards").add(7);
+  stats.counter("dir.mp_feedbacks").add(2);
+  stats.scalar("dir.txgetx_blocked_cycles").sample(40);
+  stats.scalar("dir.txgetx_blocked_cycles").sample(60);
+  stats.histogram("htm.false_abort_multiplicity", 16).sample(2);
+  stats.histogram("htm.false_abort_multiplicity", 16).sample(2);
+  stats.histogram("htm.false_abort_multiplicity", 16).sample(3);
+
+  const RunResult r = RunResult::from_stats(stats);
+  EXPECT_EQ(r.commits, 10u);
+  EXPECT_EQ(r.aborts, 4u);
+  EXPECT_EQ(r.aborts_by_getx, 3u);
+  EXPECT_EQ(r.aborts_by_gets, 1u);
+  EXPECT_EQ(r.tx_getx_issued, 50u);
+  EXPECT_EQ(r.false_abort_events, 5u);
+  EXPECT_EQ(r.falsely_aborted_txns, 9u);
+  EXPECT_EQ(r.router_traversals, 1234u);
+  EXPECT_EQ(r.good_cycles, 1000u);
+  EXPECT_EQ(r.discarded_cycles, 200u);
+  EXPECT_EQ(r.unicast_forwards, 7u);
+  EXPECT_EQ(r.mp_feedbacks, 2u);
+  EXPECT_DOUBLE_EQ(r.dir_blocked_mean, 50.0);
+  ASSERT_GT(r.false_abort_multiplicity.size(), 3u);
+  EXPECT_NEAR(r.false_abort_multiplicity[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.false_abort_multiplicity[3], 1.0 / 3.0, 1e-12);
+}
+
+TEST(RunResult, FromStatsToleratesMissingStats) {
+  sim::StatsRegistry stats;  // nothing recorded
+  const RunResult r = RunResult::from_stats(stats);
+  EXPECT_EQ(r.commits, 0u);
+  EXPECT_EQ(r.router_traversals, 0u);
+  EXPECT_DOUBLE_EQ(r.dir_blocked_mean, 0.0);
+}
+
+}  // namespace
+}  // namespace puno::metrics

@@ -1,0 +1,65 @@
+#include "metrics/stats_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace puno::metrics {
+namespace {
+
+TEST(StatsIo, RegistryCsvContainsEveryStat) {
+  sim::StatsRegistry stats;
+  stats.counter("a.count").add(7);
+  stats.scalar("b.lat").sample(10);
+  stats.scalar("b.lat").sample(20);
+  stats.histogram("c.dist", 8).sample(3);
+
+  std::ostringstream out;
+  write_stats_csv(stats, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,a.count,value,7"), std::string::npos);
+  EXPECT_NE(csv.find("scalar,b.lat,mean,15"), std::string::npos);
+  EXPECT_NE(csv.find("scalar,b.lat,count,2"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c.dist,bucket3,1"), std::string::npos);
+}
+
+TEST(StatsIo, EmptyHistogramBucketsSkipped) {
+  sim::StatsRegistry stats;
+  stats.histogram("h", 8).sample(2);
+  std::ostringstream out;
+  write_stats_csv(stats, out);
+  EXPECT_EQ(out.str().find("bucket1,"), std::string::npos);
+}
+
+TEST(StatsIo, ResultRowMatchesHeaderArity) {
+  RunResult r;
+  r.workload = "vacation";
+  r.scheme = Scheme::kPuno;
+  r.commits = 10;
+  std::ostringstream out;
+  write_result_csv(r, out);
+  const std::string row = out.str();
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(row), commas(result_csv_header()))
+      << "row and header must have the same number of columns";
+  EXPECT_EQ(row.find("vacation,PUNO,"), 0u);
+}
+
+TEST(StatsIo, SweepCsvHasHeaderAndOneRowPerResult) {
+  std::vector<RunResult> results(3);
+  results[0].workload = "a";
+  results[1].workload = "b";
+  results[2].workload = "c";
+  std::ostringstream out;
+  write_results_csv(results, out);
+  const std::string csv = out.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_EQ(csv.find("workload,"), 0u);
+}
+
+}  // namespace
+}  // namespace puno::metrics

@@ -1,0 +1,209 @@
+// Router-level unit tests: a single router wired to scripted sinks, so VC
+// allocation, credits and wormhole behaviour can be checked in isolation.
+#include "noc/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace puno::noc {
+namespace {
+
+struct CapturedFlit {
+  std::uint32_t vc;
+  std::uint64_t packet_id;
+  bool is_head;
+  bool is_tail;
+  Cycle at;
+};
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest()
+      : traversals_(kernel_.stats().counter("t")),
+        router_(kernel_, cfg_, /*id=*/5, traversals_, inflight_) {
+    // Node 5 of a 4x4 mesh (coord 1,1). Capture everything leaving each
+    // port; give every output ample credits unless a test overrides.
+    for (std::uint32_t p = 0; p < kNumPorts; ++p) {
+      router_.connect_output(
+          static_cast<Port>(p),
+          [this, p](std::uint32_t vc, Flit f) {
+            out_[p].push_back(CapturedFlit{vc, f.packet->id, f.is_head,
+                                           f.is_tail, kernel_.now()});
+          },
+          /*initial_credits=*/cfg_.vc_depth);
+      router_.connect_input(static_cast<Port>(p),
+                            [this, p](std::uint32_t vc) {
+                              credits_returned_[p].push_back(vc);
+                            });
+    }
+  }
+
+  std::shared_ptr<Packet> make_packet(NodeId dst, std::uint32_t flits,
+                                      VNet vnet = VNet::kRequest) {
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = next_id_++;
+    pkt->src = 0;
+    pkt->dst = dst;
+    pkt->vnet = vnet;
+    pkt->num_flits = flits;
+    return pkt;
+  }
+
+  void inject(Port p, std::uint32_t vc, const std::shared_ptr<Packet>& pkt) {
+    for (std::uint32_t i = 0; i < pkt->num_flits; ++i) {
+      Flit f;
+      f.packet = pkt;
+      f.is_head = i == 0;
+      f.is_tail = i + 1 == pkt->num_flits;
+      router_.receive_flit(p, vc, std::move(f));
+    }
+  }
+
+  void run(Cycle cycles) {
+    for (Cycle c = 0; c < cycles; ++c) {
+      router_.tick(kernel_.now());
+      kernel_.step();
+    }
+  }
+
+  sim::Kernel kernel_;
+  NocConfig cfg_;
+  std::uint64_t inflight_ = 0;
+  sim::Counter& traversals_;
+  Router router_;
+  std::vector<CapturedFlit> out_[kNumPorts];
+  std::vector<std::uint32_t> credits_returned_[kNumPorts];
+  std::uint64_t next_id_ = 1;
+};
+
+TEST_F(RouterTest, RoutesEastWhenDstIsEast) {
+  // Node 5 is (1,1); node 7 is (3,1): east.
+  inject(Port::kLocal, 0, make_packet(7, 1));
+  run(12);
+  EXPECT_EQ(out_[static_cast<int>(Port::kEast)].size(), 1u);
+}
+
+TEST_F(RouterTest, RoutesToLocalForSelf) {
+  inject(Port::kWest, 0, make_packet(5, 1));
+  run(12);
+  EXPECT_EQ(out_[static_cast<int>(Port::kLocal)].size(), 1u);
+}
+
+TEST_F(RouterTest, PipelineLatencyIsRespected) {
+  inject(Port::kLocal, 0, make_packet(7, 1));
+  // With 4 pipeline stages, the flit cannot traverse before cycle 3.
+  router_.tick(0);
+  kernel_.step();
+  router_.tick(1);
+  kernel_.step();
+  EXPECT_TRUE(out_[static_cast<int>(Port::kEast)].empty());
+  run(10);
+  ASSERT_EQ(out_[static_cast<int>(Port::kEast)].size(), 1u);
+  EXPECT_GE(out_[static_cast<int>(Port::kEast)][0].at, 3u);
+}
+
+TEST_F(RouterTest, WormholeKeepsPacketContiguousPerVc) {
+  auto a = make_packet(7, 3);
+  inject(Port::kLocal, 0, a);
+  run(20);
+  const auto& flits = out_[static_cast<int>(Port::kEast)];
+  ASSERT_EQ(flits.size(), 3u);
+  EXPECT_TRUE(flits[0].is_head);
+  EXPECT_TRUE(flits[2].is_tail);
+  EXPECT_EQ(flits[0].packet_id, a->id);
+  // All on the same output VC.
+  EXPECT_EQ(flits[0].vc, flits[1].vc);
+  EXPECT_EQ(flits[1].vc, flits[2].vc);
+}
+
+TEST_F(RouterTest, OneFlitPerOutputPortPerCycle) {
+  inject(Port::kLocal, 0, make_packet(7, 4));
+  run(20);
+  const auto& flits = out_[static_cast<int>(Port::kEast)];
+  ASSERT_EQ(flits.size(), 4u);
+  for (std::size_t i = 1; i < flits.size(); ++i) {
+    EXPECT_GT(flits[i].at, flits[i - 1].at);
+  }
+}
+
+TEST_F(RouterTest, TwoInputsSameOutputArbitrated) {
+  // Two single-flit packets from different input ports to the same output.
+  inject(Port::kWest, 0, make_packet(7, 1));
+  inject(Port::kNorth, 0, make_packet(7, 1));
+  run(20);
+  const auto& flits = out_[static_cast<int>(Port::kEast)];
+  ASSERT_EQ(flits.size(), 2u);
+  EXPECT_NE(flits[0].at, flits[1].at) << "output port serializes";
+}
+
+TEST_F(RouterTest, DistinctOutputsProceedInParallel) {
+  inject(Port::kWest, 0, make_packet(7, 1));   // east
+  inject(Port::kNorth, 1, make_packet(4, 1));  // west (node 4 is (0,1))
+  run(20);
+  ASSERT_EQ(out_[static_cast<int>(Port::kEast)].size(), 1u);
+  ASSERT_EQ(out_[static_cast<int>(Port::kWest)].size(), 1u);
+  EXPECT_EQ(out_[static_cast<int>(Port::kEast)][0].at,
+            out_[static_cast<int>(Port::kWest)][0].at);
+}
+
+TEST_F(RouterTest, CreditsReturnedForForwardedFlits) {
+  inject(Port::kWest, 2, make_packet(7, 3));
+  run(20);
+  EXPECT_EQ(credits_returned_[static_cast<int>(Port::kWest)].size(), 3u);
+  for (std::uint32_t vc : credits_returned_[static_cast<int>(Port::kWest)]) {
+    EXPECT_EQ(vc, 2u);
+  }
+}
+
+TEST_F(RouterTest, StallsWithoutCreditsAndResumesOnReturn) {
+  // Exhaust the east output's VC credits first.
+  for (std::uint32_t i = 0; i < cfg_.vc_depth; ++i) {
+    inject(Port::kLocal, 0, make_packet(7, 1));
+  }
+  run(40);
+  const auto sent_before = out_[static_cast<int>(Port::kEast)].size();
+  EXPECT_EQ(sent_before, cfg_.vc_depth) << "one VC's credits exhausted";
+
+  inject(Port::kLocal, 0, make_packet(7, 1));
+  run(10);
+  EXPECT_EQ(out_[static_cast<int>(Port::kEast)].size(), sent_before)
+      << "no credits -> no traversal";
+
+  router_.return_credit(Port::kEast, out_[static_cast<int>(Port::kEast)][0].vc);
+  run(10);
+  EXPECT_EQ(out_[static_cast<int>(Port::kEast)].size(), sent_before + 1);
+}
+
+TEST_F(RouterTest, VnetVcPartitioningIsRespected) {
+  auto req = make_packet(7, 1, VNet::kRequest);
+  auto rsp = make_packet(7, 1, VNet::kResponse);
+  inject(Port::kWest, 0, req);  // request vnet VCs: 0,1
+  inject(Port::kWest, 4, rsp);  // response vnet VCs: 4,5
+  run(20);
+  const auto& flits = out_[static_cast<int>(Port::kEast)];
+  ASSERT_EQ(flits.size(), 2u);
+  for (const auto& f : flits) {
+    if (f.packet_id == req->id) EXPECT_LT(f.vc, 2u);
+    if (f.packet_id == rsp->id) EXPECT_GE(f.vc, 4u);
+  }
+}
+
+TEST_F(RouterTest, IdleReflectsBufferedFlits) {
+  EXPECT_TRUE(router_.idle());
+  inject(Port::kLocal, 0, make_packet(7, 1));
+  EXPECT_FALSE(router_.idle());
+  run(20);
+  EXPECT_TRUE(router_.idle());
+}
+
+TEST_F(RouterTest, TraversalCounterCountsEveryFlit) {
+  // vc_depth (4) flits fit the input buffer and the downstream credits.
+  inject(Port::kLocal, 0, make_packet(7, 4));
+  run(30);
+  EXPECT_EQ(traversals_.value(), 4u);
+}
+
+}  // namespace
+}  // namespace puno::noc

@@ -1,0 +1,124 @@
+#include "noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno::noc {
+namespace {
+
+TEST(TrafficPatternFn, TransposeMapsCoordinates) {
+  sim::Rng rng(1, 0);
+  // Node 1 = (1,0) -> (0,1) = node 4 on a 4-wide mesh.
+  EXPECT_EQ(pattern_destination(TrafficPattern::kTranspose, 1, 4, rng), 4);
+  EXPECT_EQ(pattern_destination(TrafficPattern::kTranspose, 4, 4, rng), 1);
+  // Diagonal nodes map to themselves; the generator must divert.
+  EXPECT_NE(pattern_destination(TrafficPattern::kTranspose, 5, 4, rng), 5);
+}
+
+TEST(TrafficPatternFn, BitComplement) {
+  sim::Rng rng(1, 0);
+  EXPECT_EQ(pattern_destination(TrafficPattern::kBitComplement, 0, 4, rng),
+            15);
+  EXPECT_EQ(pattern_destination(TrafficPattern::kBitComplement, 15, 4, rng),
+            0);
+}
+
+TEST(TrafficPatternFn, NearestNeighbourWrapsWithinRow) {
+  sim::Rng rng(1, 0);
+  EXPECT_EQ(
+      pattern_destination(TrafficPattern::kNearestNeighbour, 0, 4, rng), 1);
+  EXPECT_EQ(
+      pattern_destination(TrafficPattern::kNearestNeighbour, 3, 4, rng), 0);
+  EXPECT_EQ(
+      pattern_destination(TrafficPattern::kNearestNeighbour, 7, 4, rng), 4);
+}
+
+TEST(TrafficPatternFn, UniformNeverSelectsSelf) {
+  sim::Rng rng(5, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId src = static_cast<NodeId>(i % 16);
+    EXPECT_NE(pattern_destination(TrafficPattern::kUniformRandom, src, 4, rng),
+              src);
+  }
+}
+
+TEST(TrafficPatternFn, HotspotConcentratesOnNodeZero) {
+  sim::Rng rng(7, 0);
+  int to_zero = 0;
+  constexpr int kTrials = 8000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (pattern_destination(TrafficPattern::kHotspot, 5, 4, rng) == 0) {
+      ++to_zero;
+    }
+  }
+  const double frac = static_cast<double>(to_zero) / kTrials;
+  EXPECT_GT(frac, 0.25) << "25% explicit + uniform share";
+  EXPECT_LT(frac, 0.40);
+}
+
+TEST(TrafficGenerator, LowLoadDeliversEverythingWithLowLatency) {
+  sim::Kernel kernel;
+  NocConfig cfg;
+  Mesh mesh(kernel, cfg);
+  kernel.add_tickable(mesh);
+  TrafficGenerator gen(kernel, mesh, cfg, TrafficPattern::kUniformRandom,
+                       /*rate=*/0.02);
+  kernel.add_tickable(gen);
+  kernel.run_for(5000);
+  kernel.run_until([&] { return mesh.idle(); }, 2000);
+  const auto r = gen.results(5000);
+  EXPECT_GT(r.injected, 500u);
+  EXPECT_EQ(r.delivered, r.injected) << "low load: everything drains";
+  EXPECT_GT(r.avg_latency, 10.0) << "at least the zero-load latency";
+  EXPECT_LT(r.avg_latency, 60.0) << "no queueing to speak of";
+}
+
+TEST(TrafficGenerator, ThroughputSaturatesUnderOverload) {
+  sim::Kernel kernel;
+  NocConfig cfg;
+  Mesh mesh(kernel, cfg);
+  kernel.add_tickable(mesh);
+  // 0.9 packets/node/cycle of 5-flit packets is ~4x beyond the mesh's
+  // sustainable uniform throughput: delivery must fall far behind injection.
+  TrafficGenerator gen(kernel, mesh, cfg, TrafficPattern::kUniformRandom,
+                       /*rate=*/0.9, /*payload_bytes=*/64);
+  kernel.add_tickable(gen);
+  kernel.run_for(3000);
+  const auto r = gen.results(3000);
+  EXPECT_LT(r.delivered, r.injected);
+  EXPECT_LT(r.throughput, 0.5);
+  EXPECT_GT(r.throughput, 0.02);
+}
+
+TEST(TrafficGenerator, HigherLoadMeansHigherLatency) {
+  auto run_at = [](double rate) {
+    sim::Kernel kernel;
+    NocConfig cfg;
+    Mesh mesh(kernel, cfg);
+    kernel.add_tickable(mesh);
+    TrafficGenerator gen(kernel, mesh, cfg, TrafficPattern::kUniformRandom,
+                         rate);
+    kernel.add_tickable(gen);
+    kernel.run_for(4000);
+    return gen.results(4000).avg_latency;
+  };
+  EXPECT_GT(run_at(0.20), run_at(0.02));
+}
+
+TEST(TrafficGenerator, NearestNeighbourOutperformsUniform) {
+  auto throughput_of = [](TrafficPattern p) {
+    sim::Kernel kernel;
+    NocConfig cfg;
+    Mesh mesh(kernel, cfg);
+    kernel.add_tickable(mesh);
+    TrafficGenerator gen(kernel, mesh, cfg, p, /*rate=*/0.5);
+    kernel.add_tickable(gen);
+    kernel.run_for(4000);
+    return gen.results(4000).throughput;
+  };
+  EXPECT_GT(throughput_of(TrafficPattern::kNearestNeighbour),
+            throughput_of(TrafficPattern::kUniformRandom))
+      << "single-hop traffic sustains more load than cross-chip traffic";
+}
+
+}  // namespace
+}  // namespace puno::noc

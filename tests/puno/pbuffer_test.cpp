@@ -1,0 +1,92 @@
+#include "puno/pbuffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno::core {
+namespace {
+
+TEST(PBuffer, EntriesStartInvalid) {
+  PBuffer p(16);
+  for (NodeId n = 0; n < 16; ++n) {
+    EXPECT_EQ(p.get(n).validity, 0);
+    EXPECT_EQ(p.get(n).ts, kInvalidTimestamp);
+    EXPECT_FALSE(p.usable(n));
+  }
+}
+
+TEST(PBuffer, UpdateFromZeroIncrementsTwice) {
+  // Figure 5(b): updating a 0-validity entry bumps the counter by two, so a
+  // freshly revived priority survives one timeout.
+  PBuffer p(16);
+  p.update(3, 100);
+  EXPECT_EQ(p.get(3).validity, 2);
+  EXPECT_EQ(p.get(3).ts, 100u);
+  EXPECT_TRUE(p.usable(3));
+}
+
+TEST(PBuffer, RepeatedUpdatesSaturateAtThree) {
+  PBuffer p(16);
+  p.update(3, 100);
+  p.update(3, 110);
+  EXPECT_EQ(p.get(3).validity, 3);
+  p.update(3, 120);
+  EXPECT_EQ(p.get(3).validity, 3);
+  EXPECT_EQ(p.get(3).ts, 120u) << "timestamp always refreshed";
+}
+
+TEST(PBuffer, TimeoutDecrementsAllNonZero) {
+  PBuffer p(16);
+  p.update(1, 100);  // validity 2
+  p.update(2, 200);
+  p.update(2, 210);  // validity 3
+  p.on_timeout();
+  EXPECT_EQ(p.get(1).validity, 1);
+  EXPECT_EQ(p.get(2).validity, 2);
+  EXPECT_EQ(p.get(0).validity, 0) << "zero stays zero";
+}
+
+TEST(PBuffer, StalePriorityBecomesUnusableAfterTimeouts) {
+  PBuffer p(16);
+  p.update(1, 100);  // validity 2: usable
+  ASSERT_TRUE(p.usable(1));
+  p.on_timeout();  // validity 1: not usable (threshold is > 1)
+  EXPECT_FALSE(p.usable(1));
+  p.on_timeout();  // validity 0
+  EXPECT_EQ(p.get(1).validity, 0);
+}
+
+TEST(PBuffer, MispredictionInvalidatesImmediately) {
+  PBuffer p(16);
+  p.update(5, 100);
+  p.update(5, 100);
+  ASSERT_TRUE(p.usable(5));
+  p.invalidate(5);
+  EXPECT_EQ(p.get(5).validity, 0);
+  EXPECT_FALSE(p.usable(5));
+}
+
+TEST(PBuffer, ReviveAfterInvalidationIsUsableAgain) {
+  PBuffer p(16);
+  p.update(5, 100);
+  p.invalidate(5);
+  p.update(5, 300);
+  EXPECT_TRUE(p.usable(5));
+  EXPECT_EQ(p.get(5).ts, 300u);
+}
+
+TEST(PBuffer, UsableRespectsThreshold) {
+  PBuffer p(16);
+  p.update(1, 100);  // validity 2
+  EXPECT_TRUE(p.usable(1, 1));
+  EXPECT_FALSE(p.usable(1, 2)) << "stricter threshold requires validity 3";
+  p.update(1, 100);  // validity 3
+  EXPECT_TRUE(p.usable(1, 2));
+}
+
+TEST(PBuffer, SizeMatchesConstruction) {
+  PBuffer p(16);
+  EXPECT_EQ(p.size(), 16u);
+}
+
+}  // namespace
+}  // namespace puno::core

@@ -1,0 +1,135 @@
+#include "puno/puno_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coherence/message.hpp"
+
+namespace puno::core {
+namespace {
+
+using coherence::node_bit;
+
+class PunoDirectoryTest : public ::testing::Test {
+ protected:
+  PunoDirectoryTest() {
+    cfg_.scheme = Scheme::kPuno;
+    pd_ = std::make_unique<PunoDirectory>(kernel_, cfg_, 0);
+  }
+
+  sim::Kernel kernel_;
+  SystemConfig cfg_;
+  std::unique_ptr<PunoDirectory> pd_;
+};
+
+TEST_F(PunoDirectoryTest, PredictionLatencyIsTwoCycles) {
+  // Section IV.A: 1 cycle P-Buffer access + 1 cycle unicast decision.
+  EXPECT_EQ(pd_->prediction_latency(), 2u);
+}
+
+TEST_F(PunoDirectoryTest, NoPredictionWithoutObservations) {
+  EXPECT_EQ(pd_->predict_unicast(node_bit(1) | node_bit(2), 5, 100, 1),
+            kInvalidNode);
+}
+
+TEST_F(PunoDirectoryTest, RecomputeUdPicksOldestSharer) {
+  pd_->observe_request(1, 300, 0);
+  pd_->observe_request(2, 100, 0);  // oldest
+  pd_->observe_request(3, 200, 0);
+  EXPECT_EQ(pd_->recompute_ud(node_bit(1) | node_bit(2) | node_bit(3)), 2);
+}
+
+TEST_F(PunoDirectoryTest, RecomputeUdIgnoresNonSharers) {
+  pd_->observe_request(1, 300, 0);
+  pd_->observe_request(2, 100, 0);
+  EXPECT_EQ(pd_->recompute_ud(node_bit(1)), 1) << "node 2 is not a sharer";
+}
+
+TEST_F(PunoDirectoryTest, RecomputeUdEmptyMaskIsInvalid) {
+  pd_->observe_request(1, 300, 0);
+  EXPECT_EQ(pd_->recompute_ud(0), kInvalidNode);
+}
+
+TEST_F(PunoDirectoryTest, UnicastWhenUdSharerIsOlderThanRequester) {
+  pd_->observe_request(1, 100, 0);
+  pd_->observe_request(2, 400, 0);
+  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  const NodeId ud = pd_->recompute_ud(sharers);
+  ASSERT_EQ(ud, 1);
+  EXPECT_EQ(pd_->predict_unicast(sharers, 5, /*req_ts=*/500, ud), 1);
+}
+
+TEST_F(PunoDirectoryTest, NoUnicastForSingleSharer) {
+  // A lone sharer cannot produce false aborting (it either nacks, aborting
+  // nobody, or grants), so unicasting to it would only waste a round trip.
+  pd_->observe_request(1, 100, 0);
+  EXPECT_EQ(pd_->predict_unicast(node_bit(1), 5, 500, 1), kInvalidNode);
+}
+
+TEST_F(PunoDirectoryTest, MulticastWhenRequesterIsOlder) {
+  pd_->observe_request(1, 500, 0);
+  EXPECT_EQ(pd_->predict_unicast(node_bit(1), 5, /*req_ts=*/100, 1),
+            kInvalidNode);
+}
+
+TEST_F(PunoDirectoryTest, MulticastWhenUdHintNotASharer) {
+  pd_->observe_request(1, 100, 0);
+  EXPECT_EQ(pd_->predict_unicast(node_bit(2), 5, 500, /*ud_hint=*/1),
+            kInvalidNode);
+}
+
+TEST_F(PunoDirectoryTest, MispredictionFeedbackDisablesUnicast) {
+  pd_->observe_request(1, 100, 0);
+  pd_->observe_request(2, 900, 0);
+  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  ASSERT_EQ(pd_->predict_unicast(sharers, 5, 500, 1), 1);
+  pd_->on_misprediction(1);
+  EXPECT_EQ(pd_->predict_unicast(sharers, 5, 500, 1), kInvalidNode);
+  // A fresh request from node 1 revives it.
+  pd_->observe_request(1, 600, 0);
+  EXPECT_EQ(pd_->predict_unicast(sharers, 5, 700, 1), 1);
+}
+
+TEST_F(PunoDirectoryTest, ValidityAgesOutThroughRolloverTimeouts) {
+  pd_->observe_request(1, 100, /*avg_txn_len=*/0);
+  pd_->observe_request(2, 800, /*avg_txn_len=*/0);
+  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  ASSERT_EQ(pd_->predict_unicast(sharers, 5, 500, 1), 1);
+  // validity 2 -> after one rollover period it is 1: below the threshold.
+  kernel_.run_for(pd_->timeout_period() + 2);
+  EXPECT_EQ(pd_->predict_unicast(sharers, 5, 500, 1), kInvalidNode);
+}
+
+TEST_F(PunoDirectoryTest, TimeoutPeriodAdaptsToTransactionLength) {
+  const Cycle initial = pd_->timeout_period();
+  EXPECT_EQ(initial, cfg_.puno.min_timeout);
+  for (int i = 0; i < 8; ++i) pd_->observe_request(1, 100, /*avg=*/5000);
+  EXPECT_GT(pd_->timeout_period(), initial);
+  EXPECT_LE(pd_->timeout_period(), cfg_.puno.max_timeout);
+}
+
+TEST_F(PunoDirectoryTest, TimeoutPeriodClampedToMax) {
+  for (int i = 0; i < 40; ++i) {
+    pd_->observe_request(1, 100, cfg_.puno.max_timeout * 10);
+  }
+  EXPECT_EQ(pd_->timeout_period(), static_cast<Cycle>(cfg_.puno.max_timeout));
+}
+
+TEST_F(PunoDirectoryTest, UnicastDisabledByAblationSwitch) {
+  cfg_.puno.enable_unicast = false;
+  PunoDirectory pd(kernel_, cfg_, 1);
+  pd.observe_request(1, 100, 0);
+  EXPECT_EQ(pd.predict_unicast(node_bit(1), 5, 500, 1), kInvalidNode);
+}
+
+TEST_F(PunoDirectoryTest, PredictionStatsTracked) {
+  pd_->observe_request(1, 100, 0);
+  pd_->observe_request(2, 900, 0);
+  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  (void)pd_->predict_unicast(sharers, 5, 500, 1);
+  (void)pd_->predict_unicast(sharers, 5, 50, 1);  // requester older
+  EXPECT_EQ(kernel_.stats().counter("puno.unicast_predictions").value(), 1u);
+  EXPECT_EQ(kernel_.stats().counter("puno.multicast_fallbacks").value(), 1u);
+}
+
+}  // namespace
+}  // namespace puno::core

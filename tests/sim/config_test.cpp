@@ -1,0 +1,61 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno {
+namespace {
+
+TEST(SystemConfig, TableIIDefaults) {
+  SystemConfig cfg;
+  EXPECT_EQ(cfg.num_nodes, 16u);
+  EXPECT_EQ(cfg.cache.l1_size_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.cache.l1_assoc, 4u);
+  EXPECT_EQ(cfg.cache.l2_size_bytes, 8ull * 1024 * 1024);
+  EXPECT_EQ(cfg.cache.l2_assoc, 8u);
+  EXPECT_EQ(cfg.cache.l2_latency, 20u);
+  EXPECT_EQ(cfg.cache.memory_latency, 200u);
+  EXPECT_EQ(cfg.noc.mesh_width, 4u);
+  EXPECT_EQ(cfg.noc.pipeline_stages, 4u);
+  EXPECT_EQ(cfg.puno.pbuffer_entries, 16u);
+  EXPECT_EQ(cfg.puno.txlb_entries, 32u);
+  EXPECT_EQ(cfg.htm.fixed_backoff, 20u);
+}
+
+TEST(SystemConfig, BlockAlignment) {
+  SystemConfig cfg;
+  EXPECT_EQ(cfg.block_of(0), 0u);
+  EXPECT_EQ(cfg.block_of(63), 0u);
+  EXPECT_EQ(cfg.block_of(64), 64u);
+  EXPECT_EQ(cfg.block_of(130), 128u);
+}
+
+TEST(SystemConfig, HomeInterleavingCoversAllNodes) {
+  SystemConfig cfg;
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+    const BlockAddr b = static_cast<BlockAddr>(n) * cfg.cache.block_bytes;
+    EXPECT_EQ(cfg.home_of(b), n);
+  }
+  // Wraps around.
+  EXPECT_EQ(cfg.home_of(16ull * 64), 0u);
+}
+
+TEST(SystemConfig, HomeIsStable) {
+  SystemConfig cfg;
+  const BlockAddr b = 7 * 64;
+  EXPECT_EQ(cfg.home_of(b), cfg.home_of(b));
+}
+
+TEST(NocConfig, TotalVcs) {
+  NocConfig n;
+  EXPECT_EQ(n.total_vcs(), n.num_vnets * n.vcs_per_vnet);
+}
+
+TEST(Scheme, Names) {
+  EXPECT_STREQ(to_string(Scheme::kBaseline), "Baseline");
+  EXPECT_STREQ(to_string(Scheme::kRandomBackoff), "Backoff");
+  EXPECT_STREQ(to_string(Scheme::kRmwPred), "RMW-Pred");
+  EXPECT_STREQ(to_string(Scheme::kPuno), "PUNO");
+}
+
+}  // namespace
+}  // namespace puno

@@ -1,0 +1,154 @@
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace puno::sim {
+namespace {
+
+class RecordingTickable final : public Tickable {
+ public:
+  void tick(Cycle now) override { ticks.push_back(now); }
+  std::vector<Cycle> ticks;
+};
+
+TEST(Kernel, StartsAtCycleZero) {
+  Kernel k;
+  EXPECT_EQ(k.now(), 0u);
+}
+
+TEST(Kernel, StepAdvancesClock) {
+  Kernel k;
+  k.step();
+  k.step();
+  EXPECT_EQ(k.now(), 2u);
+}
+
+TEST(Kernel, TickablesSeeEveryCycleInOrder) {
+  Kernel k;
+  RecordingTickable t;
+  k.add_tickable(t);
+  k.run_for(5);
+  ASSERT_EQ(t.ticks.size(), 5u);
+  for (Cycle c = 0; c < 5; ++c) EXPECT_EQ(t.ticks[c], c);
+}
+
+TEST(Kernel, TickableOrderIsRegistrationOrder) {
+  Kernel k;
+  std::vector<int> order;
+  struct T final : Tickable {
+    T(std::vector<int>* o, int i) : order(o), id(i) {}
+    std::vector<int>* order;
+    int id;
+    void tick(Cycle) override { order->push_back(id); }
+  };
+  T a(&order, 1), b(&order, 2);
+  k.add_tickable(a);
+  k.add_tickable(b);
+  k.step();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Kernel, EventFiresAtScheduledCycle) {
+  Kernel k;
+  Cycle fired_at = 0;
+  k.schedule(3, [&] { fired_at = k.now(); });
+  k.run_for(10);
+  EXPECT_EQ(fired_at, 3u);
+}
+
+TEST(Kernel, ZeroDelayEventFiresSameCycle) {
+  Kernel k;
+  bool fired = false;
+  k.schedule(0, [&] { fired = true; });
+  k.step();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(k.now(), 1u);
+}
+
+TEST(Kernel, SameCycleEventsFifo) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(2, [&] { order.push_back(1); });
+  k.schedule(2, [&] { order.push_back(2); });
+  k.schedule(2, [&] { order.push_back(3); });
+  k.run_for(5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, EventsRunAfterTickablesWithinCycle) {
+  Kernel k;
+  std::vector<char> order;
+  struct T final : Tickable {
+    explicit T(std::vector<char>* o) : order(o) {}
+    std::vector<char>* order;
+    void tick(Cycle) override { order->push_back('t'); }
+  };
+  T t(&order);
+  k.add_tickable(t);
+  k.schedule(0, [&] { order.push_back('e'); });
+  k.step();
+  EXPECT_EQ(order, (std::vector<char>{'t', 'e'}));
+}
+
+TEST(Kernel, EventMayScheduleFurtherEvents) {
+  Kernel k;
+  int chain = 0;
+  std::function<void()> hop = [&] {
+    ++chain;
+    if (chain < 4) k.schedule(1, hop);
+  };
+  k.schedule(1, hop);
+  k.run_for(10);
+  EXPECT_EQ(chain, 4);
+}
+
+TEST(Kernel, EventSchedulingZeroDelayFromEventRunsSameCycle) {
+  Kernel k;
+  Cycle inner_at = 99;
+  k.schedule(1, [&] { k.schedule(0, [&] { inner_at = k.now(); }); });
+  k.run_for(5);
+  EXPECT_EQ(inner_at, 1u);
+}
+
+TEST(Kernel, RunUntilStopsOnPredicate) {
+  Kernel k;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    k.schedule(1, tick);
+  };
+  k.schedule(1, tick);
+  const bool done = k.run_until([&] { return count >= 5; }, 1000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(count, 5);
+  EXPECT_LT(k.now(), 1000u);
+}
+
+TEST(Kernel, RunUntilRespectsCycleBudget) {
+  Kernel k;
+  const bool done = k.run_until([] { return false; }, 50);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(k.now(), 50u);
+}
+
+TEST(Kernel, PendingEventsCount) {
+  Kernel k;
+  k.schedule(5, [] {});
+  k.schedule(6, [] {});
+  EXPECT_EQ(k.pending_events(), 2u);
+  k.run_for(10);
+  EXPECT_EQ(k.pending_events(), 0u);
+}
+
+TEST(Kernel, StatsRegistryIsShared) {
+  Kernel k;
+  k.stats().counter("x").add(2);
+  EXPECT_EQ(k.stats().counter("x").value(), 2u);
+}
+
+}  // namespace
+}  // namespace puno::sim

@@ -1,0 +1,60 @@
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno::sim {
+namespace {
+
+class TraceLogTest : public ::testing::Test {
+ protected:
+  TraceLogTest() { TraceLog::instance().disable_all(); }
+  ~TraceLogTest() override { TraceLog::instance().disable_all(); }
+};
+
+TEST_F(TraceLogTest, DisabledByDefault) {
+  auto& log = TraceLog::instance();
+  EXPECT_FALSE(log.enabled(TraceCat::kNoc));
+  EXPECT_FALSE(log.enabled(TraceCat::kHtm));
+}
+
+TEST_F(TraceLogTest, EnableIsPerCategory) {
+  auto& log = TraceLog::instance();
+  log.enable(TraceCat::kHtm);
+  EXPECT_TRUE(log.enabled(TraceCat::kHtm));
+  EXPECT_FALSE(log.enabled(TraceCat::kNoc));
+}
+
+TEST_F(TraceLogTest, SpecParsesCommaSeparatedList) {
+  auto& log = TraceLog::instance();
+  log.enable_from_spec("noc,htm");
+  EXPECT_TRUE(log.enabled(TraceCat::kNoc));
+  EXPECT_TRUE(log.enabled(TraceCat::kHtm));
+  EXPECT_FALSE(log.enabled(TraceCat::kCoherence));
+}
+
+TEST_F(TraceLogTest, SpecAllEnablesEverything) {
+  auto& log = TraceLog::instance();
+  log.enable_from_spec("all");
+  EXPECT_TRUE(log.enabled(TraceCat::kKernel));
+  EXPECT_TRUE(log.enabled(TraceCat::kNoc));
+  EXPECT_TRUE(log.enabled(TraceCat::kCoherence));
+  EXPECT_TRUE(log.enabled(TraceCat::kHtm));
+  EXPECT_TRUE(log.enabled(TraceCat::kPuno));
+  EXPECT_TRUE(log.enabled(TraceCat::kWorkload));
+}
+
+TEST_F(TraceLogTest, UnknownTokensIgnored) {
+  auto& log = TraceLog::instance();
+  log.enable_from_spec("bogus,puno,alsobogus");
+  EXPECT_TRUE(log.enabled(TraceCat::kPuno));
+  EXPECT_FALSE(log.enabled(TraceCat::kNoc));
+}
+
+TEST_F(TraceLogTest, EmptySpecEnablesNothing) {
+  auto& log = TraceLog::instance();
+  log.enable_from_spec("");
+  EXPECT_FALSE(log.enabled(TraceCat::kNoc));
+}
+
+}  // namespace
+}  // namespace puno::sim

@@ -1,0 +1,113 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace puno::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 7);
+  Rng b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentStreamsDecorrelated) {
+  Rng a(42, 0);
+  Rng b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1, 0);
+  Rng b(2, 0);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(9, 3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(5, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(11, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next_range(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values in [3,7] should appear";
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolMatchesProbabilityRoughly) {
+  Rng rng(17, 0);
+  int trues = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.next_bool(0.3)) ++trues;
+  }
+  const double frac = static_cast<double>(trues) / kTrials;
+  EXPECT_NEAR(frac, 0.3, 0.02);
+}
+
+TEST(Rng, NextBoolZeroAndOne) {
+  Rng rng(19, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, UniformityChiSquaredSmoke) {
+  // 16 buckets over next_below(16): chi^2 should not explode.
+  Rng rng(23, 0);
+  std::vector<int> buckets(16, 0);
+  constexpr int kTrials = 16000;
+  for (int i = 0; i < kTrials; ++i) ++buckets[rng.next_below(16)];
+  const double expected = kTrials / 16.0;
+  double chi2 = 0;
+  for (int b : buckets) {
+    chi2 += (b - expected) * (b - expected) / expected;
+  }
+  // 15 dof: > 50 would be catastrophically non-uniform.
+  EXPECT_LT(chi2, 50.0);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  EXPECT_NE(a, b);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(a, splitmix64(state2));
+}
+
+}  // namespace
+}  // namespace puno::sim

@@ -1,0 +1,117 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace puno::sim {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Scalar, MeanMinMax) {
+  Scalar s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.sample(2.0);
+  s.sample(4.0);
+  s.sample(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Scalar, SingleSampleIsMinAndMax) {
+  Scalar s;
+  s.sample(-3.5);
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  EXPECT_DOUBLE_EQ(s.max(), -3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+}
+
+TEST(Scalar, ResetClears) {
+  Scalar s;
+  s.sample(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(Histogram, BucketsAndFractions) {
+  Histogram h(8);
+  h.sample(1);
+  h.sample(1);
+  h.sample(3);
+  h.sample(20);  // overflow bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(8), 1u) << "values beyond the cap land in the last bucket";
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, MeanUsesRawValues) {
+  Histogram h(4);
+  h.sample(2);
+  h.sample(4);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, OutOfRangeBucketQueryIsZero) {
+  Histogram h(4);
+  EXPECT_EQ(h.bucket(100), 0u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(4);
+  h.sample(2);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(StatsRegistry, ReturnsSameObjectForSameName) {
+  StatsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(StatsRegistry, SeparateNamesSeparateStats) {
+  StatsRegistry reg;
+  reg.counter("a").add(1);
+  reg.counter("b").add(2);
+  EXPECT_EQ(reg.counter("a").value(), 1u);
+  EXPECT_EQ(reg.counter("b").value(), 2u);
+}
+
+TEST(StatsRegistry, HistogramKeepsFirstCapacity) {
+  StatsRegistry reg;
+  Histogram& h = reg.histogram("h", 4);
+  EXPECT_EQ(&h, &reg.histogram("h", 99));
+  EXPECT_EQ(reg.histogram("h").num_buckets(), 5u);
+}
+
+TEST(StatsRegistry, ResetAll) {
+  StatsRegistry reg;
+  reg.counter("c").add(5);
+  reg.scalar("s").sample(1.0);
+  reg.histogram("h").sample(2);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.scalar("s").count(), 0u);
+  EXPECT_EQ(reg.histogram("h").total(), 0u);
+}
+
+}  // namespace
+}  // namespace puno::sim

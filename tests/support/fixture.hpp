@@ -1,0 +1,170 @@
+// Shared test fixture: a full 16-node CMP (mesh + directories + L1s + real
+// TxnContexts + optional PUNO assists) with NO cores, so tests drive memory
+// operations and transaction boundaries directly and observe every protocol
+// effect deterministically.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+#include "htm/txn_context.hpp"
+#include "noc/mesh.hpp"
+#include "puno/puno_directory.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+
+namespace puno::testing {
+
+class ProtocolFixture : public ::testing::Test {
+ protected:
+  explicit ProtocolFixture(SystemConfig cfg = {}) : cfg_(std::move(cfg)) {
+    mesh_ = std::make_unique<noc::Mesh>(kernel_, cfg_.noc);
+    kernel_.add_tickable(*mesh_);
+    const auto n = static_cast<NodeId>(cfg_.num_nodes);
+    const Cycle c2c = mesh_->average_c2c_latency();
+    for (NodeId i = 0; i < n; ++i) {
+      txns_.push_back(
+          std::make_unique<htm::TxnContext>(kernel_, cfg_, i, c2c));
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      auto send = [this, i](NodeId dst,
+                            std::shared_ptr<const coherence::Message> msg) {
+        const auto vnet = coherence::vnet_of(msg->type);
+        const std::uint32_t bytes =
+            coherence::carries_data(msg->type) && msg->has_payload
+                ? cfg_.cache.block_bytes
+                : 0;
+        mesh_->send(i, dst, vnet, bytes, std::move(msg));
+      };
+      l1s_.push_back(std::make_unique<coherence::L1Controller>(
+          kernel_, cfg_, i, *txns_[i], send));
+      txns_[i]->attach_l1(l1s_[i].get());
+      if (cfg_.puno.enable_commit_hint) {
+        txns_[i]->set_hint_sender(
+            [send, i](NodeId dst, BlockAddr addr) {
+              send(dst, coherence::Message::make(
+                            coherence::MsgType::kRetryHint, addr, i, dst));
+            });
+      }
+      dirs_.push_back(
+          std::make_unique<coherence::Directory>(kernel_, cfg_, i, send));
+      if (cfg_.scheme == Scheme::kPuno) {
+        assists_.push_back(
+            std::make_unique<core::PunoDirectory>(kernel_, cfg_, i));
+        dirs_[i]->set_assist(assists_.back().get());
+      }
+      mesh_->set_handler(i, [this, i](noc::Packet p) {
+        const auto* msg =
+            static_cast<const coherence::Message*>(p.payload.get());
+        switch (msg->type) {
+          case coherence::MsgType::kGetS:
+          case coherence::MsgType::kGetX:
+          case coherence::MsgType::kPutX:
+          case coherence::MsgType::kUnblock:
+          case coherence::MsgType::kWbData:
+            dirs_[i]->handle_message(*msg);
+            break;
+          default:
+            l1s_[i]->handle_message(*msg);
+            break;
+        }
+      });
+    }
+  }
+
+  /// Blocking load: runs the simulation until the operation completes.
+  /// Returns the completion flag (false = cancelled by a local abort).
+  bool do_load(NodeId node, Addr addr, bool transactional = false,
+               bool exclusive_hint = false, Cycle budget = 100000) {
+    bool done = false, ok = false;
+    l1s_[node]->load(addr, transactional, exclusive_hint, [&](bool success) {
+      done = true;
+      ok = success;
+    });
+    kernel_.run_until([&] { return done; }, budget);
+    EXPECT_TRUE(done) << "load did not complete within budget";
+    if (ok && transactional) txns_[node]->on_access(addr, false, 0);
+    drain();
+    return ok;
+  }
+
+  /// Lets trailing protocol actions (UNBLOCK, writebacks) land so directory
+  /// state is settled when a test inspects it. Bounded so tests with other
+  /// traffic in flight (pollers) still make progress.
+  void drain(Cycle budget = 400) {
+    kernel_.run_until([&] { return mesh_->idle(); }, budget);
+    kernel_.run_for(2);
+  }
+
+  bool do_store(NodeId node, Addr addr, bool transactional = false,
+                Cycle budget = 100000) {
+    bool done = false, ok = false;
+    l1s_[node]->store(addr, transactional, [&](bool success) {
+      done = true;
+      ok = success;
+    });
+    kernel_.run_until([&] { return done; }, budget);
+    EXPECT_TRUE(done) << "store did not complete within budget";
+    if (ok && transactional) txns_[node]->on_access(addr, true, 0);
+    drain();
+    return ok;
+  }
+
+  /// Starts an asynchronous operation; completion is reported through the
+  /// returned flag pointer.
+  std::shared_ptr<bool> async_store(NodeId node, Addr addr,
+                                    bool transactional = true) {
+    auto done = std::make_shared<bool>(false);
+    l1s_[node]->store(addr, transactional, [done, this, node, addr,
+                                            transactional](bool success) {
+      *done = true;
+      if (success && transactional) txns_[node]->on_access(addr, true, 0);
+    });
+    return done;
+  }
+  std::shared_ptr<bool> async_load(NodeId node, Addr addr,
+                                   bool transactional = true) {
+    auto done = std::make_shared<bool>(false);
+    l1s_[node]->load(addr, transactional, false,
+                     [done, this, node, addr, transactional](bool success) {
+                       *done = true;
+                       if (success && transactional) {
+                         txns_[node]->on_access(addr, false, 0);
+                       }
+                     });
+    return done;
+  }
+
+  void run(Cycle cycles) { kernel_.run_for(cycles); }
+
+  [[nodiscard]] std::uint64_t stat(const std::string& name) {
+    return kernel_.stats().counter(name).value();
+  }
+
+  using L1State = coherence::L1Controller::LineState;
+
+  SystemConfig cfg_;
+  sim::Kernel kernel_;
+  std::unique_ptr<noc::Mesh> mesh_;
+  std::vector<std::unique_ptr<htm::TxnContext>> txns_;
+  std::vector<std::unique_ptr<coherence::L1Controller>> l1s_;
+  std::vector<std::unique_ptr<coherence::Directory>> dirs_;
+  std::vector<std::unique_ptr<core::PunoDirectory>> assists_;
+};
+
+/// Same fixture with the PUNO scheme enabled.
+class PunoProtocolFixture : public ProtocolFixture {
+ protected:
+  PunoProtocolFixture() : ProtocolFixture(make_config()) {}
+  static SystemConfig make_config() {
+    SystemConfig cfg;
+    cfg.scheme = Scheme::kPuno;
+    return cfg;
+  }
+};
+
+}  // namespace puno::testing

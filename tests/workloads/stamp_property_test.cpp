@@ -1,0 +1,122 @@
+// Property sweep over all 8 STAMP-like profiles: structural invariants that
+// every generated transaction must satisfy, regardless of seed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "workloads/stamp.hpp"
+
+namespace puno::workloads {
+namespace {
+
+using Param = std::tuple<std::string, std::uint64_t>;  // (benchmark, seed)
+
+class StampProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] static SyntheticSpec spec() {
+    return stamp::make_spec(std::get<0>(GetParam()), 0.25);
+  }
+  [[nodiscard]] static std::unique_ptr<SyntheticWorkload> workload() {
+    return stamp::make(std::get<0>(GetParam()), 16, std::get<1>(GetParam()),
+                       0.25);
+  }
+};
+
+TEST_P(StampProperty, EveryNodeMeetsItsQuota) {
+  auto w = workload();
+  const auto quota = spec().txns_per_node;
+  for (NodeId n = 0; n < 16; ++n) {
+    std::uint32_t count = 0;
+    while (w->next(n).has_value()) ++count;
+    ASSERT_EQ(count, quota) << "node " << n;
+  }
+}
+
+TEST_P(StampProperty, OpCountsWithinSiteBounds) {
+  auto w = workload();
+  const auto s = spec();
+  for (NodeId n = 0; n < 16; ++n) {
+    while (auto d = w->next(n)) {
+      ASSERT_LT(d->static_id, s.txns.size());
+      const StaticTxnSpec& site = s.txns[d->static_id];
+      std::uint32_t reads = 0, writes = 0;
+      for (const auto& op : d->ops) (op.is_store ? writes : reads)++;
+      EXPECT_GE(reads, site.reads_min + site.anchor_reads);
+      EXPECT_LE(reads, site.reads_max + site.anchor_reads);
+      EXPECT_GE(writes, site.writes_min + site.anchor_writes);
+      EXPECT_LE(writes, site.writes_max + site.anchor_writes);
+    }
+  }
+}
+
+TEST_P(StampProperty, ThinkTimesWithinBounds) {
+  auto w = workload();
+  const auto s = spec();
+  for (NodeId n = 0; n < 16; ++n) {
+    while (auto d = w->next(n)) {
+      EXPECT_GE(d->pre_think, s.pre_think_min);
+      EXPECT_LE(d->pre_think, s.pre_think_max);
+      EXPECT_GE(d->post_think, s.post_think_min);
+      EXPECT_LE(d->post_think, s.post_think_max);
+    }
+  }
+}
+
+TEST_P(StampProperty, AddressesStayInsideLayout) {
+  auto w = workload();
+  const auto s = spec();
+  const std::uint64_t max_block =
+      s.hot_blocks + s.shared_blocks +
+      16ull * s.private_blocks_per_node;
+  for (NodeId n = 0; n < 16; ++n) {
+    while (auto d = w->next(n)) {
+      for (const auto& op : d->ops) {
+        EXPECT_EQ(op.addr % s.block_bytes, 0u);
+        EXPECT_LT(op.addr / s.block_bytes, max_block);
+      }
+    }
+  }
+}
+
+TEST_P(StampProperty, FootprintFitsTheSharedL2) {
+  // 8 MB L2 = 131072 blocks; every profile must fit with generous slack so
+  // capacity misses never dominate the contention study.
+  auto w = workload();
+  std::set<Addr> blocks;
+  for (NodeId n = 0; n < 16; ++n) {
+    while (auto d = w->next(n)) {
+      for (const auto& op : d->ops) blocks.insert(op.addr / 64);
+    }
+  }
+  EXPECT_LT(blocks.size(), 131072u / 4);
+}
+
+TEST_P(StampProperty, WriteSetsFitTheL1WithoutOverflow) {
+  // The bounded-HTM overflow abort is an escape hatch, not a steady state:
+  // no transaction's footprint may exceed half the L1 (128 sets x 4 ways).
+  auto w = workload();
+  for (NodeId n = 0; n < 16; ++n) {
+    while (auto d = w->next(n)) {
+      std::set<Addr> blocks;
+      for (const auto& op : d->ops) blocks.insert(op.addr / 64);
+      EXPECT_LE(blocks.size(), 256u);
+    }
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::get<0>(info.param) + "_s" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, StampProperty,
+    ::testing::Combine(
+        ::testing::Values("bayes", "intruder", "labyrinth", "yada", "genome",
+                          "kmeans", "ssca2", "vacation"),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{42})),
+    param_name);
+
+}  // namespace
+}  // namespace puno::workloads
