@@ -1,0 +1,143 @@
+// punofuzz: deterministic fuzz campaign for the protocol invariant oracle.
+//
+//   ./punofuzz --seeds 64 --scheme both --invariants all
+//
+// Runs randomized synthetic workloads on randomized machine shapes, each
+// derived entirely from its seed, with the invariant checker attached and
+// (with --scheme both) the baseline-vs-PUNO differential oracle. Every
+// failure prints a one-command repro line. Exit status: 0 clean, 1 any
+// invariant violation / liveness failure / differential mismatch.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "check/fuzz.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seeds N         number of seeds to run (default: 16)\n"
+      "  --seed-start N    first seed (default: 1)\n"
+      "  --scheme NAME     baseline|backoff|rmw|puno|both|all\n"
+      "                    (default: both = baseline + puno, enabling the\n"
+      "                    differential oracle; all adds backoff)\n"
+      "  --max-cycles N    per-run cycle cap (default: 2000000)\n"
+      "  --stride N        check every N cycles (default: 16; failures are\n"
+      "                    re-run at stride 1 automatically)\n"
+      "  --invariants LIST all|none|comma-list of dir-state,dir-l1,\n"
+      "                    ud-pointer,txn-pin,noc (default: all)\n"
+      "  --no-differential skip the cross-scheme commit-count oracle\n"
+      "  --quiet           only print the summary and failures\n",
+      argv0);
+}
+
+bool apply_invariant(puno::check::CheckerConfig& cfg, const std::string& tok) {
+  using puno::check::InvariantId;
+  if (tok == "dir-state") cfg.set_enabled(InvariantId::kDirState, true);
+  else if (tok == "dir-l1") cfg.set_enabled(InvariantId::kDirL1, true);
+  else if (tok == "ud-pointer") cfg.set_enabled(InvariantId::kUdPointer, true);
+  else if (tok == "txn-pin") cfg.set_enabled(InvariantId::kTxnPin, true);
+  else if (tok == "noc") cfg.set_enabled(InvariantId::kNocConservation, true);
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace puno;
+  check::FuzzOptions opts;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      opts.num_seeds = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--seed-start") {
+      opts.seed_start = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--scheme") {
+      const std::string s = next();
+      if (s == "baseline") opts.schemes = {Scheme::kBaseline};
+      else if (s == "backoff") opts.schemes = {Scheme::kRandomBackoff};
+      else if (s == "rmw") opts.schemes = {Scheme::kRmwPred};
+      else if (s == "puno") opts.schemes = {Scheme::kPuno};
+      else if (s == "both") opts.schemes = {Scheme::kBaseline, Scheme::kPuno};
+      else if (s == "all") {
+        opts.schemes = {Scheme::kBaseline, Scheme::kRandomBackoff,
+                        Scheme::kPuno};
+      } else {
+        std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+        return 2;
+      }
+    } else if (arg == "--max-cycles") {
+      opts.max_cycles = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--stride") {
+      opts.checker.stride = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--invariants") {
+      const std::string list = next();
+      if (list == "all") {
+        // default config already has everything on
+      } else {
+        const std::uint32_t stride = opts.checker.stride;
+        opts.checker = check::CheckerConfig::none();
+        opts.checker.stride = stride;
+        if (list != "none") {
+          std::size_t pos = 0;
+          while (pos < list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            const std::string tok =
+                list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                            : comma - pos);
+            if (!apply_invariant(opts.checker, tok)) {
+              std::fprintf(stderr, "unknown invariant '%s'\n", tok.c_str());
+              return 2;
+            }
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+          }
+        }
+      }
+    } else if (arg == "--no-differential") {
+      opts.differential = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  opts.log = quiet ? nullptr : &std::cout;
+  const check::FuzzReport report = check::run_fuzz(opts);
+
+  std::printf(
+      "\n%u runs: %u invariant failures, %u liveness failures, "
+      "%u differential mismatches\n",
+      report.runs, report.violation_runs, report.incomplete_runs,
+      report.differential_failures);
+  if (report.baseline_falsely_aborted + report.puno_falsely_aborted > 0) {
+    std::printf("falsely aborted txns: baseline %llu, PUNO %llu\n",
+                static_cast<unsigned long long>(
+                    report.baseline_falsely_aborted),
+                static_cast<unsigned long long>(report.puno_falsely_aborted));
+  }
+  for (const std::string& line : report.repro_lines) {
+    std::printf("repro: %s\n", line.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}

@@ -110,6 +110,12 @@ class CacheArray {
       if (line.valid) fn(line);
     }
   }
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) const {
+    for (const auto& line : lines_) {
+      if (line.valid) fn(line);
+    }
+  }
 
  private:
   [[nodiscard]] CacheLine<LineState>& at(std::uint32_t set, std::uint32_t way) {

@@ -257,6 +257,11 @@ void Directory::handle_put_x(Entry& e, const Message& msg) {
   if (e.state == DirState::kEM && e.owner == msg.sender) {
     e.state = DirState::kI;
     e.owner = kInvalidNode;
+    // The UD pointer must never outlive the sharers it was computed from: a
+    // stale pointer on an idle line would be fed back to predict_unicast as
+    // a hint the next time the line is shared (the exact class of mismatch
+    // bug the invariant checker's UD invariant exists to catch).
+    e.ud = kInvalidNode;
     fill_l2(msg.addr);  // dirty (or clean-E) data returns home
     send_(msg.sender, Message::make(MsgType::kWbAck, msg.addr, node_,
                                     msg.sender));

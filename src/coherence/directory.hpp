@@ -88,6 +88,7 @@ class Directory {
 
   /// Test/debug introspection.
   [[nodiscard]] const Entry* peek(BlockAddr addr) const;
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::size_t pending_services() const noexcept {
     return busy_entries_;
   }
@@ -97,6 +98,20 @@ class Directory {
     for (const auto& [addr, e] : entries_) {
       if (e.busy) fn(addr, e);
     }
+  }
+  /// Read-only visit of every directory entry, for the invariant checker:
+  /// fn(BlockAddr, const Entry&).
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [addr, e] : entries_) fn(addr, e);
+  }
+  /// Fault injection for the invariant-checker tests ONLY: hands out a
+  /// mutable entry so a test can seed a corruption (stale UD pointer, bogus
+  /// owner, ...) and assert the checker reports it. Returns nullptr when the
+  /// line has no entry yet.
+  [[nodiscard]] Entry* mutable_entry_for_test(BlockAddr addr) {
+    const auto it = entries_.find(addr);
+    return it == entries_.end() ? nullptr : &it->second;
   }
 
  private:

@@ -70,6 +70,24 @@ class L1Controller {
     return mshr_.has_value();
   }
   [[nodiscard]] NodeId node() const noexcept { return node_; }
+  /// True while a PutX for `addr` is in flight (the writeback buffer still
+  /// answers forwards for the line).
+  [[nodiscard]] bool has_writeback(BlockAddr addr) const {
+    return wb_buffer_.contains(addr);
+  }
+  /// Read-only visit of every valid L1 line, for the invariant checker:
+  /// fn(BlockAddr, LineState).
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    cache_.for_each_valid(
+        [&fn](const CacheLine<L1Meta>& line) { fn(line.addr, line.state.state); });
+  }
+  /// Fault injection for the invariant-checker tests ONLY: silently drops
+  /// `addr` from the cache as a (hypothetical) pinning bug would, so tests
+  /// can assert the checker catches an unpinned transactional line.
+  void corrupt_invalidate_for_test(BlockAddr addr) {
+    if (auto* line = cache_.find(addr)) cache_.invalidate(*line);
+  }
 
  private:
   struct L1Meta {

@@ -50,6 +50,7 @@ Mesh::Mesh(sim::Kernel& kernel, const NocConfig& cfg)
     r.connect_input(Port::kLocal,
                     [&ni](std::uint32_t vc) { ni.return_credit(vc); });
     ni.set_delivery_handler([this, i](Packet p) {
+      ++messages_delivered_;
       if (handlers_[i]) handlers_[i](std::move(p));
     });
   }
@@ -90,11 +91,13 @@ void Mesh::set_handler(NodeId node, MessageHandler h) {
 void Mesh::send(NodeId src, NodeId dst, VNet vnet, std::uint32_t data_bytes,
                 std::shared_ptr<const PacketPayload> payload) {
   assert(src < num_nodes() && dst < num_nodes());
+  ++messages_injected_;
   if (src == dst) {
     // Same-tile communication: no network traversal, one cycle of latency.
     ++inflight_local_;
     kernel_.schedule(1, [this, src, dst, vnet, payload = std::move(payload)] {
       --inflight_local_;
+      ++messages_delivered_;
       if (handlers_[dst]) {
         Packet p;
         p.src = src;
@@ -123,6 +126,19 @@ bool Mesh::idle() const {
     if (!ni->idle()) return false;
   }
   return true;
+}
+
+std::uint64_t Mesh::buffered_router_flits() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routers_) total += r->buffered_flits();
+  return total;
+}
+
+bool Mesh::corrupt_drop_flit_for_test() {
+  for (auto& r : routers_) {
+    if (r->corrupt_drop_flit_for_test()) return true;
+  }
+  return false;
 }
 
 std::uint32_t Mesh::average_c2c_latency() const noexcept {

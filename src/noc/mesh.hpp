@@ -57,12 +57,41 @@ class Mesh final : public sim::Tickable {
 
   [[nodiscard]] Router& router(NodeId n) { return *routers_[n]; }
 
+  // --- Read-only inspection for the invariant checker ---
+
+  /// Flits currently riding inter-router links (scheduled kernel events).
+  [[nodiscard]] std::uint64_t inflight_link_flits() const noexcept {
+    return inflight_flits_;
+  }
+  /// Same-tile messages awaiting their 1-cycle bypass delivery.
+  [[nodiscard]] std::uint64_t inflight_local_messages() const noexcept {
+    return inflight_local_;
+  }
+  /// Flits sitting in router input buffers, summed over the whole mesh.
+  [[nodiscard]] std::uint64_t buffered_router_flits() const;
+  /// Protocol messages handed to send() since construction (including
+  /// same-tile bypasses, which never become flits).
+  [[nodiscard]] std::uint64_t messages_injected() const noexcept {
+    return messages_injected_;
+  }
+  /// Protocol messages delivered to a node handler (or dropped for lack of
+  /// one) since construction.
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+
+  /// Fault injection for the invariant-checker tests ONLY: drops one flit
+  /// from some router buffer. Returns false if the network held no flit.
+  bool corrupt_drop_flit_for_test();
+
  private:
   sim::Kernel& kernel_;
   const NocConfig cfg_;
   sim::Counter* traversals_;
   std::uint64_t inflight_flits_ = 0;
   std::uint64_t inflight_local_ = 0;  ///< Self-sends awaiting delivery.
+  std::uint64_t messages_injected_ = 0;
+  std::uint64_t messages_delivered_ = 0;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<MessageHandler> handlers_;

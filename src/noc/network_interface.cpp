@@ -18,6 +18,7 @@ NetworkInterface::NetworkInterface(sim::Kernel& kernel, const NocConfig& cfg,
       packets_sent_(stats.counter("noc.packets_sent")),
       packets_received_(stats.counter("noc.packets_received")),
       flits_sent_(stats.counter("noc.flits_sent")),
+      flits_ejected_(stats.counter("noc.flits_ejected")),
       packet_latency_(stats.scalar("noc.packet_latency")) {
   for (auto& vc : local_vc_) vc.credits = cfg.vc_depth;
 }
@@ -89,6 +90,7 @@ void NetworkInterface::tick(Cycle now) {
 }
 
 void NetworkInterface::eject_flit(std::uint32_t /*vc*/, Flit flit) {
+  flits_ejected_.add();
   const std::shared_ptr<Packet>& pkt = flit.packet;
   const std::uint32_t have = ++reassembly_[pkt->id];
   if (have < pkt->num_flits) return;

@@ -86,6 +86,7 @@ class NetworkInterface {
   sim::Counter& packets_sent_;
   sim::Counter& packets_received_;
   sim::Counter& flits_sent_;
+  sim::Counter& flits_ejected_;
   sim::Scalar& packet_latency_;
 };
 

@@ -39,6 +39,16 @@ void Router::receive_flit(Port p, std::uint32_t vc, Flit flit) {
   ++buffered_flits_;
 }
 
+bool Router::corrupt_drop_flit_for_test() {
+  for (auto& in : inputs_) {
+    if (in.buffer.empty()) continue;
+    in.buffer.pop_back();  // drop the youngest flit; head/VA state stays sane
+    --buffered_flits_;
+    return true;
+  }
+  return false;
+}
+
 void Router::return_credit(Port p, std::uint32_t vc) {
   OutputVc& ovc = out(p).vcs[vc];
   assert(ovc.credits < cfg_.vc_depth || p == Port::kLocal);

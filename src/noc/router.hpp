@@ -64,6 +64,17 @@ class Router {
   /// True if no flit is buffered anywhere in this router.
   [[nodiscard]] bool idle() const noexcept { return buffered_flits_ == 0; }
 
+  /// Number of flits currently held in this router's input buffers, for the
+  /// invariant checker's flit-conservation accounting.
+  [[nodiscard]] std::uint64_t buffered_flits() const noexcept {
+    return buffered_flits_;
+  }
+
+  /// Fault injection for the invariant-checker tests ONLY: silently discards
+  /// one buffered flit (as a flow-control bug would), without touching the
+  /// injected/ejected counters. Returns false if nothing was buffered.
+  bool corrupt_drop_flit_for_test();
+
  private:
   struct InputVc {
     std::deque<Flit> buffer;

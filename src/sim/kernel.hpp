@@ -8,9 +8,9 @@
 // tickables run in registration order and events in scheduling order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -41,20 +41,36 @@ class Kernel {
   void add_tickable(Tickable& t) { tickables_.push_back(&t); }
 
   /// Schedules `fn` to run `delay` cycles from now (0 = later this cycle,
-  /// after all tickables). Events at the same cycle run in scheduling order.
+  /// after all tickables). Events at the same cycle run in scheduling order;
+  /// a zero-delay event scheduled from inside another event handler still
+  /// runs this cycle, after all previously-scheduled same-cycle events.
   void schedule(Cycle delay, std::function<void()> fn) {
-    events_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+    events_.push_back(Event{now_ + delay, next_seq_++, std::move(fn)});
+    std::push_heap(events_.begin(), events_.end(), EventLater{});
   }
 
-  /// Advances one cycle: run all tickables, then all events due this cycle.
+  /// Registers an observer invoked at the end of every cycle, after all
+  /// tickables and events have run but before the clock advances. Hooks must
+  /// only *inspect* state; an event scheduled from a hook (even with delay 0)
+  /// runs in the next cycle.
+  void add_post_cycle_hook(std::function<void(Cycle)> hook) {
+    post_cycle_hooks_.push_back(std::move(hook));
+  }
+
+  /// Advances one cycle: run all tickables, then all events due this cycle,
+  /// then the post-cycle hooks.
   void step() {
     for (Tickable* t : tickables_) t->tick(now_);
-    while (!events_.empty() && events_.top().when <= now_) {
-      // Copy out before pop so the handler can schedule without invalidation.
-      auto fn = std::move(const_cast<Event&>(events_.top()).fn);
-      events_.pop();
-      fn();
+    while (!events_.empty() && events_.front().when <= now_) {
+      // Move the event fully out of the heap before running it, so the
+      // handler can schedule further events (including zero-delay ones for
+      // this same cycle) without touching live heap storage.
+      std::pop_heap(events_.begin(), events_.end(), EventLater{});
+      Event ev = std::move(events_.back());
+      events_.pop_back();
+      ev.fn();
     }
+    for (const auto& hook : post_cycle_hooks_) hook(now_);
     ++now_;
   }
 
@@ -88,6 +104,7 @@ class Kernel {
     std::uint64_t seq;  // tie-break: FIFO among same-cycle events
     std::function<void()> fn;
   };
+  /// Heap comparator: the front of the heap is the earliest (when, seq).
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const noexcept {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
@@ -97,7 +114,8 @@ class Kernel {
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::vector<Tickable*> tickables_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<Event> events_;  ///< Binary heap ordered by EventLater.
+  std::vector<std::function<void(Cycle)>> post_cycle_hooks_;
   StatsRegistry stats_;
 };
 

@@ -1,21 +1,36 @@
 // Property tests: HTM isolation invariants checked continuously while full
-// workloads run, parameterized over every (workload, scheme) combination.
+// workloads run, parameterized over every (workload, scheme) combination —
+// with the protocol invariant oracle (src/check) attached, so every run also
+// re-verifies directory/L1/UD/pinning/NoC consistency as it executes.
 #include <gtest/gtest.h>
 
 #include <cctype>
-#include <set>
 #include <string>
 #include <tuple>
 
 #include "arch/cmp.hpp"
-#include "workloads/stamp.hpp"
+#include "../support/fixture.hpp"
 
 namespace puno::arch {
 namespace {
 
 using Param = std::tuple<std::string, Scheme>;
 
-class InvariantTest : public ::testing::TestWithParam<Param> {};
+class InvariantTest : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] puno::testing::CmpHarness::Options options(
+      std::uint64_t seed) const {
+    puno::testing::CmpHarness::Options opts;
+    opts.workload = std::get<0>(GetParam());
+    opts.scheme = std::get<1>(GetParam());
+    opts.seed = seed;
+    opts.attach_checker = true;
+    // Coarse stride: the oracle sweeps every machine structure, and this
+    // suite runs 32 (workload, scheme) combinations.
+    opts.checker.stride = 256;
+    return opts;
+  }
+};
 
 /// The "single-writer, multi-reader" invariant (Section II.B): at any point,
 /// a block in one live transaction's write set must not appear in any other
@@ -41,40 +56,31 @@ void check_isolation(Cmp& cmp, const SystemConfig& cfg) {
 }
 
 TEST_P(InvariantTest, IsolationHoldsThroughoutExecution) {
-  const auto& [workload, scheme] = GetParam();
-  SystemConfig cfg;
-  cfg.scheme = scheme;
-  cfg.seed = 5;
-  auto wl = workloads::stamp::make(workload, cfg.num_nodes, 5, 0.12);
-  Cmp cmp(cfg, *wl);
+  puno::testing::CmpHarness h(options(5));
+  Cmp& cmp = h.cmp();
 
   // Periodic invariant probe woven through the run.
   std::function<void()> probe = [&] {
-    check_isolation(cmp, cfg);
+    check_isolation(cmp, h.cfg());
     if (!cmp.all_done()) cmp.kernel().schedule(50, probe);
   };
   cmp.kernel().schedule(50, probe);
 
-  ASSERT_TRUE(cmp.run(20'000'000)) << "run must complete within budget";
+  ASSERT_TRUE(h.run()) << "run must complete within budget";
   EXPECT_TRUE(cmp.mesh().idle());
+  h.expect_invariants_clean();
 }
 
 TEST_P(InvariantTest, AllCommitsAccountedAndSystemDrains) {
-  const auto& [workload, scheme] = GetParam();
-  SystemConfig cfg;
-  cfg.scheme = scheme;
-  cfg.seed = 9;
-  auto wl = workloads::stamp::make(workload, cfg.num_nodes, 9, 0.12);
-  const auto quota =
-      workloads::stamp::make_spec(workload, 0.12).txns_per_node;
-  Cmp cmp(cfg, *wl);
-  ASSERT_TRUE(cmp.run(20'000'000));
-  EXPECT_EQ(cmp.total_committed(),
-            static_cast<std::uint64_t>(quota) * cfg.num_nodes);
-  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
-    EXPECT_FALSE(cmp.l1(n).has_outstanding_miss()) << "node " << n;
-    EXPECT_EQ(cmp.directory(n).pending_services(), 0u) << "node " << n;
+  puno::testing::CmpHarness h(options(9));
+  ASSERT_TRUE(h.run());
+  EXPECT_EQ(h.cmp().total_committed(),
+            static_cast<std::uint64_t>(h.quota()) * h.cfg().num_nodes);
+  for (NodeId n = 0; n < h.cfg().num_nodes; ++n) {
+    EXPECT_FALSE(h.cmp().l1(n).has_outstanding_miss()) << "node " << n;
+    EXPECT_EQ(h.cmp().directory(n).pending_services(), 0u) << "node " << n;
   }
+  h.expect_invariants_clean();
 }
 
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {

@@ -114,6 +114,114 @@ TEST(Kernel, EventSchedulingZeroDelayFromEventRunsSameCycle) {
   EXPECT_EQ(inner_at, 1u);
 }
 
+// Regression: a zero-delay event scheduled from inside a handler must run
+// this cycle even when later-cycle events are already pending in the queue —
+// the intended semantics must not depend on how the event heap happens to
+// order its storage.
+TEST(Kernel, ZeroDelayFromHandlerRunsBeforePendingLaterEvents) {
+  Kernel k;
+  std::vector<std::pair<char, Cycle>> order;
+  k.schedule(3, [&] { order.emplace_back('L', k.now()); });  // later cycle
+  k.schedule(2, [&] {
+    order.emplace_back('H', k.now());
+    k.schedule(0, [&] { order.emplace_back('Z', k.now()); });
+  });
+  k.run_for(5);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], (std::pair<char, Cycle>{'H', 2}));
+  EXPECT_EQ(order[1], (std::pair<char, Cycle>{'Z', 2}));
+  EXPECT_EQ(order[2], (std::pair<char, Cycle>{'L', 3}));
+}
+
+// Regression: a cascade of nested zero-delay events all drains within the
+// cycle that spawned it.
+TEST(Kernel, NestedZeroDelayCascadeDrainsSameCycle) {
+  Kernel k;
+  int depth = 0;
+  Cycle last_at = 99;
+  std::function<void()> nest = [&] {
+    last_at = k.now();
+    if (++depth < 5) k.schedule(0, nest);
+  };
+  k.schedule(2, nest);
+  k.run_for(3);
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(last_at, 2u);
+}
+
+// Regression: a zero-delay event scheduled from a handler runs after every
+// same-cycle event that was already queued (FIFO by scheduling order), not
+// immediately after its parent.
+TEST(Kernel, ZeroDelayFromHandlerRunsAfterQueuedSameCycleEvents) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(1, [&] {
+    order.push_back(1);
+    k.schedule(0, [&] { order.push_back(3); });
+  });
+  k.schedule(1, [&] { order.push_back(2); });
+  k.run_for(3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, ZeroDelayFromTickableRunsSameCycle) {
+  Kernel k;
+  struct T final : Tickable {
+    Kernel* k;
+    Cycle fired_at = 99;
+    bool armed = false;
+    explicit T(Kernel* kk) : k(kk) {}
+    void tick(Cycle) override {
+      if (armed) return;
+      armed = true;
+      k->schedule(0, [this] { fired_at = k->now(); });
+    }
+  };
+  T t(&k);
+  k.add_tickable(t);
+  k.step();
+  EXPECT_EQ(t.fired_at, 0u);
+}
+
+TEST(Kernel, PostCycleHookRunsAfterTickablesAndEvents) {
+  Kernel k;
+  std::vector<char> order;
+  struct T final : Tickable {
+    std::vector<char>* order;
+    explicit T(std::vector<char>* o) : order(o) {}
+    void tick(Cycle) override { order->push_back('t'); }
+  };
+  T t(&order);
+  k.add_tickable(t);
+  k.schedule(0, [&] { order.push_back('e'); });
+  k.add_post_cycle_hook([&](Cycle) { order.push_back('h'); });
+  k.step();
+  EXPECT_EQ(order, (std::vector<char>{'t', 'e', 'h'}));
+}
+
+TEST(Kernel, PostCycleHookSeesTheCycleJustExecuted) {
+  Kernel k;
+  std::vector<Cycle> seen;
+  k.add_post_cycle_hook([&](Cycle c) { seen.push_back(c); });
+  k.run_for(3);
+  EXPECT_EQ(seen, (std::vector<Cycle>{0, 1, 2}));
+}
+
+// Hooks are observers: an event scheduled from a hook (even delay 0) runs in
+// the next cycle, after that cycle's tickables.
+TEST(Kernel, EventScheduledFromPostCycleHookRunsNextCycle) {
+  Kernel k;
+  Cycle fired_at = 99;
+  bool armed = false;
+  k.add_post_cycle_hook([&](Cycle) {
+    if (armed) return;
+    armed = true;
+    k.schedule(0, [&] { fired_at = k.now(); });
+  });
+  k.run_for(3);
+  EXPECT_EQ(fired_at, 1u);
+}
+
 TEST(Kernel, RunUntilStopsOnPredicate) {
   Kernel k;
   int count = 0;

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "arch/cmp.hpp"
+#include "check/invariant_checker.hpp"
 #include "coherence/directory.hpp"
 #include "coherence/l1_controller.hpp"
 #include "htm/txn_context.hpp"
@@ -16,6 +19,7 @@
 #include "puno/puno_directory.hpp"
 #include "sim/config.hpp"
 #include "sim/kernel.hpp"
+#include "workloads/stamp.hpp"
 
 namespace puno::testing {
 
@@ -165,6 +169,66 @@ class PunoProtocolFixture : public ProtocolFixture {
     cfg.scheme = Scheme::kPuno;
     return cfg;
   }
+};
+
+/// Full-system harness (cores + STAMP-profile workload + Cmp), factoring
+/// the "build config, make workload, run, inspect" boilerplate the
+/// integration tests all repeat — with the protocol invariant oracle
+/// optionally riding along so any property test doubles as a protocol
+/// consistency test.
+class CmpHarness {
+ public:
+  struct Options {
+    std::string workload = "intruder";
+    Scheme scheme = Scheme::kBaseline;
+    std::uint64_t seed = 1;
+    double scale = 0.12;
+    /// Attach the invariant checker (off = zero overhead, as in production).
+    bool attach_checker = false;
+    check::CheckerConfig checker{};
+  };
+
+  explicit CmpHarness(Options opts) : opts_(std::move(opts)) {
+    cfg_.scheme = opts_.scheme;
+    cfg_.seed = opts_.seed;
+    workload_ = workloads::stamp::make(opts_.workload, cfg_.num_nodes,
+                                       opts_.seed, opts_.scale);
+    quota_ = workloads::stamp::make_spec(opts_.workload, opts_.scale)
+                 .txns_per_node;
+    cmp_ = std::make_unique<arch::Cmp>(cfg_, *workload_);
+    if (opts_.attach_checker) {
+      checker_ = check::InvariantChecker::attach(*cmp_, opts_.checker);
+    }
+  }
+
+  [[nodiscard]] bool run(Cycle max_cycles = 20'000'000) {
+    const bool completed = cmp_->run(max_cycles);
+    if (checker_) checker_->check_now(cmp_->kernel().now());
+    return completed;
+  }
+
+  /// Fails the current test with a formatted report if the oracle tripped.
+  void expect_invariants_clean() const {
+    if (!checker_) return;
+    for (const auto& v : checker_->violations()) {
+      ADD_FAILURE() << check::format_violation(v);
+    }
+  }
+
+  [[nodiscard]] arch::Cmp& cmp() noexcept { return *cmp_; }
+  [[nodiscard]] const SystemConfig& cfg() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint32_t quota() const noexcept { return quota_; }
+  [[nodiscard]] const check::InvariantChecker* checker() const noexcept {
+    return checker_.get();
+  }
+
+ private:
+  Options opts_;
+  SystemConfig cfg_;
+  std::unique_ptr<workloads::Workload> workload_;
+  std::uint32_t quota_ = 0;
+  std::unique_ptr<arch::Cmp> cmp_;
+  std::unique_ptr<check::InvariantChecker> checker_;
 };
 
 }  // namespace puno::testing
