@@ -3,88 +3,16 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <iostream>
+#include <iterator>
 
+#include "runner/grid.hpp"
 #include "workloads/stamp.hpp"
 
 namespace puno::bench {
 
-namespace fs = std::filesystem;
 using metrics::ExperimentParams;
 using metrics::RunResult;
-
-namespace {
-
-/// Bump when the simulator's behaviour changes so stale caches self-expire.
-constexpr int kCacheVersion = 4;
-
-[[nodiscard]] bool cache_enabled() {
-  const char* v = std::getenv("PUNO_BENCH_NOCACHE");
-  return v == nullptr || v[0] == '0';
-}
-
-[[nodiscard]] fs::path cache_dir() { return ".puno-bench-cache"; }
-
-[[nodiscard]] std::string cache_key(const ExperimentParams& p) {
-  // Every knob that changes simulated behaviour must appear in the key.
-  const PunoConfig& pc = p.base_config.puno;
-  std::ostringstream os;
-  os << "v" << kCacheVersion << "_" << p.workload << "_"
-     << to_string(p.scheme) << "_s" << p.seed << "_x" << p.scale << "_u"
-     << pc.enable_unicast << "_n" << pc.enable_notification << "_vt"
-     << int{pc.validity_threshold} << "_tf" << pc.timeout_fraction << "_cap"
-     << pc.max_notified_backoff << "_ms" << pc.unicast_min_sharers << "_pe"
-     << pc.pbuffer_entries << "_te" << pc.txlb_entries << "_nn"
-     << p.base_config.num_nodes << "_ch" << pc.enable_commit_hint;
-  return os.str();
-}
-
-void save(const fs::path& file, const RunResult& r) {
-  std::ofstream out(file);
-  if (!out) return;
-  out << r.workload << '\n'
-      << static_cast<int>(r.scheme) << '\n'
-      << r.completed << '\n'
-      << r.cycles << '\n'
-      << r.commits << ' ' << r.aborts << ' ' << r.aborts_by_getx << ' '
-      << r.aborts_by_gets << ' ' << r.aborts_overflow << '\n'
-      << r.tx_getx_issued << ' ' << r.tx_getx_nacked << ' '
-      << r.request_retries << ' ' << r.retries_per_contended_acquire << '\n'
-      << r.false_abort_events << ' ' << r.falsely_aborted_txns << '\n'
-      << r.router_traversals << '\n'
-      << r.dir_blocked_mean << ' ' << r.dir_txgetx_services << '\n'
-      << r.good_cycles << ' ' << r.discarded_cycles << '\n'
-      << r.unicast_forwards << ' ' << r.mp_feedbacks << ' '
-      << r.notified_backoffs << ' ' << r.commit_hints_sent << ' '
-      << r.hint_wakeups << '\n'
-      << r.false_abort_multiplicity.size() << '\n';
-  for (double f : r.false_abort_multiplicity) out << f << ' ';
-  out << '\n';
-}
-
-[[nodiscard]] bool load(const fs::path& file, RunResult& r) {
-  std::ifstream in(file);
-  if (!in) return false;
-  int scheme = 0;
-  std::size_t hist = 0;
-  in >> r.workload >> scheme >> r.completed >> r.cycles >> r.commits >>
-      r.aborts >> r.aborts_by_getx >> r.aborts_by_gets >> r.aborts_overflow >>
-      r.tx_getx_issued >> r.tx_getx_nacked >> r.request_retries >>
-      r.retries_per_contended_acquire >> r.false_abort_events >>
-      r.falsely_aborted_txns >> r.router_traversals >> r.dir_blocked_mean >>
-      r.dir_txgetx_services >> r.good_cycles >> r.discarded_cycles >>
-      r.unicast_forwards >> r.mp_feedbacks >> r.notified_backoffs >>
-      r.commit_hints_sent >> r.hint_wakeups >> hist;
-  if (!in) return false;
-  r.scheme = static_cast<Scheme>(scheme);
-  r.false_abort_multiplicity.resize(hist);
-  for (auto& f : r.false_abort_multiplicity) in >> f;
-  return static_cast<bool>(in);
-}
-
-}  // namespace
 
 double bench_scale() {
   if (const char* v = std::getenv("PUNO_BENCH_SCALE")) {
@@ -94,33 +22,62 @@ double bench_scale() {
   return 1.0;
 }
 
+bool cache_enabled() {
+  const char* v = std::getenv("PUNO_BENCH_NOCACHE");
+  return v == nullptr || v[0] == '0';
+}
+
+const runner::ResultCache& bench_cache() {
+  static const runner::ResultCache cache(runner::ResultCache::default_dir());
+  return cache;
+}
+
 RunResult cached_run(ExperimentParams params) {
   if (params.scale <= 0) params.scale = bench_scale();
-  const fs::path file = cache_dir() / cache_key(params);
   if (cache_enabled()) {
-    RunResult r;
-    if (load(file, r)) return r;
+    if (auto hit = bench_cache().load(params)) return std::move(*hit);
   }
   const RunResult r = metrics::run_experiment(params);
-  if (cache_enabled()) {
-    std::error_code ec;
-    fs::create_directories(cache_dir(), ec);
-    if (!ec) save(file, r);
-  }
+  if (cache_enabled()) bench_cache().store(params, r);
   return r;
 }
 
 std::vector<RunResult> cached_suite(Scheme scheme, std::uint64_t seed) {
-  std::vector<RunResult> out;
-  for (const std::string& w : workloads::stamp::benchmark_names()) {
-    ExperimentParams p;
-    p.workload = w;
-    p.scheme = scheme;
-    p.seed = seed;
-    p.scale = bench_scale();
-    out.push_back(cached_run(p));
+  runner::SuiteOptions options;
+  options.cache = cache_enabled() ? &bench_cache() : nullptr;
+  options.scale = bench_scale();
+  return runner::run_suite(scheme, seed, options);
+}
+
+SweepGrid cached_sweep(const std::vector<Scheme>& schemes,
+                       const std::vector<std::uint64_t>& seeds) {
+  SweepGrid grid;
+  grid.schemes = schemes;
+  grid.seeds = seeds;
+  grid.workloads = workloads::stamp::benchmark_names();
+
+  // Scheme-major, then seed, then the 8 workloads — the index order at()
+  // expects. expand_grid is workload-major, so expand per (scheme, seed).
+  std::vector<runner::JobSpec> specs;
+  for (const Scheme s : schemes) {
+    for (const std::uint64_t seed : seeds) {
+      runner::GridSpec g;
+      g.workloads = grid.workloads;
+      g.schemes = {s};
+      g.seeds = {seed};
+      g.scale = bench_scale();
+      auto part = runner::expand_grid(g);
+      specs.insert(specs.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
   }
-  return out;
+
+  runner::RunnerOptions options;
+  options.cache = cache_enabled() ? &bench_cache() : nullptr;
+  options.progress = true;
+  grid.sweep = runner::run_jobs(specs, options);
+  runner::print_summary(grid.sweep, std::cout);
+  return grid;
 }
 
 double geomean(const std::vector<double>& v,

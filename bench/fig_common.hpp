@@ -1,5 +1,8 @@
 // Shared body for the Figures 10-14 benches: run the 8-workload x 4-scheme
-// sweep and print one metric as a paper-style normalized figure.
+// x 3-seed sweep as ONE sharded runner batch (96 jobs; PUNO_JOBS workers,
+// results cached) and print one metric as a paper-style normalized figure.
+// The runner's summary line reports wall time vs. summed sim time, i.e. the
+// parallel speedup of the sweep itself.
 #pragma once
 
 #include <functional>
@@ -26,20 +29,21 @@ inline void run_scheme_figure(const std::string& title, const MetricFn& metric,
   const std::vector<Scheme> schemes = {Scheme::kBaseline,
                                        Scheme::kRandomBackoff,
                                        Scheme::kRmwPred, Scheme::kPuno};
+  const SweepGrid grid = cached_sweep(schemes, figure_seeds());
   std::vector<Series> series;
-  for (Scheme s : schemes) {
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
     Series col;
-    col.name = to_string(s);
-    for (std::uint64_t seed : figure_seeds()) {
-      const auto suite = cached_suite(s, seed);
-      if (col.values.empty()) col.values.resize(suite.size(), 0.0);
-      for (std::size_t i = 0; i < suite.size(); ++i) {
-        col.values[i] += metric(suite[i]) / figure_seeds().size();
+    col.name = to_string(schemes[s]);
+    col.values.resize(grid.workloads.size(), 0.0);
+    for (std::size_t k = 0; k < grid.seeds.size(); ++k) {
+      for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        col.values[w] +=
+            metric(grid.at(s, k, w)) / static_cast<double>(grid.seeds.size());
       }
     }
     series.push_back(std::move(col));
   }
-  print_normalized(title, workloads::stamp::benchmark_names(), series);
+  print_normalized(title, grid.workloads, series);
   std::printf("\n%s\n", paper_note.c_str());
 }
 

@@ -1,0 +1,222 @@
+// punobatch: parallel batch driver for arbitrary experiment grids.
+//
+//   ./punobatch --workloads intruder,vacation --schemes baseline,puno
+//               --seeds 1..3 --set puno.timeout_fraction=0.25,1,4
+//               --jobs 8 --csv out.csv --jsonl out.jsonl --manifest runs.jsonl
+//
+// Expands the workload x scheme x seed x config-override cross product,
+// shards it over the experiment runner's worker threads (with the
+// content-addressed result cache), and writes the results as CSV and/or
+// JSONL. Every --set adds a grid axis: --set KEY=V1,V2 multiplies the grid
+// by one job per value. The JSONL manifest records one line per job
+// (status, attempts, sim wall time, cycles/s, cache key).
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/stats_io.hpp"
+#include "runner/cache.hpp"
+#include "runner/grid.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --workloads LIST  csv of benchmarks, or \"all\" (default: all)\n"
+      "  --schemes LIST    csv of baseline|backoff|rmw|puno, or \"all\"\n"
+      "                    (default: all)\n"
+      "  --seeds SPEC      \"1,2,5\" or \"1..8\" (default: 1)\n"
+      "  --scale X         committed-txn quota multiplier (default: 1.0)\n"
+      "  --max-cycles N    per-run cycle budget (default: 30000000)\n"
+      "  --set KEY=V[,V..] config override axis; repeatable, each axis\n"
+      "                    multiplies the grid (see --list-keys)\n"
+      "  --list-keys       print the overridable config keys and exit\n"
+      "  --jobs N          worker threads (default: PUNO_JOBS, else all\n"
+      "                    hardware threads)\n"
+      "  --watchdog SECS   per-job wall-clock limit (default: off)\n"
+      "  --no-cache        always re-simulate\n"
+      "  --cache-dir PATH  result cache location (default: PUNO_CACHE_DIR\n"
+      "                    or ./.puno-cache)\n"
+      "  --csv FILE        write results as CSV (\"-\" = stdout)\n"
+      "  --jsonl FILE      write results as JSONL (\"-\" = stdout)\n"
+      "  --manifest FILE   write the per-job JSONL manifest\n"
+      "  --progress        live progress meter on stderr\n"
+      "  --quiet           suppress the per-run result table\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace puno;
+
+  std::string workloads_spec = "all";
+  std::string schemes_spec = "all";
+  std::string seeds_spec = "1";
+  runner::GridSpec grid;
+  runner::RunnerOptions options;
+  bool use_cache = true;
+  std::string cache_dir;
+  std::string csv_path, jsonl_path;
+  bool progress = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workloads") {
+      workloads_spec = next();
+    } else if (arg == "--schemes") {
+      schemes_spec = next();
+    } else if (arg == "--seeds") {
+      seeds_spec = next();
+    } else if (arg == "--scale") {
+      grid.scale = std::atof(next());
+    } else if (arg == "--max-cycles") {
+      grid.max_cycles = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--set") {
+      const std::string kv = next();
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) {
+        std::fprintf(stderr, "--set expects KEY=VALUE[,VALUE...], got '%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      runner::OverrideAxis axis;
+      axis.key = kv.substr(0, eq);
+      axis.values = runner::split_list(kv.substr(eq + 1));
+      grid.overrides.push_back(std::move(axis));
+    } else if (arg == "--list-keys") {
+      for (const std::string& k : runner::override_keys()) {
+        std::printf("%s\n", k.c_str());
+      }
+      return 0;
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--watchdog") {
+      options.watchdog_seconds = std::atof(next());
+    } else if (arg == "--no-cache") {
+      use_cache = false;
+    } else if (arg == "--cache-dir") {
+      cache_dir = next();
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--jsonl") {
+      jsonl_path = next();
+    } else if (arg == "--manifest") {
+      options.manifest_path = next();
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<runner::JobSpec> specs;
+  try {
+    grid.workloads = runner::parse_workload_list(workloads_spec);
+    grid.schemes = runner::parse_scheme_list(schemes_spec);
+    grid.seeds = runner::parse_seed_list(seeds_spec);
+    specs = runner::expand_grid(grid);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "punobatch: %s\n", e.what());
+    return 2;
+  }
+
+  std::optional<runner::ResultCache> cache;
+  if (use_cache) {
+    cache.emplace(cache_dir.empty() ? runner::ResultCache::default_dir()
+                                    : std::filesystem::path(cache_dir));
+    options.cache = &*cache;
+  }
+  options.progress = progress && !quiet;
+
+  if (!quiet) {
+    std::printf("punobatch: %zu jobs (%zu workloads x %zu schemes x %zu "
+                "seeds%s) on %u workers\n",
+                specs.size(), grid.workloads.size(), grid.schemes.size(),
+                grid.seeds.size(),
+                grid.overrides.empty() ? "" : " x config overrides",
+                runner::resolve_jobs(options.jobs));
+  }
+
+  const runner::SweepResult sweep = runner::run_jobs(specs, options);
+
+  std::vector<metrics::RunResult> results;
+  results.reserve(sweep.outcomes.size());
+  for (const runner::JobOutcome& o : sweep.outcomes) {
+    results.push_back(o.result);
+  }
+
+  if (!quiet) {
+    std::printf("%-38s %-8s %12s %10s %10s %8s\n", "job", "status", "cycles",
+                "commits", "aborts", "wall_s");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& o = sweep.outcomes[i];
+      std::printf("%-38.38s %-8s %12llu %10llu %10llu %8.2f\n",
+                  specs[i].label.c_str(), runner::to_string(o.status),
+                  static_cast<unsigned long long>(o.result.cycles),
+                  static_cast<unsigned long long>(o.result.commits),
+                  static_cast<unsigned long long>(o.result.aborts),
+                  o.wall_seconds);
+      if (!o.error.empty()) {
+        std::printf("  error: %s\n", o.error.c_str());
+      }
+    }
+  }
+  runner::print_summary(sweep, std::cout);
+
+  const auto write_to = [](const std::string& path, const auto& writer) {
+    if (path == "-") {
+      writer(std::cout);
+      return true;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "punobatch: cannot write '%s'\n", path.c_str());
+      return false;
+    }
+    writer(out);
+    return true;
+  };
+  bool io_ok = true;
+  if (!csv_path.empty()) {
+    io_ok &= write_to(csv_path, [&](std::ostream& out) {
+      metrics::write_results_csv(results, out);
+    });
+    if (io_ok && csv_path != "-" && !quiet) {
+      std::printf("results written to %s\n", csv_path.c_str());
+    }
+  }
+  if (!jsonl_path.empty()) {
+    io_ok &= write_to(jsonl_path, [&](std::ostream& out) {
+      metrics::write_results_jsonl(results, out);
+    });
+    if (io_ok && jsonl_path != "-" && !quiet) {
+      std::printf("results written to %s\n", jsonl_path.c_str());
+    }
+  }
+
+  if (!io_ok) return 1;
+  return sweep.failed == 0 ? 0 : 1;
+}

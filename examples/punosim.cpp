@@ -66,11 +66,9 @@ int main(int argc, char** argv) {
       params.workload = next();
     } else if (arg == "--scheme") {
       const std::string s = next();
-      if (s == "baseline") params.scheme = Scheme::kBaseline;
-      else if (s == "backoff") params.scheme = Scheme::kRandomBackoff;
-      else if (s == "rmw") params.scheme = Scheme::kRmwPred;
-      else if (s == "puno") params.scheme = Scheme::kPuno;
-      else {
+      if (const auto scheme = scheme_from_string(s)) {
+        params.scheme = *scheme;
+      } else {
         std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
         return 2;
       }

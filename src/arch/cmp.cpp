@@ -1,5 +1,6 @@
 #include "arch/cmp.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace puno::arch {
@@ -99,11 +100,26 @@ std::uint64_t Cmp::total_committed() const {
   return total;
 }
 
-bool Cmp::run(Cycle max_cycles) {
-  for (auto& c : cores_) c->start();
-  const bool finished = kernel_.run_until(
-      [this] { return all_done() && mesh_->idle(); }, max_cycles);
-  return finished;
+bool Cmp::run(Cycle max_cycles) { return run(max_cycles, 0, nullptr); }
+
+bool Cmp::run(Cycle max_cycles, Cycle check_interval,
+              const std::function<bool(Cycle)>& stop) {
+  if (!started_) {
+    for (auto& c : cores_) c->start();
+    started_ = true;
+  }
+  const auto done = [this] { return all_done() && mesh_->idle(); };
+  if (check_interval == 0 || !stop) {
+    return kernel_.run_until(done, max_cycles);
+  }
+  Cycle remaining = max_cycles;
+  while (remaining > 0) {
+    const Cycle slice = std::min(check_interval, remaining);
+    if (kernel_.run_until(done, slice)) return true;
+    remaining -= slice;
+    if (stop(kernel_.now())) return false;
+  }
+  return done();
 }
 
 }  // namespace puno::arch

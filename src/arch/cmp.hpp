@@ -2,6 +2,7 @@
 // assist, router/NI}, glued to the mesh (Figure 9).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,13 @@ class Cmp {
   /// or `max_cycles` elapse. Returns true on normal completion.
   bool run(Cycle max_cycles);
 
+  /// As run(), but additionally polls `stop(now)` every `check_interval`
+  /// simulated cycles and ends the run early (returning false) when it
+  /// returns true. The experiment runner's wall-clock watchdog hangs off
+  /// this hook; the slicing itself does not perturb simulated behaviour.
+  bool run(Cycle max_cycles, Cycle check_interval,
+           const std::function<bool(Cycle)>& stop);
+
   [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
   [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] noc::Mesh& mesh() noexcept { return *mesh_; }
@@ -44,6 +52,7 @@ class Cmp {
  private:
   SystemConfig cfg_;
   sim::Kernel kernel_;
+  bool started_ = false;
   std::unique_ptr<noc::Mesh> mesh_;
   std::vector<std::unique_ptr<htm::TxnContext>> txns_;
   std::vector<std::unique_ptr<coherence::L1Controller>> l1s_;

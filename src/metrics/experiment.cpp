@@ -6,6 +6,11 @@
 namespace puno::metrics {
 
 RunResult run_experiment(const ExperimentParams& params) {
+  return run_experiment(params, ExperimentWatch{});
+}
+
+RunResult run_experiment(const ExperimentParams& params,
+                         const ExperimentWatch& watch) {
   SystemConfig cfg = params.base_config;
   cfg.scheme = params.scheme;
   cfg.seed = params.seed;
@@ -13,7 +18,8 @@ RunResult run_experiment(const ExperimentParams& params) {
   auto workload = workloads::stamp::make(params.workload, cfg.num_nodes,
                                          params.seed, params.scale);
   arch::Cmp cmp(cfg, *workload);
-  const bool completed = cmp.run(params.max_cycles);
+  const bool completed =
+      cmp.run(params.max_cycles, watch.check_interval, watch.stop);
 
   RunResult r = RunResult::from_stats(cmp.kernel().stats());
   r.workload = params.workload;
@@ -21,29 +27,6 @@ RunResult run_experiment(const ExperimentParams& params) {
   r.completed = completed;
   r.cycles = cmp.kernel().now();
   return r;
-}
-
-std::vector<RunResult> run_suite(Scheme scheme, std::uint64_t seed,
-                                 double scale) {
-  std::vector<RunResult> results;
-  for (const std::string& name : workloads::stamp::benchmark_names()) {
-    ExperimentParams p;
-    p.workload = name;
-    p.scheme = scheme;
-    p.seed = seed;
-    p.scale = scale;
-    results.push_back(run_experiment(p));
-  }
-  return results;
-}
-
-SuiteComparison run_comparison(std::uint64_t seed, double scale) {
-  SuiteComparison c;
-  c.baseline = run_suite(Scheme::kBaseline, seed, scale);
-  c.backoff = run_suite(Scheme::kRandomBackoff, seed, scale);
-  c.rmw = run_suite(Scheme::kRmwPred, seed, scale);
-  c.puno = run_suite(Scheme::kPuno, seed, scale);
-  return c;
 }
 
 }  // namespace puno::metrics

@@ -1,10 +1,13 @@
 // One-call experiment driver: build a STAMP-like workload and a CMP with a
 // given scheme, run it to completion, and extract a RunResult. This is the
 // entry point the benches, examples and integration tests share.
+//
+// Suite-level sweeps (every workload, every scheme) live in the parallel
+// experiment runner: see runner/suite.hpp (library puno_runner).
 #pragma once
 
+#include <functional>
 #include <string>
-#include <vector>
 
 #include "metrics/run_result.hpp"
 #include "sim/config.hpp"
@@ -22,23 +25,20 @@ struct ExperimentParams {
   SystemConfig base_config{};
 };
 
+/// Optional supervision of a running experiment: `stop` is polled every
+/// `check_interval` simulated cycles and ends the run early (with
+/// completed = false) when it returns true. The runner's wall-clock
+/// watchdog is built on this; slicing does not perturb simulated behaviour.
+struct ExperimentWatch {
+  Cycle check_interval = 0;  ///< 0 = never poll.
+  std::function<bool(Cycle)> stop;
+};
+
 /// Runs one (workload, scheme) experiment and returns its metrics.
 [[nodiscard]] RunResult run_experiment(const ExperimentParams& params);
 
-/// Runs all 8 STAMP-like workloads under one scheme.
-[[nodiscard]] std::vector<RunResult> run_suite(Scheme scheme,
-                                               std::uint64_t seed = 1,
-                                               double scale = 1.0);
-
-/// Runs the full cross product: every workload under every scheme, in the
-/// paper's order (Baseline, Backoff, RMW-Pred, PUNO).
-struct SuiteComparison {
-  std::vector<RunResult> baseline;
-  std::vector<RunResult> backoff;
-  std::vector<RunResult> rmw;
-  std::vector<RunResult> puno;
-};
-[[nodiscard]] SuiteComparison run_comparison(std::uint64_t seed = 1,
-                                             double scale = 1.0);
+/// As above, under a watch (see ExperimentWatch).
+[[nodiscard]] RunResult run_experiment(const ExperimentParams& params,
+                                       const ExperimentWatch& watch);
 
 }  // namespace puno::metrics

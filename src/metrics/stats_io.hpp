@@ -1,9 +1,25 @@
-// Statistics export: CSV serialization of the stats registry and of
-// RunResult rows, for spreadsheet/pandas post-processing of experiments.
+// Statistics export: CSV and JSONL serialization of the stats registry and
+// of RunResult rows, for spreadsheet/pandas post-processing of experiments.
+//
+// JSONL schema (one flat JSON object per line, one line per RunResult): the
+// raw fields of RunResult in declaration order, keyed by field name —
+//   workload (string), scheme (string, to_string(Scheme)), completed (bool),
+//   cycles, commits, aborts, aborts_by_getx, aborts_by_gets,
+//   aborts_overflow, tx_getx_issued, tx_getx_nacked, request_retries
+//   (integers), retries_per_contended_acquire (number), false_abort_events,
+//   falsely_aborted_txns (integers), false_abort_multiplicity (array of
+//   numbers), router_traversals (integer), dir_blocked_mean (number),
+//   dir_txgetx_services, good_cycles, discarded_cycles, unicast_forwards,
+//   mp_feedbacks, notified_backoffs, commit_hints_sent, hint_wakeups
+//   (integers).
+// Derived metrics (abort_rate, gd_ratio, ...) are intentionally omitted:
+// they are recomputable from the raw fields. read_result_jsonl() restores
+// every field and skips unknown keys, so the schema can grow compatibly.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "metrics/run_result.hpp"
@@ -23,5 +39,24 @@ void write_result_csv(const RunResult& result, std::ostream& out);
 /// Convenience: a whole sweep with header.
 void write_results_csv(const std::vector<RunResult>& results,
                        std::ostream& out);
+
+/// One experiment as one JSON object on one line (schema above, no newline
+/// characters inside the object). Doubles are printed with max_digits10
+/// precision so a write/read round trip is exact.
+void write_result_jsonl(const RunResult& result, std::ostream& out);
+
+/// A whole sweep, one line per result.
+void write_results_jsonl(const std::vector<RunResult>& results,
+                         std::ostream& out);
+
+/// Parses one JSONL line back into a RunResult (the inverse of
+/// write_result_jsonl). Returns false — leaving `result` unspecified — on
+/// malformed input; unknown keys are skipped.
+[[nodiscard]] bool read_result_jsonl(std::string_view line, RunResult& result);
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included). Shared by the JSONL writers, the result cache and the runner
+/// manifest.
+[[nodiscard]] std::string json_escape(std::string_view s);
 
 }  // namespace puno::metrics

@@ -1,0 +1,243 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "metrics/stats_io.hpp"
+
+namespace puno::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Internal: thrown by the built-in job body when the wall-clock watchdog
+/// fires. Handled without a retry — a rerun would only time out again.
+struct WatchdogExpired : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Simulated-cycle granularity of the watchdog poll: coarse enough to be
+/// free, fine enough that an expired job dies within milliseconds.
+constexpr Cycle kWatchdogCheckInterval = 1u << 16;
+
+[[nodiscard]] metrics::RunResult simulate(const JobSpec& spec,
+                                          double watchdog_seconds) {
+  if (watchdog_seconds <= 0.0) return metrics::run_experiment(spec.params);
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(watchdog_seconds);
+  bool expired = false;
+  Cycle expired_at = 0;
+  metrics::ExperimentWatch watch;
+  watch.check_interval = kWatchdogCheckInterval;
+  watch.stop = [&](Cycle now) {
+    if (Clock::now() >= deadline) {
+      expired = true;
+      expired_at = now;
+    }
+    return expired;
+  };
+  metrics::RunResult r = metrics::run_experiment(spec.params, watch);
+  if (expired) {
+    char msg[128];
+    std::snprintf(msg, sizeof msg,
+                  "watchdog: exceeded %.3gs wall clock at cycle %llu",
+                  watchdog_seconds,
+                  static_cast<unsigned long long>(expired_at));
+    throw WatchdogExpired(msg);
+  }
+  return r;
+}
+
+[[nodiscard]] std::string auto_label(const JobSpec& spec) {
+  if (!spec.label.empty()) return spec.label;
+  return spec.params.workload + "/" + to_string(spec.params.scheme) + "/s" +
+         std::to_string(spec.params.seed);
+}
+
+void write_manifest_row(std::ostream& out, std::size_t index,
+                        const JobSpec& spec, const JobOutcome& o) {
+  const metrics::ExperimentParams& p = spec.params;
+  const double cps =
+      o.wall_seconds > 0.0
+          ? static_cast<double>(o.result.cycles) / o.wall_seconds
+          : 0.0;
+  out << "{\"index\":" << index << ",\"label\":\""
+      << metrics::json_escape(auto_label(spec)) << "\",\"workload\":\""
+      << metrics::json_escape(p.workload) << "\",\"scheme\":\""
+      << to_string(p.scheme) << "\",\"seed\":" << p.seed << ",\"scale\":";
+  char num[40];
+  std::snprintf(num, sizeof num, "%.17g", p.scale);
+  out << num << ",\"max_cycles\":" << p.max_cycles << ",\"key\":\""
+      << cache_key(p) << "\",\"status\":\"" << to_string(o.status)
+      << "\",\"attempts\":" << o.attempts << ",\"wall_s\":";
+  std::snprintf(num, sizeof num, "%.6g", o.wall_seconds);
+  out << num << ",\"cycles\":" << o.result.cycles << ",\"cycles_per_s\":";
+  std::snprintf(num, sizeof num, "%.6g", cps);
+  out << num;
+  if (!spec.overrides.empty()) {
+    out << ",\"overrides\":\"" << metrics::json_escape(spec.overrides)
+        << "\"";
+  }
+  if (!o.error.empty()) {
+    out << ",\"error\":\"" << metrics::json_escape(o.error) << "\"";
+  }
+  out << "}\n";
+  out.flush();
+}
+
+}  // namespace
+
+unsigned resolve_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* v = std::getenv("PUNO_JOBS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepResult run_jobs(const std::vector<JobSpec>& specs,
+                     const RunnerOptions& options, const JobFn& fn) {
+  SweepResult sweep;
+  sweep.outcomes.resize(specs.size());
+  const std::size_t want =
+      std::min<std::size_t>(resolve_jobs(options.jobs), specs.size());
+  sweep.jobs_used = static_cast<unsigned>(std::max<std::size_t>(1, want));
+
+  std::ofstream manifest;
+  if (!options.manifest_path.empty()) {
+    manifest.open(options.manifest_path, std::ios::trunc);
+  }
+
+  const auto t0 = Clock::now();
+  std::atomic<std::size_t> next{0};
+  std::size_t completed = 0;  // guarded by book_mutex
+  std::mutex book_mutex;      // progress + manifest + sweep counters
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      const JobSpec& spec = specs[i];
+      JobOutcome& out = sweep.outcomes[i];
+      // Identity stub so a failed row still names its experiment.
+      out.result.workload = spec.params.workload;
+      out.result.scheme = spec.params.scheme;
+
+      bool hit = false;
+      if (options.cache != nullptr) {
+        if (auto cached = options.cache->load(spec.params)) {
+          out.result = std::move(*cached);
+          out.status = JobStatus::kCached;
+          hit = true;
+        }
+      }
+      if (!hit) {
+        for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+          out.attempts = attempt;
+          const auto job_t0 = Clock::now();
+          try {
+            metrics::RunResult r =
+                fn ? fn(spec) : simulate(spec, options.watchdog_seconds);
+            out.wall_seconds = seconds_since(job_t0);
+            out.result = std::move(r);
+            out.status = JobStatus::kOk;
+            out.error.clear();
+            break;
+          } catch (const WatchdogExpired& e) {
+            out.wall_seconds = seconds_since(job_t0);
+            out.status = JobStatus::kFailed;
+            out.error = e.what();
+            break;  // deliberate: no retry after a watchdog kill
+          } catch (const std::exception& e) {
+            out.wall_seconds = seconds_since(job_t0);
+            out.status = JobStatus::kFailed;
+            out.error = e.what();
+          } catch (...) {
+            out.wall_seconds = seconds_since(job_t0);
+            out.status = JobStatus::kFailed;
+            out.error = "unknown exception";
+          }
+        }
+        if (out.status == JobStatus::kOk && options.cache != nullptr) {
+          options.cache->store(spec.params, out.result);
+        }
+      }
+
+      std::lock_guard<std::mutex> lock(book_mutex);
+      ++completed;
+      sweep.sim_seconds += out.wall_seconds;
+      switch (out.status) {
+        case JobStatus::kOk: ++sweep.simulated; break;
+        case JobStatus::kCached: ++sweep.cached; break;
+        case JobStatus::kFailed: ++sweep.failed; break;
+      }
+      if (out.status != JobStatus::kFailed) {
+        sweep.total_cycles += out.result.cycles;
+      }
+      if (manifest.is_open()) write_manifest_row(manifest, i, spec, out);
+      if (options.progress) {
+        const double elapsed = seconds_since(t0);
+        const double eta =
+            elapsed / static_cast<double>(completed) *
+            static_cast<double>(specs.size() - completed);
+        std::fprintf(stderr, "\r[%zu/%zu] %3.0f%% | ETA %5.1fs | %-44.44s",
+                     completed, specs.size(),
+                     100.0 * static_cast<double>(completed) /
+                         static_cast<double>(specs.size()),
+                     eta, auto_label(spec).c_str());
+        std::fflush(stderr);
+      }
+    }
+  };
+
+  if (sweep.jobs_used == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(sweep.jobs_used);
+    for (unsigned t = 0; t < sweep.jobs_used; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (options.progress) std::fprintf(stderr, "\r%78s\r", "");
+  sweep.wall_seconds = seconds_since(t0);
+  return sweep;
+}
+
+void print_summary(const SweepResult& s, std::ostream& out) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "sweep: %zu jobs (%zu simulated, %zu cached, %zu failed) in "
+                "%.2fs wall on %u worker%s",
+                s.outcomes.size(), s.simulated, s.cached, s.failed,
+                s.wall_seconds, s.jobs_used, s.jobs_used == 1 ? "" : "s");
+  out << line;
+  // Speedup and throughput only mean something when work was simulated.
+  if (s.simulated > 0 && s.sim_seconds > 0.0 && s.wall_seconds > 0.0) {
+    std::snprintf(line, sizeof line,
+                  "; sim time %.2fs, speedup %.2fx, %.1fM cycles/s aggregate",
+                  s.sim_seconds, s.speedup(),
+                  static_cast<double>(s.total_cycles) / s.wall_seconds / 1e6);
+    out << line;
+  } else if (s.cached == s.outcomes.size() && !s.outcomes.empty()) {
+    out << "; all results served from cache";
+  }
+  out << '\n';
+}
+
+}  // namespace puno::runner

@@ -1,0 +1,43 @@
+// Suite-level sweeps on top of the parallel runner.
+//
+// run_suite/run_comparison used to live in puno_metrics and ran strictly
+// serially; they are now thin grid builders over runner::run_jobs, so the
+// whole 8-workload x 4-scheme cross product shards across cores while
+// staying bit-identical to the old serial loops (each job owns its kernel,
+// RNG and stats registry — see docs/RUNNER.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/run_result.hpp"
+#include "runner/runner.hpp"
+
+namespace puno::runner {
+
+struct SuiteOptions {
+  unsigned jobs = 0;                  ///< 0 = $PUNO_JOBS / hardware threads.
+  const ResultCache* cache = nullptr; ///< Optional result cache.
+  bool progress = false;              ///< Live meter on stderr.
+  double scale = 1.0;                 ///< Committed-txn quota multiplier.
+};
+
+/// Runs all 8 STAMP-like workloads under one scheme, in paper order. A job
+/// that fails even after its retry yields a stub row (completed = false,
+/// zero metrics) so the suite shape is always 8 rows.
+[[nodiscard]] std::vector<metrics::RunResult> run_suite(
+    Scheme scheme, std::uint64_t seed = 1, const SuiteOptions& options = {});
+
+/// The full cross product: every workload under every scheme, in the
+/// paper's order (Baseline, Backoff, RMW-Pred, PUNO), executed as one
+/// sharded batch.
+struct SuiteComparison {
+  std::vector<metrics::RunResult> baseline;
+  std::vector<metrics::RunResult> backoff;
+  std::vector<metrics::RunResult> rmw;
+  std::vector<metrics::RunResult> puno;
+};
+[[nodiscard]] SuiteComparison run_comparison(std::uint64_t seed = 1,
+                                             const SuiteOptions& options = {});
+
+}  // namespace puno::runner

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "sim/types.hpp"
 
@@ -24,6 +26,17 @@ enum class Scheme : std::uint8_t {
     case Scheme::kPuno: return "PUNO";
   }
   return "?";
+}
+
+/// Inverse of to_string, also accepting the short lower-case CLI spellings
+/// ("baseline", "backoff", "rmw", "puno"). Returns nullopt for anything else.
+[[nodiscard]] constexpr std::optional<Scheme> scheme_from_string(
+    std::string_view s) noexcept {
+  if (s == "Baseline" || s == "baseline") return Scheme::kBaseline;
+  if (s == "Backoff" || s == "backoff") return Scheme::kRandomBackoff;
+  if (s == "RMW-Pred" || s == "rmw-pred" || s == "rmw") return Scheme::kRmwPred;
+  if (s == "PUNO" || s == "puno") return Scheme::kPuno;
+  return std::nullopt;
 }
 
 struct NocConfig {

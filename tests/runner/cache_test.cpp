@@ -1,0 +1,209 @@
+#include "runner/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace puno::runner {
+namespace {
+
+namespace fs = std::filesystem;
+using metrics::ExperimentParams;
+using metrics::RunResult;
+
+[[nodiscard]] fs::path fresh_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+[[nodiscard]] RunResult sample_result() {
+  RunResult r;
+  r.workload = "intruder";
+  r.scheme = Scheme::kPuno;
+  r.completed = true;
+  r.cycles = 123456789;
+  r.commits = 4096;
+  r.aborts = 512;
+  r.aborts_by_getx = 300;
+  r.aborts_by_gets = 200;
+  r.aborts_overflow = 12;
+  r.tx_getx_issued = 9999;
+  r.tx_getx_nacked = 111;
+  r.request_retries = 222;
+  r.retries_per_contended_acquire = 3.125;
+  r.false_abort_events = 77;
+  r.falsely_aborted_txns = 99;
+  r.false_abort_multiplicity = {0.0, 0.5, 0.25, 0.25};
+  r.router_traversals = 987654321;
+  r.dir_blocked_mean = 41.75;
+  r.dir_txgetx_services = 888;
+  r.good_cycles = 1000000;
+  r.discarded_cycles = 250000;
+  r.unicast_forwards = 333;
+  r.mp_feedbacks = 21;
+  r.notified_backoffs = 444;
+  r.commit_hints_sent = 5;
+  r.hint_wakeups = 3;
+  return r;
+}
+
+TEST(CacheKey, StableForIdenticalParams) {
+  ExperimentParams a, b;
+  EXPECT_EQ(cache_key(a), cache_key(b));
+  EXPECT_EQ(params_repr(a), params_repr(b));
+}
+
+// Regression for the old .puno-bench-cache key, which omitted max_cycles:
+// an ablation changing only the cycle budget silently reused stale results.
+TEST(CacheKey, DistinguishesMaxCycles) {
+  ExperimentParams a, b;
+  b.max_cycles = a.max_cycles + 1;
+  EXPECT_NE(cache_key(a), cache_key(b));
+}
+
+TEST(CacheKey, DistinguishesEveryTopLevelParam) {
+  const ExperimentParams base;
+  ExperimentParams p = base;
+  p.workload = "bayes";
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.scheme = Scheme::kPuno;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.seed = 17;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.scale = 0.5;
+  EXPECT_NE(cache_key(base), cache_key(p));
+}
+
+// The old key also dropped most of SystemConfig; the hashed-full-config key
+// must react to any knob that changes simulated behaviour.
+TEST(CacheKey, DistinguishesSystemConfigFields) {
+  const ExperimentParams base;
+  ExperimentParams p = base;
+  p.base_config.cache.l2_latency += 5;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.cache.memory_latency += 100;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.noc.vc_depth += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.htm.fixed_backoff += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.puno.timeout_fraction = 0.25;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.puno.enable_unicast = false;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.num_nodes = 64;
+  p.base_config.noc.mesh_width = 8;
+  EXPECT_NE(cache_key(base), cache_key(p));
+}
+
+TEST(ResultCache, MissOnEmptyDirectory) {
+  const ResultCache cache(fresh_dir("puno-cache-miss"));
+  EXPECT_FALSE(cache.load(ExperimentParams{}).has_value());
+}
+
+TEST(ResultCache, StoreLoadRoundTripPreservesEveryField) {
+  const ResultCache cache(fresh_dir("puno-cache-roundtrip"));
+  ExperimentParams p;
+  p.workload = "intruder";
+  p.scheme = Scheme::kPuno;
+  const RunResult stored = sample_result();
+  ASSERT_TRUE(cache.store(p, stored));
+
+  const auto loaded = cache.load(p);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->workload, stored.workload);
+  EXPECT_EQ(loaded->scheme, stored.scheme);
+  EXPECT_EQ(loaded->completed, stored.completed);
+  EXPECT_EQ(loaded->cycles, stored.cycles);
+  EXPECT_EQ(loaded->commits, stored.commits);
+  EXPECT_EQ(loaded->aborts, stored.aborts);
+  EXPECT_EQ(loaded->aborts_by_getx, stored.aborts_by_getx);
+  EXPECT_EQ(loaded->aborts_by_gets, stored.aborts_by_gets);
+  EXPECT_EQ(loaded->aborts_overflow, stored.aborts_overflow);
+  EXPECT_EQ(loaded->tx_getx_issued, stored.tx_getx_issued);
+  EXPECT_EQ(loaded->tx_getx_nacked, stored.tx_getx_nacked);
+  EXPECT_EQ(loaded->request_retries, stored.request_retries);
+  EXPECT_EQ(loaded->retries_per_contended_acquire,
+            stored.retries_per_contended_acquire);
+  EXPECT_EQ(loaded->false_abort_events, stored.false_abort_events);
+  EXPECT_EQ(loaded->falsely_aborted_txns, stored.falsely_aborted_txns);
+  EXPECT_EQ(loaded->false_abort_multiplicity,
+            stored.false_abort_multiplicity);
+  EXPECT_EQ(loaded->router_traversals, stored.router_traversals);
+  EXPECT_EQ(loaded->dir_blocked_mean, stored.dir_blocked_mean);
+  EXPECT_EQ(loaded->dir_txgetx_services, stored.dir_txgetx_services);
+  EXPECT_EQ(loaded->good_cycles, stored.good_cycles);
+  EXPECT_EQ(loaded->discarded_cycles, stored.discarded_cycles);
+  EXPECT_EQ(loaded->unicast_forwards, stored.unicast_forwards);
+  EXPECT_EQ(loaded->mp_feedbacks, stored.mp_feedbacks);
+  EXPECT_EQ(loaded->notified_backoffs, stored.notified_backoffs);
+  EXPECT_EQ(loaded->commit_hints_sent, stored.commit_hints_sent);
+  EXPECT_EQ(loaded->hint_wakeups, stored.hint_wakeups);
+}
+
+TEST(ResultCache, StoreLeavesNoTempFiles) {
+  const fs::path dir = fresh_dir("puno-cache-atomic");
+  const ResultCache cache(dir);
+  ASSERT_TRUE(cache.store(ExperimentParams{}, sample_result()));
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".json")
+        << "unexpected leftover: " << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(ResultCache, CorruptEntryIsAMiss) {
+  const ResultCache cache(fresh_dir("puno-cache-corrupt"));
+  const ExperimentParams p;
+  {
+    fs::create_directories(cache.dir());
+    std::ofstream out(cache.entry_path(p));
+    out << "half-written garbage";
+  }
+  EXPECT_FALSE(cache.load(p).has_value());
+}
+
+// A colliding key (same hash, different params) must be rejected by the
+// header's full params rendering, not served as a hit.
+TEST(ResultCache, MismatchedParamsHeaderIsAMiss) {
+  const ResultCache cache(fresh_dir("puno-cache-collision"));
+  ExperimentParams stored_params;
+  stored_params.seed = 1;
+  ASSERT_TRUE(cache.store(stored_params, sample_result()));
+
+  ExperimentParams other;
+  other.seed = 2;
+  // Simulate a hash collision by copying the seed-1 entry onto seed-2's key.
+  fs::copy_file(cache.entry_path(stored_params), cache.entry_path(other));
+  EXPECT_FALSE(cache.load(other).has_value());
+}
+
+TEST(ResultCache, OverwriteReplacesEntry) {
+  const ResultCache cache(fresh_dir("puno-cache-overwrite"));
+  const ExperimentParams p;
+  RunResult first = sample_result();
+  first.commits = 1;
+  RunResult second = sample_result();
+  second.commits = 2;
+  ASSERT_TRUE(cache.store(p, first));
+  ASSERT_TRUE(cache.store(p, second));
+  const auto loaded = cache.load(p);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->commits, 2u);
+}
+
+}  // namespace
+}  // namespace puno::runner

@@ -1,0 +1,321 @@
+#include "runner/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "metrics/stats_io.hpp"
+#include "runner/cache.hpp"
+#include "runner/grid.hpp"
+#include "runner/suite.hpp"
+#include "workloads/stamp.hpp"
+
+namespace puno::runner {
+namespace {
+
+using metrics::RunResult;
+
+// Tiny real-simulation grid: 2 workloads x 2 schemes x 2 seeds at 5% scale.
+[[nodiscard]] std::vector<JobSpec> tiny_grid() {
+  GridSpec grid;
+  grid.workloads = {"kmeans", "ssca2"};
+  grid.schemes = {Scheme::kBaseline, Scheme::kPuno};
+  grid.seeds = {1, 2};
+  grid.scale = 0.05;
+  return expand_grid(grid);
+}
+
+[[nodiscard]] std::string results_csv(const SweepResult& sweep) {
+  std::vector<RunResult> results;
+  results.reserve(sweep.outcomes.size());
+  for (const JobOutcome& o : sweep.outcomes) results.push_back(o.result);
+  std::ostringstream out;
+  metrics::write_results_csv(results, out);
+  return out.str();
+}
+
+// The central determinism contract: sharding the same specs over 8 worker
+// threads must produce byte-identical results, in input order, to a serial
+// run. Each simulation owns its kernel/RNG/stats, so the interleaving of
+// jobs across threads must be unobservable in the output.
+TEST(Runner, ParallelSweepBitIdenticalToSerial) {
+  const std::vector<JobSpec> specs = tiny_grid();
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  const SweepResult a = run_jobs(specs, serial);
+
+  RunnerOptions parallel;
+  parallel.jobs = 8;
+  const SweepResult b = run_jobs(specs, parallel);
+
+  ASSERT_EQ(a.outcomes.size(), specs.size());
+  ASSERT_EQ(b.outcomes.size(), specs.size());
+  EXPECT_EQ(a.failed, 0u);
+  EXPECT_EQ(b.failed, 0u);
+  EXPECT_EQ(results_csv(a), results_csv(b))
+      << "jobs=8 sweep must be byte-identical to jobs=1";
+}
+
+TEST(Runner, ResolveJobsPrefersExplicitRequest) {
+  EXPECT_EQ(resolve_jobs(3), 3u);
+  EXPECT_GE(resolve_jobs(0), 1u);
+}
+
+// A job that throws once is retried and succeeds on the second attempt;
+// a job that always throws is reported failed without poisoning siblings.
+TEST(Runner, FaultInjectionRetriesThenIsolatesFailures) {
+  constexpr std::size_t kJobs = 6;
+  constexpr std::size_t kFlaky = 2;   // fails on its first attempt only
+  constexpr std::size_t kBroken = 4;  // fails on every attempt
+
+  std::vector<JobSpec> specs(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    specs[i].params.workload = "job" + std::to_string(i);
+    specs[i].params.seed = i;
+  }
+
+  std::atomic<int> flaky_attempts{0};
+  const JobFn fn = [&](const JobSpec& spec) -> RunResult {
+    const auto index = spec.params.seed;
+    if (index == kFlaky && flaky_attempts.fetch_add(1) == 0) {
+      throw std::runtime_error("transient fault");
+    }
+    if (index == kBroken) {
+      throw std::runtime_error("persistent fault");
+    }
+    RunResult r;
+    r.workload = spec.params.workload;
+    r.completed = true;
+    r.commits = 100 + index;
+    return r;
+  };
+
+  RunnerOptions options;
+  options.jobs = 4;
+  const SweepResult sweep = run_jobs(specs, options, fn);
+
+  ASSERT_EQ(sweep.outcomes.size(), kJobs);
+  EXPECT_EQ(sweep.failed, 1u);
+
+  const JobOutcome& flaky = sweep.outcomes[kFlaky];
+  EXPECT_EQ(flaky.status, JobStatus::kOk);
+  EXPECT_EQ(flaky.attempts, 2);
+  EXPECT_EQ(flaky.result.commits, 100 + kFlaky);
+
+  const JobOutcome& broken = sweep.outcomes[kBroken];
+  EXPECT_EQ(broken.status, JobStatus::kFailed);
+  EXPECT_EQ(broken.attempts, 2);
+  EXPECT_NE(broken.error.find("persistent fault"), std::string::npos);
+  // Failed rows keep their identity so downstream tables stay aligned.
+  EXPECT_EQ(broken.result.workload, "job4");
+  EXPECT_FALSE(broken.result.completed);
+
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    if (i == kBroken) continue;
+    EXPECT_EQ(sweep.outcomes[i].status, JobStatus::kOk)
+        << "sibling job " << i << " must be unaffected by the failure";
+    EXPECT_EQ(sweep.outcomes[i].result.commits, 100 + i);
+  }
+}
+
+TEST(Runner, CacheHitSkipsSimulation) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "puno-runner-cache";
+  std::filesystem::remove_all(dir);
+  const ResultCache cache(dir);
+
+  std::vector<JobSpec> specs(2);
+  specs[0].params.workload = "alpha";
+  specs[1].params.workload = "beta";
+
+  std::atomic<int> invocations{0};
+  const JobFn fn = [&](const JobSpec& spec) -> RunResult {
+    invocations.fetch_add(1);
+    RunResult r;
+    r.workload = spec.params.workload;
+    r.completed = true;
+    r.cycles = 42;
+    return r;
+  };
+
+  RunnerOptions options;
+  options.jobs = 1;
+  options.cache = &cache;
+
+  const SweepResult first = run_jobs(specs, options, fn);
+  EXPECT_EQ(invocations.load(), 2);
+  EXPECT_EQ(first.simulated, 2u);
+  EXPECT_EQ(first.cached, 0u);
+
+  const SweepResult second = run_jobs(specs, options, fn);
+  EXPECT_EQ(invocations.load(), 2) << "cache hits must not re-simulate";
+  EXPECT_EQ(second.simulated, 0u);
+  EXPECT_EQ(second.cached, 2u);
+  for (const JobOutcome& o : second.outcomes) {
+    EXPECT_EQ(o.status, JobStatus::kCached);
+    EXPECT_EQ(o.result.cycles, 42u);
+  }
+}
+
+TEST(Runner, FailedJobsAreNotCached) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "puno-runner-failcache";
+  std::filesystem::remove_all(dir);
+  const ResultCache cache(dir);
+
+  std::vector<JobSpec> specs(1);
+  specs[0].params.workload = "doomed";
+
+  std::atomic<int> invocations{0};
+  const JobFn fn = [&](const JobSpec&) -> RunResult {
+    invocations.fetch_add(1);
+    throw std::runtime_error("boom");
+  };
+
+  RunnerOptions options;
+  options.jobs = 1;
+  options.cache = &cache;
+
+  const SweepResult first = run_jobs(specs, options, fn);
+  EXPECT_EQ(first.failed, 1u);
+  EXPECT_EQ(invocations.load(), 2);  // one run + one retry
+
+  const SweepResult second = run_jobs(specs, options, fn);
+  EXPECT_EQ(second.failed, 1u);
+  EXPECT_EQ(invocations.load(), 4) << "a failure must not be served from cache";
+}
+
+// The wall-clock watchdog catches runaway simulations even when max_cycles
+// alone would let them run for minutes.
+TEST(Runner, WatchdogKillsRunawayJob) {
+  std::vector<JobSpec> specs(1);
+  specs[0].params.workload = "intruder";
+  specs[0].params.scheme = Scheme::kBaseline;
+  specs[0].params.scale = 50.0;  // quota far beyond what 0.05s can simulate
+  specs[0].params.max_cycles = 1'000'000'000'000ull;
+
+  RunnerOptions options;
+  options.jobs = 1;
+  options.watchdog_seconds = 0.05;
+  const SweepResult sweep = run_jobs(specs, options);
+
+  ASSERT_EQ(sweep.outcomes.size(), 1u);
+  const JobOutcome& o = sweep.outcomes[0];
+  EXPECT_EQ(o.status, JobStatus::kFailed);
+  EXPECT_NE(o.error.find("watchdog"), std::string::npos) << o.error;
+  EXPECT_EQ(o.attempts, 1) << "watchdog expiry must not be retried";
+}
+
+TEST(Runner, ManifestHasOneLinePerJob) {
+  const std::filesystem::path manifest =
+      std::filesystem::path(::testing::TempDir()) / "puno-runner-manifest.jsonl";
+  std::filesystem::remove(manifest);
+
+  std::vector<JobSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].params.workload = "w" + std::to_string(i);
+  }
+  const JobFn fn = [](const JobSpec& spec) {
+    RunResult r;
+    r.workload = spec.params.workload;
+    r.completed = true;
+    return r;
+  };
+
+  RunnerOptions options;
+  options.jobs = 2;
+  options.manifest_path = manifest.string();
+  const SweepResult sweep = run_jobs(specs, options, fn);
+  EXPECT_EQ(sweep.failed, 0u);
+
+  std::ifstream in(manifest);
+  ASSERT_TRUE(in.is_open());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"status\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, specs.size());
+}
+
+// run_suite/run_comparison moved onto the runner: same shape as before,
+// one row per STAMP benchmark in paper order.
+TEST(RunnerSuite, SuiteHasOneRowPerBenchmarkInOrder) {
+  SuiteOptions options;
+  options.scale = 0.05;
+  options.jobs = 4;
+  const std::vector<RunResult> suite =
+      run_suite(Scheme::kBaseline, /*seed=*/1, options);
+  const auto names = workloads::stamp::benchmark_names();
+  ASSERT_EQ(suite.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(suite[i].workload, names[i]);
+    EXPECT_EQ(suite[i].scheme, Scheme::kBaseline);
+  }
+}
+
+TEST(Grid, ExpandsCrossProductWithOverrides) {
+  GridSpec grid;
+  grid.workloads = {"kmeans"};
+  grid.schemes = {Scheme::kBaseline, Scheme::kPuno};
+  grid.seeds = {1, 2, 3};
+  OverrideAxis axis;
+  axis.key = "htm.fixed_backoff";
+  axis.values = {"16", "64"};
+  grid.overrides.push_back(axis);
+
+  const std::vector<JobSpec> specs = expand_grid(grid);
+  ASSERT_EQ(specs.size(), 1u * 2u * 3u * 2u);
+  bool saw_16 = false, saw_64 = false;
+  for (const JobSpec& s : specs) {
+    saw_16 |= s.params.base_config.htm.fixed_backoff == 16;
+    saw_64 |= s.params.base_config.htm.fixed_backoff == 64;
+    EXPECT_NE(s.label.find("htm.fixed_backoff="), std::string::npos);
+  }
+  EXPECT_TRUE(saw_16);
+  EXPECT_TRUE(saw_64);
+}
+
+TEST(Grid, RejectsUnknownWorkloadAndKey) {
+  GridSpec grid;
+  grid.workloads = {"no-such-benchmark"};
+  grid.schemes = {Scheme::kBaseline};
+  EXPECT_THROW(expand_grid(grid), std::invalid_argument);
+
+  grid.workloads = {"kmeans"};
+  OverrideAxis axis;
+  axis.key = "htm.no_such_knob";
+  axis.values = {"1"};
+  grid.overrides.push_back(axis);
+  EXPECT_THROW(expand_grid(grid), std::invalid_argument);
+}
+
+TEST(Grid, SeedListParsing) {
+  EXPECT_EQ(parse_seed_list("1,2,9"), (std::vector<std::uint64_t>{1, 2, 9}));
+  EXPECT_EQ(parse_seed_list("3..6"), (std::vector<std::uint64_t>{3, 4, 5, 6}));
+  EXPECT_THROW(parse_seed_list("8..3"), std::invalid_argument);
+  EXPECT_THROW(parse_seed_list("abc"), std::invalid_argument);
+}
+
+TEST(Grid, SchemeListParsing) {
+  EXPECT_EQ(parse_scheme_list("all").size(), 4u);
+  const auto two = parse_scheme_list("baseline,puno");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], Scheme::kBaseline);
+  EXPECT_EQ(two[1], Scheme::kPuno);
+  EXPECT_THROW(parse_scheme_list("hope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace puno::runner
