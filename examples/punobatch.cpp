@@ -20,7 +20,11 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+#include <system_error>
+
 #include "metrics/stats_io.hpp"
+#include "trace/recorder.hpp"
 #include "runner/cache.hpp"
 #include "runner/grid.hpp"
 #include "runner/runner.hpp"
@@ -48,6 +52,10 @@ void usage(const char* argv0) {
       "  --csv FILE        write results as CSV (\"-\" = stdout)\n"
       "  --jsonl FILE      write results as JSONL (\"-\" = stdout)\n"
       "  --manifest FILE   write the per-job JSONL manifest\n"
+      "  --trace[=FILTER]  record an event trace per job (docs/TRACING.md);\n"
+      "                    traced jobs bypass the result cache\n"
+      "  --trace-dir DIR   where per-job trace JSON lands (default:\n"
+      "                    ./traces); manifest rows record each path\n"
       "  --progress        live progress meter on stderr\n"
       "  --quiet           suppress the per-run result table\n",
       argv0);
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string csv_path, jsonl_path;
   bool progress = false, quiet = false;
+  bool trace_on = false;
+  std::string trace_filter, trace_dir = "traces";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,6 +128,14 @@ int main(int argc, char** argv) {
       jsonl_path = next();
     } else if (arg == "--manifest") {
       options.manifest_path = next();
+    } else if (arg == "--trace") {
+      trace_on = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_on = true;
+      trace_filter = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--trace-dir") {
+      trace_on = true;
+      trace_dir = next();
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--quiet") {
@@ -141,6 +159,34 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "punobatch: %s\n", e.what());
     return 2;
+  }
+
+  if (trace_on) {
+    if (!trace::parse_filter(trace_filter)) {
+      std::fprintf(stderr, "punobatch: unknown trace filter '%s'\n",
+                   trace_filter.c_str());
+      return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "punobatch: cannot create '%s': %s\n",
+                   trace_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (runner::JobSpec& spec : specs) {
+      spec.params.trace.enabled = true;
+      spec.params.trace.filter = trace_filter;
+      // One file per job, named after the sanitized job label so a sweep's
+      // traces are self-describing.
+      std::string name = spec.label;
+      for (char& c : name) {
+        if (c == '/' || c == ' ' || c == '=' || c == ',') c = '_';
+      }
+      spec.params.trace.path =
+          (std::filesystem::path(trace_dir) / (name + ".trace.json"))
+              .string();
+    }
   }
 
   std::optional<runner::ResultCache> cache;

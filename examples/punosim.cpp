@@ -2,21 +2,33 @@
 //
 //   ./punosim --workload intruder --scheme puno --seed 7 --scale 0.5
 //             [--no-unicast] [--no-notification] [--commit-hint]
-//             [--trace FILE] [--record-trace FILE] [--csv FILE] [--stats]
+//             [--replay FILE] [--record-trace FILE] [--csv FILE] [--stats]
+//             [--trace[=FILTER]] [--trace-out FILE] [--abort-report[=FILE]]
+//             [--verify-trace]
 //
 // Prints the headline metrics; --stats additionally dumps every counter,
 // scalar and histogram the simulation recorded (the same registry the
-// figures are built from). --trace replays a recorded trace instead of the
-// synthetic generator; --record-trace writes the generated stream to a file
-// (without simulating); --csv appends a result row (with header if new).
+// figures are built from). --replay replays a recorded workload stream
+// instead of the synthetic generator; --record-trace writes the generated
+// stream to a file (without simulating); --csv appends a result row (with
+// header if new). --trace records the transaction-lifecycle event trace
+// (docs/TRACING.md) and writes Perfetto-loadable Chrome trace JSON;
+// --abort-report classifies every abort as false/necessary; --verify-trace
+// re-parses the written JSON and cross-checks the attribution counts
+// against the simulator's false-abort counters.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include <filesystem>
 #include <fstream>
+
+#include "trace/abort_attribution.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/recorder.hpp"
 
 #include "arch/cmp.hpp"
 #include "metrics/experiment.hpp"
@@ -37,10 +49,20 @@ void usage(const char* argv0) {
       "  --no-unicast      disable PUNO's predictive unicast\n"
       "  --no-notification disable PUNO's notification\n"
       "  --commit-hint     enable the commit-hint extension\n"
-      "  --trace FILE      replay a recorded trace instead of the generator\n"
+      "  --replay FILE     replay a recorded workload stream\n"
       "  --record-trace F  write the generated stream to F and exit\n"
       "  --csv FILE        append the result as a CSV row\n"
-      "  --stats           dump the full statistics registry\n",
+      "  --stats           dump the full statistics registry\n"
+      "  --trace[=FILTER]  record the event trace; FILTER is a comma list\n"
+      "                    of txn,conflict,dir,noc,puno (default: all)\n"
+      "  --trace-out FILE  Chrome trace JSON path (default:\n"
+      "                    <workload>-<scheme>-s<seed>.trace.json)\n"
+      "  --trace-capacity N  ring-buffer capacity in events (default 256Ki)\n"
+      "  --abort-report[=FILE]  write the abort-attribution report\n"
+      "                    (default FILE: <trace-out>.aborts.txt)\n"
+      "  --verify-trace    re-parse the JSON and cross-check false-abort\n"
+      "                    counts against the stats counters; exit 1 on\n"
+      "                    mismatch\n",
       argv0);
 }
 
@@ -51,7 +73,10 @@ int main(int argc, char** argv) {
   metrics::ExperimentParams params;
   params.workload = "intruder";
   bool dump_stats = false;
-  std::string trace_path, record_path, csv_path;
+  std::string replay_path, record_path, csv_path;
+  bool trace_on = false, verify_trace = false, want_abort_report = false;
+  std::string trace_filter, trace_out, abort_report_path;
+  std::size_t trace_capacity = trace::TraceRecorder::kDefaultCapacity;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,8 +107,29 @@ int main(int argc, char** argv) {
       params.base_config.puno.enable_notification = false;
     } else if (arg == "--commit-hint") {
       params.base_config.puno.enable_commit_hint = true;
+    } else if (arg == "--replay") {
+      replay_path = next();
     } else if (arg == "--trace") {
-      trace_path = next();
+      trace_on = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_on = true;
+      trace_filter = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--trace-out") {
+      trace_on = true;
+      trace_out = next();
+    } else if (arg == "--trace-capacity") {
+      trace_on = true;
+      trace_capacity = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--abort-report") {
+      trace_on = true;
+      want_abort_report = true;
+    } else if (arg.rfind("--abort-report=", 0) == 0) {
+      trace_on = true;
+      want_abort_report = true;
+      abort_report_path = arg.substr(std::strlen("--abort-report="));
+    } else if (arg == "--verify-trace") {
+      trace_on = true;
+      verify_trace = true;
     } else if (arg == "--record-trace") {
       record_path = next();
     } else if (arg == "--csv") {
@@ -119,15 +165,28 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<workloads::Workload> workload;
-  if (!trace_path.empty()) {
+  if (!replay_path.empty()) {
     workload = std::make_unique<workloads::TraceWorkload>(
-        workloads::TraceWorkload::load(trace_path));
-    params.workload = workload->name() + " (trace)";
+        workloads::TraceWorkload::load(replay_path));
+    params.workload = workload->name() + " (replay)";
   } else {
     workload = workloads::stamp::make(params.workload, cfg.num_nodes,
                                       params.seed, params.scale);
   }
   arch::Cmp cmp(cfg, *workload);
+
+  std::optional<trace::TraceRecorder> recorder;
+  if (trace_on) {
+    const auto mask = trace::parse_filter(trace_filter);
+    if (!mask) {
+      std::fprintf(stderr, "unknown trace filter '%s'\n",
+                   trace_filter.c_str());
+      return 2;
+    }
+    recorder.emplace(trace_capacity, *mask);
+    cmp.kernel().set_tracer(&*recorder);
+  }
+
   const bool completed = cmp.run(params.max_cycles);
 
   auto r = metrics::RunResult::from_stats(cmp.kernel().stats());
@@ -158,6 +217,105 @@ int main(int argc, char** argv) {
                 r.prediction_hit_rate() * 100.0);
     std::printf("notified backoffs    %llu\n",
                 static_cast<unsigned long long>(r.notified_backoffs));
+  }
+
+  if (recorder.has_value()) {
+    cmp.kernel().set_tracer(nullptr);
+    if (trace_out.empty()) {
+      trace_out = params.workload + "-" + std::string(to_string(params.scheme)) +
+                  "-s" + std::to_string(params.seed) + ".trace.json";
+    }
+    trace::TraceMeta meta;
+    meta.workload = params.workload;
+    meta.scheme = to_string(params.scheme);
+    meta.seed = params.seed;
+    meta.num_nodes = cfg.num_nodes;
+    meta.final_cycle = cmp.kernel().now();
+    if (!trace::write_chrome_trace_file(*recorder, meta, trace_out)) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace                %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(recorder->size()),
+                static_cast<unsigned long long>(recorder->dropped()),
+                trace_out.c_str());
+
+    const auto attribution = trace::attribute_aborts(*recorder);
+    std::printf(
+        "abort attribution    false=%llu necessary=%llu overflow=%llu "
+        "unresolved=%llu\n",
+        static_cast<unsigned long long>(attribution.false_aborts),
+        static_cast<unsigned long long>(attribution.necessary_aborts),
+        static_cast<unsigned long long>(attribution.overflow_aborts),
+        static_cast<unsigned long long>(attribution.unresolved_aborts));
+    if (want_abort_report) {
+      if (abort_report_path.empty()) {
+        abort_report_path = trace_out + ".aborts.txt";
+      }
+      std::ofstream repf(abort_report_path, std::ios::trunc);
+      if (!repf) {
+        std::fprintf(stderr, "cannot write '%s'\n",
+                     abort_report_path.c_str());
+        return 1;
+      }
+      trace::write_abort_report(attribution, repf);
+      std::printf("abort report         -> %s\n", abort_report_path.c_str());
+    }
+    if (verify_trace) {
+      std::ifstream in(trace_out);
+      std::string err;
+      const auto check = trace::validate_chrome_trace(in, &err);
+      if (!check) {
+        std::fprintf(stderr, "verify-trace: JSON FAILED: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf(
+          "verify-trace         JSON ok: %llu events (%llu spans, %llu "
+          "instants, %llu metadata)\n",
+          static_cast<unsigned long long>(check->events),
+          static_cast<unsigned long long>(check->complete),
+          static_cast<unsigned long long>(check->instants),
+          static_cast<unsigned long long>(check->metadata));
+      // The counter cross-check needs the full abort/conflict event stream:
+      // no ring drops, a filter covering txn+conflict, and emission sites
+      // actually compiled in.
+      const std::uint32_t need = static_cast<std::uint32_t>(trace::Cat::kTxn) |
+                                 static_cast<std::uint32_t>(trace::Cat::kConflict);
+      (void)need;  // unused in PUNO_TRACING_DISABLED builds
+#ifdef PUNO_TRACING_DISABLED
+      const char* skip_reason = "PUNO_TRACING_DISABLED build";
+#else
+      const char* skip_reason =
+          recorder->dropped() > 0 ? "ring dropped events"
+          : (recorder->category_mask() & need) != need
+              ? "filter excludes txn/conflict"
+              : nullptr;
+#endif
+      if (skip_reason == nullptr) {
+        if (attribution.false_abort_events != r.false_abort_events ||
+            attribution.falsely_aborted_txns != r.falsely_aborted_txns) {
+          std::fprintf(
+              stderr,
+              "verify-trace: MISMATCH: trace events=%llu/txns=%llu, "
+              "counters events=%llu/txns=%llu\n",
+              static_cast<unsigned long long>(attribution.false_abort_events),
+              static_cast<unsigned long long>(
+                  attribution.falsely_aborted_txns),
+              static_cast<unsigned long long>(r.false_abort_events),
+              static_cast<unsigned long long>(r.falsely_aborted_txns));
+          return 1;
+        }
+        std::printf(
+            "verify-trace         attribution matches counters "
+            "(false-abort events %llu, falsely aborted txns %llu)\n",
+            static_cast<unsigned long long>(attribution.false_abort_events),
+            static_cast<unsigned long long>(
+                attribution.falsely_aborted_txns));
+      } else {
+        std::printf("verify-trace         counter cross-check skipped (%s)\n",
+                    skip_reason);
+      }
+    }
   }
 
   if (!csv_path.empty()) {

@@ -1,6 +1,7 @@
 #include "arch/core.hpp"
 
 #include "sim/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace puno::arch {
 
@@ -83,6 +84,12 @@ void Core::restart() {
       cfg_.htm.abort_recovery_latency + txn_.restart_backoff();
   PUNO_TRACE(sim::TraceCat::kHtm, kernel_.now(), "core ", node_,
              " restarting txn after ", delay, " cycles");
+  PUNO_TEV(kernel_, trace::Cat::kTxn,
+           (trace::TraceEvent{.cycle = kernel_.now(),
+                              .a = delay,
+                              .b = txn_.attempt_aborts(),
+                              .node = node_,
+                              .kind = trace::EventKind::kTxnStall}));
   kernel_.schedule(delay, [this] { begin_attempt(); });
 }
 

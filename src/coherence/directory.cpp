@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sim/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace puno::coherence {
 
@@ -197,6 +198,16 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
         e.kind = ServiceKind::kGetXUnicast;
         e.inv_targets = node_bit(ud);
         unicast_forwards_.add();
+        PUNO_TEV(kernel_, trace::Cat::kDir,
+                 (trace::TraceEvent{
+                     .cycle = kernel_.now(),
+                     .addr = msg.addr,
+                     .ts = msg.ts,
+                     .a = msg.requester,
+                     .b = static_cast<std::uint64_t>(std::popcount(others)),
+                     .node = node_,
+                     .peer = ud,
+                     .kind = trace::EventKind::kGetxUnicast}));
         auto inv = std::make_shared<Message>();
         inv->type = MsgType::kInv;
         inv->addr = msg.addr;
@@ -218,6 +229,18 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
       e.inv_targets = others;
       const auto count = static_cast<std::uint32_t>(std::popcount(others));
       multicast_invs_.add(count);
+      PUNO_TEV(kernel_, trace::Cat::kDir,
+               (trace::TraceEvent{.cycle = kernel_.now(),
+                                  .addr = msg.addr,
+                                  .ts = msg.ts,
+                                  .a = others,
+                                  .b = count,
+                                  .node = node_,
+                                  .peer = msg.requester,
+                                  .kind = trace::EventKind::kGetxMulticast,
+                                  .flags = msg.transactional
+                                               ? std::uint8_t{1}
+                                               : std::uint8_t{0}}));
       for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
         if ((others & node_bit(n)) == 0) continue;
         auto inv = std::make_shared<Message>();
@@ -285,6 +308,15 @@ void Directory::finish_service(Entry& e, const Message& unblock) {
     tx_getx_blocked_cycles_.sample(
         static_cast<double>(kernel_.now() - e.busy_since));
   }
+  PUNO_TEV(kernel_, trace::Cat::kDir,
+           (trace::TraceEvent{.cycle = e.busy_since,
+                              .addr = unblock.addr,
+                              .a = kernel_.now() - e.busy_since,
+                              .node = node_,
+                              .peer = req,
+                              .kind = trace::EventKind::kDirBlock,
+                              .flags = e.busy_tx_getx ? std::uint8_t{1}
+                                                      : std::uint8_t{0}}));
 
   switch (e.kind) {
     case ServiceKind::kGetSIdle:
@@ -344,6 +376,12 @@ void Directory::finish_service(Entry& e, const Message& unblock) {
   // priority that led the unicast astray.
   if (unblock.mp_bit && assist_ != nullptr) {
     mp_feedbacks_.add();
+    PUNO_TEV(kernel_, trace::Cat::kDir,
+             (trace::TraceEvent{.cycle = kernel_.now(),
+                                .addr = unblock.addr,
+                                .node = node_,
+                                .peer = unblock.mp_node,
+                                .kind = trace::EventKind::kMpFeedback}));
     assist_->on_misprediction(unblock.mp_node);
   }
 

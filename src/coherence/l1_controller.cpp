@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sim/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace puno::coherence {
 
@@ -307,6 +308,17 @@ void L1Controller::complete_failure() {
   // Retry after backoff ("polling the sharers", Section II.C). PUNO's
   // notification makes this wait long enough for the nacker to finish.
   const Cycle backoff = hooks_.retry_backoff(m.best_notification, m.retries);
+  PUNO_TEV(kernel_, trace::Cat::kConflict,
+           (trace::TraceEvent{.cycle = kernel_.now(),
+                              .addr = m.addr,
+                              .ts = m.best_notification,
+                              .a = backoff,
+                              .b = m.retries,
+                              .node = node_,
+                              .kind = trace::EventKind::kBackoffWindow,
+                              .flags = m.best_notification > 0
+                                           ? std::uint8_t{1}
+                                           : std::uint8_t{0}}));
   ++m.retries;
   retries_stat_.add();
   m.in_backoff = true;

@@ -9,6 +9,15 @@
 // "dueling write" abort. Each node tracks up to 256 load instructions
 // (Table in Section IV.A) in a direct-mapped, tagged table of saturating
 // confidence counters.
+//
+// Units: `pc` is the static instruction address of the load (a synthetic
+// program counter in our workloads); nothing in this class is measured in
+// cycles — prediction is purely history-based.
+//
+// Ownership: one RmwPredictor is owned by value by each node's TxnContext
+// (allocated only under Scheme::kRmwPred). The table owns its slots; no
+// pointer into it escapes — predictions are returned by value at issue
+// time and training mutates slots in place.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +39,9 @@ class RmwPredictor {
 
   /// The load at `pc` turned out to be (`was_rmw`) / not be the read half of
   /// a read-modify-write pair in the transaction that just resolved.
+  /// Confidence moves by 1 per outcome and saturates at [0, 3]; entries are
+  /// allocated (at confidence 2, weakly predicting) only on a confirmed RMW
+  /// so plain reads never evict useful history.
   void train(std::uint64_t pc, bool was_rmw) {
     Slot& s = slot(pc);
     if (s.tag != pc) {

@@ -11,6 +11,14 @@
 // handled by evicting the least-recently-updated entry (the paper notes a
 // software fallback; a hardware LRU eviction preserves the same behaviour
 // for our purposes).
+//
+// Units: every length in this class (`dyn_len`, `estimate()`,
+// `overall_average()`) is in simulated cycles. `last_update` is a local
+// logical counter (update order), not a cycle count.
+//
+// Ownership: one TxLB is owned by value by each node's TxnContext. It
+// stores only plain values — estimates read from it are copied into NACK
+// notifications, never referenced, so entries can be evicted at any time.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +32,9 @@ class TxLB {
  public:
   explicit TxLB(std::uint32_t capacity) : capacity_(capacity) {}
 
-  /// Records a committed dynamic instance of `id` that ran `dyn_len` cycles.
+  /// Records a committed dynamic instance of `id` that ran `dyn_len`
+  /// cycles (TX_BEGIN to TX_END of the successful attempt, excluding
+  /// aborted attempts and backoff).
   void on_commit(StaticTxId id, Cycle dyn_len) {
     auto it = entries_.find(id);
     if (it == entries_.end()) {
@@ -40,7 +50,9 @@ class TxLB {
     overall_avg_ = overall_avg_ == 0 ? dyn_len : (overall_avg_ + dyn_len) / 2;
   }
 
-  /// Average length of static transaction `id`; 0 if never committed.
+  /// Average length of static transaction `id` in cycles; 0 if never
+  /// committed (callers treat 0 as "no estimate", falling back to the
+  /// scheme's fixed backoff).
   [[nodiscard]] Cycle estimate(StaticTxId id) const {
     const auto it = entries_.find(id);
     return it == entries_.end() ? 0 : it->second.avg_len;

@@ -5,6 +5,7 @@
 
 #include "coherence/l1_controller.hpp"
 #include "sim/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace puno::htm {
 
@@ -71,11 +72,26 @@ void TxnContext::begin(StaticTxId id) {
   }
   PUNO_TRACE(sim::TraceCat::kHtm, kernel_.now(), "node ", node_, " TX_BEGIN ",
              id, " ts ", ts_, retry ? " (retry)" : "");
+  PUNO_TEV(kernel_, trace::Cat::kTxn,
+           (trace::TraceEvent{.cycle = kernel_.now(),
+                              .ts = ts_,
+                              .a = id,
+                              .node = node_,
+                              .kind = trace::EventKind::kTxnBegin,
+                              .flags = retry ? std::uint8_t{1}
+                                             : std::uint8_t{0}}));
 }
 
 void TxnContext::commit() {
   assert(in_txn_ && !aborted_);
   const Cycle len = kernel_.now() - attempt_begin_;
+  PUNO_TEV(kernel_, trace::Cat::kTxn,
+           (trace::TraceEvent{.cycle = kernel_.now(),
+                              .ts = ts_,
+                              .a = static_id_,
+                              .b = len,
+                              .node = node_,
+                              .kind = trace::EventKind::kTxnCommit}));
   txlb_.on_commit(static_id_, len);
   good_cycles_.add(len);
   commits_.add();
@@ -169,6 +185,16 @@ coherence::ConflictVerdict TxnContext::on_remote_request(BlockAddr addr,
       // Unicast reached a node with no conflicting transaction: the P-Buffer
       // priority was stale. NACK conservatively with the MP-bit set
       // (Section III.C) — granting would leave other sharers unnotified.
+      PUNO_TEV(kernel_, trace::Cat::kConflict,
+               (trace::TraceEvent{
+                   .cycle = kernel_.now(),
+                   .addr = addr,
+                   .ts = ts,
+                   .b = in_txn_ && !aborted_ ? ts_ : kInvalidTimestamp,
+                   .node = node_,
+                   .peer = requester,
+                   .kind = trace::EventKind::kNackMispredict,
+                   .flags = 1}));
       return {coherence::ConflictDecision::kNack, 0, /*mispredicted=*/true};
     }
     return {coherence::ConflictDecision::kGrant, 0, false};
@@ -179,8 +205,27 @@ coherence::ConflictVerdict TxnContext::on_remote_request(BlockAddr addr,
     // been predicted to win — this is a misprediction; NACK conservatively
     // without aborting.
     if (u_bit) {
+      PUNO_TEV(kernel_, trace::Cat::kConflict,
+               (trace::TraceEvent{.cycle = kernel_.now(),
+                                  .addr = addr,
+                                  .ts = ts,
+                                  .b = ts_,
+                                  .node = node_,
+                                  .peer = requester,
+                                  .kind = trace::EventKind::kNackMispredict,
+                                  .flags = 1}));
       return {coherence::ConflictDecision::kNack, 0, /*mispredicted=*/true};
     }
+    PUNO_TEV(kernel_, trace::Cat::kTxn,
+             (trace::TraceEvent{
+                 .cycle = kernel_.now(),
+                 .addr = addr,
+                 .ts = ts_,
+                 .a = write ? trace::kAbortRemoteWrite : trace::kAbortRemoteRead,
+                 .b = ts,
+                 .node = node_,
+                 .peer = requester,
+                 .kind = trace::EventKind::kTxnAbort}));
     abort(write ? AbortCause::kRemoteWrite : AbortCause::kRemoteRead);
     return {coherence::ConflictDecision::kGrantAfterAbort, 0, false};
   }
@@ -192,6 +237,17 @@ coherence::ConflictVerdict TxnContext::on_remote_request(BlockAddr addr,
       cfg_.scheme == Scheme::kPuno && cfg_.puno.enable_notification
           ? estimate_remaining()
           : 0;
+  PUNO_TEV(kernel_, trace::Cat::kConflict,
+           (trace::TraceEvent{.cycle = kernel_.now(),
+                              .addr = addr,
+                              .ts = ts,
+                              .a = note,
+                              .b = ts_,
+                              .node = node_,
+                              .peer = requester,
+                              .kind = trace::EventKind::kNackSent,
+                              .flags = write ? std::uint8_t{1}
+                                             : std::uint8_t{0}}));
   return {coherence::ConflictDecision::kNack, note, false};
 }
 
@@ -207,7 +263,18 @@ bool TxnContext::is_txn_line(BlockAddr addr) const {
          (read_set_.contains(addr) || write_set_.contains(addr));
 }
 
-void TxnContext::on_overflow_eviction(BlockAddr /*addr*/) {
+void TxnContext::on_overflow_eviction(BlockAddr addr) {
+  if (in_txn_ && !aborted_) {
+    PUNO_TEV(kernel_, trace::Cat::kTxn,
+             (trace::TraceEvent{.cycle = kernel_.now(),
+                                .addr = addr,
+                                .ts = ts_,
+                                .a = trace::kAbortOverflow,
+                                .b = kInvalidTimestamp,
+                                .node = node_,
+                                .peer = kInvalidNode,
+                                .kind = trace::EventKind::kTxnAbort}));
+  }
   abort(AbortCause::kOverflow);
 }
 
@@ -229,9 +296,19 @@ Cycle TxnContext::retry_backoff(Cycle notification, std::uint32_t /*retries*/) {
   return cfg_.htm.fixed_backoff;
 }
 
-void TxnContext::on_getx_outcome(BlockAddr /*addr*/, bool success,
+void TxnContext::on_getx_outcome(BlockAddr addr, bool success,
                                  std::uint32_t nacks,
                                  std::uint32_t aborted_sharers) {
+  PUNO_TEV(kernel_, trace::Cat::kConflict,
+           (trace::TraceEvent{.cycle = kernel_.now(),
+                              .addr = addr,
+                              .ts = ts_,
+                              .a = nacks,
+                              .b = aborted_sharers,
+                              .node = node_,
+                              .kind = trace::EventKind::kGetxOutcome,
+                              .flags = success ? std::uint8_t{1}
+                                               : std::uint8_t{0}}));
   if (!success && nacks > 0 && aborted_sharers > 0) {
     // The request was nacked, so the sharers it aborted were aborted for
     // nothing: false aborting (Section II.C).

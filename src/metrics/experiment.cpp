@@ -1,6 +1,12 @@
 #include "metrics/experiment.hpp"
 
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
 #include "arch/cmp.hpp"
+#include "trace/abort_attribution.hpp"
+#include "trace/chrome_export.hpp"
 #include "workloads/stamp.hpp"
 
 namespace puno::metrics {
@@ -18,6 +24,20 @@ RunResult run_experiment(const ExperimentParams& params,
   auto workload = workloads::stamp::make(params.workload, cfg.num_nodes,
                                          params.seed, params.scale);
   arch::Cmp cmp(cfg, *workload);
+
+  // Attach the recorder before the first cycle so txn begins are never
+  // missed. The recorder lives on this frame; detach before it dies.
+  std::optional<trace::TraceRecorder> recorder;
+  if (params.trace.active()) {
+    const auto mask = trace::parse_filter(params.trace.filter);
+    if (!mask) {
+      throw std::runtime_error("trace: unknown filter '" +
+                               params.trace.filter + "'");
+    }
+    recorder.emplace(params.trace.capacity, *mask);
+    cmp.kernel().set_tracer(&*recorder);
+  }
+
   const bool completed =
       cmp.run(params.max_cycles, watch.check_interval, watch.stop);
 
@@ -26,6 +46,33 @@ RunResult run_experiment(const ExperimentParams& params,
   r.scheme = params.scheme;
   r.completed = completed;
   r.cycles = cmp.kernel().now();
+
+  if (recorder.has_value()) {
+    cmp.kernel().set_tracer(nullptr);
+    r.trace_events = recorder->size();
+    r.trace_dropped = recorder->dropped();
+    if (!params.trace.path.empty()) {
+      trace::TraceMeta meta;
+      meta.workload = params.workload;
+      meta.scheme = to_string(params.scheme);
+      meta.seed = params.seed;
+      meta.num_nodes = cfg.num_nodes;
+      meta.final_cycle = cmp.kernel().now();
+      if (!trace::write_chrome_trace_file(*recorder, meta,
+                                          params.trace.path)) {
+        throw std::runtime_error("trace: cannot write " + params.trace.path);
+      }
+      r.trace_path = params.trace.path;
+    }
+    if (!params.trace.report_path.empty()) {
+      std::ofstream rep(params.trace.report_path, std::ios::trunc);
+      if (!rep.is_open()) {
+        throw std::runtime_error("trace: cannot write " +
+                                 params.trace.report_path);
+      }
+      trace::write_abort_report(trace::attribute_aborts(*recorder), rep);
+    }
+  }
   return r;
 }
 

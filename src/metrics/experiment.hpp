@@ -11,6 +11,7 @@
 
 #include "metrics/run_result.hpp"
 #include "sim/config.hpp"
+#include "trace/recorder.hpp"
 
 namespace puno::metrics {
 
@@ -23,6 +24,10 @@ struct ExperimentParams {
   Cycle max_cycles = 30'000'000;
   /// Overrides applied on top of the Table II defaults (set by ablations).
   SystemConfig base_config{};
+  /// Event-trace request (docs/TRACING.md). Deliberately NOT part of the
+  /// runner's cache key: tracing never changes simulated behaviour, and
+  /// traced jobs bypass the cache so the side-effect files always appear.
+  trace::TraceRequest trace{};
 };
 
 /// Optional supervision of a running experiment: `stop` is polled every

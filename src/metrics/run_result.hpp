@@ -59,6 +59,13 @@ struct RunResult {
   std::uint64_t commit_hints_sent = 0;
   std::uint64_t hint_wakeups = 0;
 
+  // Event-trace metadata, set by run_experiment() when the params carried a
+  // TraceRequest (docs/TRACING.md); defaults otherwise. Not derived from the
+  // stats registry — from_stats() leaves these untouched.
+  std::string trace_path;            ///< Chrome trace JSON file ("" = none).
+  std::uint64_t trace_events = 0;    ///< Events retained at export.
+  std::uint64_t trace_dropped = 0;   ///< Events lost to ring wraparound.
+
   [[nodiscard]] double abort_rate() const {
     const double total = static_cast<double>(commits + aborts);
     return total == 0.0 ? 0.0 : static_cast<double>(aborts) / total;

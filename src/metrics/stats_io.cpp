@@ -326,6 +326,9 @@ void skip_ws(std::string_view& s) {
     return parse_json_u64(s, r.commit_hints_sent);
   }
   if (key == "hint_wakeups") return parse_json_u64(s, r.hint_wakeups);
+  if (key == "trace_path") return parse_json_string(s, r.trace_path);
+  if (key == "trace_events") return parse_json_u64(s, r.trace_events);
+  if (key == "trace_dropped") return parse_json_u64(s, r.trace_dropped);
   return skip_json_value(s);  // unknown key: ignore for forward compat
 }
 
@@ -362,7 +365,15 @@ void write_result_jsonl(const RunResult& r, std::ostream& out) {
       << ",\"mp_feedbacks\":" << r.mp_feedbacks
       << ",\"notified_backoffs\":" << r.notified_backoffs
       << ",\"commit_hints_sent\":" << r.commit_hints_sent
-      << ",\"hint_wakeups\":" << r.hint_wakeups << "}\n";
+      << ",\"hint_wakeups\":" << r.hint_wakeups;
+  // Trace metadata only appears when a trace was attached, so untraced rows
+  // stay byte-identical to the pre-tracing schema.
+  if (!r.trace_path.empty() || r.trace_events > 0 || r.trace_dropped > 0) {
+    out << ",\"trace_path\":\"" << json_escape(r.trace_path)
+        << "\",\"trace_events\":" << r.trace_events
+        << ",\"trace_dropped\":" << r.trace_dropped;
+  }
+  out << "}\n";
 }
 
 void write_results_jsonl(const std::vector<RunResult>& results,

@@ -11,7 +11,10 @@
 //   numbers), router_traversals (integer), dir_blocked_mean (number),
 //   dir_txgetx_services, good_cycles, discarded_cycles, unicast_forwards,
 //   mp_feedbacks, notified_backoffs, commit_hints_sent, hint_wakeups
-//   (integers).
+//   (integers). When the run carried an event trace (docs/TRACING.md) three
+//   more keys follow: trace_path (string), trace_events, trace_dropped
+//   (integers); untraced rows omit them and stay byte-identical to the
+//   pre-tracing schema.
 // Derived metrics (abort_rate, gd_ratio, ...) are intentionally omitted:
 // they are recomputable from the raw fields. read_result_jsonl() restores
 // every field and skips unknown keys, so the schema can grow compatibly.

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sim/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace puno::noc {
 
@@ -75,6 +76,16 @@ void NetworkInterface::tick(Cycle now) {
     flit.is_head = lane.sent == 0;
     flit.is_tail = lane.sent + 1 == lane.inflight->num_flits;
     --credit.credits;
+    PUNO_TEV(kernel_, trace::Cat::kNoc,
+             (trace::TraceEvent{
+                 .cycle = now,
+                 .a = lane.inflight->id,
+                 .b = static_cast<std::uint64_t>(lane.inflight->vnet),
+                 .node = id_,
+                 .peer = lane.inflight->dst,
+                 .kind = trace::EventKind::kFlitInject,
+                 .flags = static_cast<std::uint8_t>(
+                     (flit.is_head ? 1u : 0u) | (flit.is_tail ? 2u : 0u))}));
     router_.receive_flit(Port::kLocal, lane.vc, std::move(flit));
     flits_sent_.add();
     ++lane.sent;
@@ -92,6 +103,16 @@ void NetworkInterface::tick(Cycle now) {
 void NetworkInterface::eject_flit(std::uint32_t /*vc*/, Flit flit) {
   flits_ejected_.add();
   const std::shared_ptr<Packet>& pkt = flit.packet;
+  PUNO_TEV(kernel_, trace::Cat::kNoc,
+           (trace::TraceEvent{
+               .cycle = kernel_.now(),
+               .a = pkt->id,
+               .b = static_cast<std::uint64_t>(pkt->vnet),
+               .node = id_,
+               .peer = pkt->src,
+               .kind = trace::EventKind::kFlitEject,
+               .flags = static_cast<std::uint8_t>(
+                   (flit.is_head ? 1u : 0u) | (flit.is_tail ? 2u : 0u))}));
   const std::uint32_t have = ++reassembly_[pkt->id];
   if (have < pkt->num_flits) return;
   reassembly_.erase(pkt->id);

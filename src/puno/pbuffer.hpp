@@ -13,6 +13,18 @@
 //     prediction.
 //
 // Misprediction feedback (Section III.C) zeroes the offending entry.
+//
+// Units: `ts` is a transaction timestamp (priority), not a cycle count —
+// it is derived as begin_cycle * num_nodes + node, so smaller means older
+// and older wins conflicts; kInvalidTimestamp marks "no known priority".
+// The validity counter is dimensionless; the *cadence* of on_timeout() is
+// the directory's adaptive validity timeout, measured in cycles and owned
+// by PunoDirectory (puno_directory.hpp), not by this class.
+//
+// Ownership: one PBuffer is owned by value by each node's PunoDirectory.
+// get() returns a reference into the table that is only valid until the
+// next update — callers (unicast prediction) copy the fields they need
+// within the same cycle and never retain the reference.
 #pragma once
 
 #include <cassert>

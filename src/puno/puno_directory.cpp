@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "coherence/directory.hpp"
+#include "trace/recorder.hpp"
 
 namespace puno::core {
 
@@ -46,13 +47,19 @@ void PunoDirectory::schedule_rollover() {
 }
 
 NodeId PunoDirectory::predict_unicast(std::uint64_t sharer_mask,
-                                      NodeId /*requester*/, Timestamp req_ts,
+                                      NodeId requester, Timestamp req_ts,
                                       NodeId ud_hint) {
   // No unicast for single-sharer lines: false aborting needs at least one
   // nacker plus one aborted sharer, which a lone sharer cannot produce.
   if (static_cast<std::uint32_t>(std::popcount(sharer_mask)) <
       cfg_.puno.unicast_min_sharers) {
     multicast_fallbacks_.add();
+    PUNO_TEV(kernel_, trace::Cat::kPuno,
+             (trace::TraceEvent{.cycle = kernel_.now(),
+                                .ts = req_ts,
+                                .a = requester,
+                                .node = node_,
+                                .kind = trace::EventKind::kUdFallback}));
     return kInvalidNode;
   }
   // The UD pointer indexes the P-Buffer; unicast only when the pointed-to
@@ -62,9 +69,23 @@ NodeId PunoDirectory::predict_unicast(std::uint64_t sharer_mask,
       pbuf_.usable(ud_hint, cfg_.puno.validity_threshold) &&
       pbuf_.get(ud_hint).ts < req_ts) {
     predictions_.add();
+    PUNO_TEV(kernel_, trace::Cat::kPuno,
+             (trace::TraceEvent{.cycle = kernel_.now(),
+                                .ts = req_ts,
+                                .a = requester,
+                                .b = pbuf_.get(ud_hint).ts,
+                                .node = node_,
+                                .peer = ud_hint,
+                                .kind = trace::EventKind::kUdPredict}));
     return ud_hint;
   }
   multicast_fallbacks_.add();
+  PUNO_TEV(kernel_, trace::Cat::kPuno,
+           (trace::TraceEvent{.cycle = kernel_.now(),
+                              .ts = req_ts,
+                              .a = requester,
+                              .node = node_,
+                              .kind = trace::EventKind::kUdFallback}));
   return kInvalidNode;
 }
 

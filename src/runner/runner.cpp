@@ -91,6 +91,13 @@ void write_manifest_row(std::ostream& out, std::size_t index,
     out << ",\"overrides\":\"" << metrics::json_escape(spec.overrides)
         << "\"";
   }
+  // Per-job trace manifest: where the Chrome JSON landed and how complete
+  // the ring was, so a sweep's traces can be located programmatically.
+  if (!o.result.trace_path.empty() || o.result.trace_events > 0) {
+    out << ",\"trace_path\":\"" << metrics::json_escape(o.result.trace_path)
+        << "\",\"trace_events\":" << o.result.trace_events
+        << ",\"trace_dropped\":" << o.result.trace_dropped;
+  }
   if (!o.error.empty()) {
     out << ",\"error\":\"" << metrics::json_escape(o.error) << "\"";
   }
@@ -139,7 +146,10 @@ SweepResult run_jobs(const std::vector<JobSpec>& specs,
       out.result.scheme = spec.params.scheme;
 
       bool hit = false;
-      if (options.cache != nullptr) {
+      // Traced jobs always simulate: the point of the trace is its
+      // side-effect files, which a cached result row cannot reproduce.
+      const bool traced = spec.params.trace.active();
+      if (options.cache != nullptr && !traced) {
         if (auto cached = options.cache->load(spec.params)) {
           out.result = std::move(*cached);
           out.status = JobStatus::kCached;
@@ -173,7 +183,8 @@ SweepResult run_jobs(const std::vector<JobSpec>& specs,
             out.error = "unknown exception";
           }
         }
-        if (out.status == JobStatus::kOk && options.cache != nullptr) {
+        if (out.status == JobStatus::kOk && options.cache != nullptr &&
+            !traced) {
           options.cache->store(spec.params, out.result);
         }
       }

@@ -17,6 +17,10 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+namespace puno::trace {
+class TraceRecorder;  // src/trace — depends on sim, so only a pointer here
+}  // namespace puno::trace
+
 namespace puno::sim {
 
 /// Interface for components that act every cycle.
@@ -98,6 +102,15 @@ class Kernel {
   /// Global stats registry for this simulation instance.
   [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
 
+  /// Optional event-trace recorder. Null (the default) means tracing is
+  /// off; components emit through PUNO_TEV (trace/recorder.hpp), which
+  /// reduces to this null check. The kernel does not own the recorder —
+  /// the caller (e.g. metrics::run_experiment) keeps it alive for the run.
+  void set_tracer(trace::TraceRecorder* t) noexcept { tracer_ = t; }
+  [[nodiscard]] trace::TraceRecorder* tracer() const noexcept {
+    return tracer_;
+  }
+
  private:
   struct Event {
     Cycle when;
@@ -117,6 +130,7 @@ class Kernel {
   std::vector<Event> events_;  ///< Binary heap ordered by EventLater.
   std::vector<std::function<void(Cycle)>> post_cycle_hooks_;
   StatsRegistry stats_;
+  trace::TraceRecorder* tracer_ = nullptr;  // not owned
 };
 
 }  // namespace puno::sim

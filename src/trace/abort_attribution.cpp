@@ -1,0 +1,202 @@
+#include "trace/abort_attribution.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <utility>
+
+namespace puno::trace {
+
+namespace {
+
+/// Pending state is keyed by (requester node, block): a requester has at
+/// most one outstanding GETX per block, so the next kGetxOutcome at the key
+/// resolves everything accumulated under it.
+using Key = std::pair<NodeId, BlockAddr>;
+
+[[nodiscard]] std::string ts_str(Timestamp ts) {
+  if (ts == kInvalidTimestamp) return "-";
+  return std::to_string(ts);
+}
+
+}  // namespace
+
+AttributionReport attribute_aborts(const std::vector<TraceEvent>& events,
+                                   std::uint64_t dropped) {
+  AttributionReport rep;
+  rep.dropped_events = dropped;
+
+  // Indices into rep.aborts awaiting their requester's outcome.
+  std::map<Key, std::vector<std::size_t>> pending_aborts;
+  // NACK chains accumulating against a requester's in-flight issue.
+  std::map<Key, std::vector<ChainNack>> pending_nacks;
+
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case EventKind::kTxnAbort: {
+        AttributedAbort ab;
+        ab.cycle = ev.cycle;
+        ab.addr = ev.addr;
+        ab.victim = ev.node;
+        ab.aborter = ev.peer;
+        ab.victim_ts = ev.ts;
+        ab.aborter_ts = ev.b;
+        ab.cause = ev.a;
+        if (ev.a == kAbortOverflow) {
+          ab.cls = AbortClass::kOverflow;
+          ab.resolved_at = ev.cycle;
+          ++rep.overflow_aborts;
+        } else if (ev.a == kAbortRemoteRead) {
+          // A forwarded GETS is always granted — no multicast to blame.
+          ab.cls = AbortClass::kNecessary;
+          ab.resolved_at = ev.cycle;
+          ++rep.necessary_aborts;
+        } else {
+          ab.cls = AbortClass::kUnresolved;  // until the outcome arrives
+          pending_aborts[{ev.peer, ev.addr}].push_back(rep.aborts.size());
+        }
+        rep.aborts.push_back(ab);
+        break;
+      }
+      case EventKind::kNackSent:
+      case EventKind::kNackMispredict: {
+        // flags bit0 = the nacked request was a GETX. A nacked GETS never
+        // produces an outcome event, so pending it would pollute the next
+        // GETX chain at the same (requester, addr).
+        if ((ev.flags & 1) == 0) break;
+        ChainNack n;
+        n.nacker = ev.node;
+        n.nacker_ts = ev.b;
+        n.cycle = ev.cycle;
+        n.mispredict = ev.kind == EventKind::kNackMispredict;
+        pending_nacks[{ev.peer, ev.addr}].push_back(n);
+        break;
+      }
+      case EventKind::kGetxOutcome: {
+        const Key key{ev.node, ev.addr};
+        const bool success = (ev.flags & 1) != 0;
+        const std::uint64_t nacks = ev.a;
+        const std::uint64_t aborted = ev.b;
+
+        const auto pa = pending_aborts.find(key);
+        if (pa != pending_aborts.end()) {
+          for (const std::size_t idx : pa->second) {
+            AttributedAbort& ab = rep.aborts[idx];
+            ab.resolved_at = ev.cycle;
+            ab.cls = success ? AbortClass::kNecessary : AbortClass::kFalse;
+            if (success) {
+              ++rep.necessary_aborts;
+            } else {
+              ++rep.false_aborts;
+            }
+          }
+          pending_aborts.erase(pa);
+        }
+
+        std::vector<ChainNack> chain;
+        const auto pn = pending_nacks.find(key);
+        if (pn != pending_nacks.end()) {
+          chain = std::move(pn->second);
+          pending_nacks.erase(pn);
+        }
+
+        if (!success) {
+          // Mirror the simulator's accounting exactly: a failed issue is a
+          // false-abort *event* only if it also aborted somebody.
+          if (nacks > 0 && aborted > 0) {
+            ++rep.false_abort_events;
+            rep.falsely_aborted_txns += aborted;
+          }
+          ConflictChain cc;
+          cc.resolved_at = ev.cycle;
+          cc.addr = ev.addr;
+          cc.requester = ev.node;
+          // Every NACK in the chain carries the same requester timestamp.
+          cc.requester_ts = ev.ts;
+          cc.aborted_sharers = aborted;
+          cc.nacks = std::move(chain);
+          rep.failed_issues.push_back(std::move(cc));
+        }
+        break;
+      }
+      default:
+        break;  // other kinds don't participate in attribution
+    }
+  }
+
+  for (const auto& [key, idxs] : pending_aborts) {
+    (void)key;
+    rep.unresolved_aborts += idxs.size();
+  }
+  return rep;
+}
+
+AttributionReport attribute_aborts(const TraceRecorder& rec) {
+  return attribute_aborts(rec.snapshot(), rec.dropped());
+}
+
+void write_abort_report(const AttributionReport& rep, std::ostream& out) {
+  out << "abort attribution\n";
+  out << "  total aborts:        " << rep.total_aborts() << "\n";
+  out << "  false:               " << rep.false_aborts << "\n";
+  out << "  necessary:           " << rep.necessary_aborts << "\n";
+  out << "  overflow:            " << rep.overflow_aborts << "\n";
+  out << "  unresolved:          " << rep.unresolved_aborts << "\n";
+  out << "  false-abort events:  " << rep.false_abort_events
+      << "  (failed tx-GETX issues that aborted >=1 sharer)\n";
+  out << "  falsely aborted txns:" << rep.falsely_aborted_txns << "\n";
+  if (rep.dropped_events > 0) {
+    out << "  WARNING: " << rep.dropped_events
+        << " events dropped by ring wraparound; counts are a lower bound\n";
+  }
+
+  if (!rep.aborts.empty()) {
+    out << "aborts (cycle victim <- aborter @addr cause class "
+           "victim_ts/aborter_ts)\n";
+    for (const AttributedAbort& ab : rep.aborts) {
+      char aborter[16];
+      if (ab.aborter == kInvalidNode) {
+        std::snprintf(aborter, sizeof aborter, "-");
+      } else {
+        std::snprintf(aborter, sizeof aborter, "n%u",
+                      static_cast<unsigned>(ab.aborter));
+      }
+      char line[192];
+      std::snprintf(line, sizeof line,
+                    "  %10llu  n%-3u <- %-4s @0x%-10llx %-12s %-10s %s/%s\n",
+                    static_cast<unsigned long long>(ab.cycle),
+                    static_cast<unsigned>(ab.victim), aborter,
+                    static_cast<unsigned long long>(ab.addr),
+                    ab.cause == kAbortOverflow     ? "overflow"
+                    : ab.cause == kAbortRemoteRead ? "remote-read"
+                                                   : "remote-write",
+                    to_string(ab.cls), ts_str(ab.victim_ts).c_str(),
+                    ts_str(ab.aborter_ts).c_str());
+      out << line;
+    }
+  }
+
+  if (!rep.failed_issues.empty()) {
+    out << "failed tx-GETX issues (requester -> nacker chain, priority = "
+           "smaller ts wins)\n";
+    for (const ConflictChain& cc : rep.failed_issues) {
+      char head[128];
+      std::snprintf(head, sizeof head,
+                    "  %10llu  n%-3u ts=%s @0x%llx aborted=%llu nacked by:",
+                    static_cast<unsigned long long>(cc.resolved_at),
+                    static_cast<unsigned>(cc.requester),
+                    ts_str(cc.requester_ts).c_str(),
+                    static_cast<unsigned long long>(cc.addr),
+                    static_cast<unsigned long long>(cc.aborted_sharers));
+      out << head;
+      if (cc.nacks.empty()) out << " (nack chain not in trace)";
+      for (const ChainNack& n : cc.nacks) {
+        out << " n" << n.nacker << "(ts=" << ts_str(n.nacker_ts)
+            << (n.mispredict ? ",mispredict" : "") << ")";
+      }
+      out << "\n";
+    }
+  }
+}
+
+}  // namespace puno::trace

@@ -1,0 +1,126 @@
+// Abort attribution: classify every recorded transaction abort as false or
+// necessary by walking requester→nacker conflict chains.
+//
+// Ground truth from the paper (PAPER.md §3): a multicast transactional GETX
+// invalidates every sharer; sharers with lower priority abort, the rest
+// NACK. If *any* sharer NACKed, the requester's issue failed and the aborted
+// sharers aborted for nothing — a *false abort*. If the issue succeeded,
+// those aborts were necessary to grant exclusivity.
+//
+// The walker replays a recorder's event stream chronologically:
+//
+//   kTxnAbort (remote-write cause)  → pend on (aborting requester, addr);
+//   kNackSent / kNackMispredict     → accumulate on (requester, addr) as the
+//                                     chain of higher-priority survivors;
+//   kGetxOutcome (requester, addr)  → resolve: failure ⇒ pending aborts were
+//                                     false (chain attached), success ⇒
+//                                     necessary;
+//   kTxnAbort (remote-read cause)   → necessary immediately (a forwarded
+//                                     GETS is always granted — there is no
+//                                     failing multicast to blame);
+//   kTxnAbort (overflow cause)      → counted separately, not a conflict.
+//
+// By construction `report.false_abort_events` equals the simulator's
+// `htm.false_abort_events` counter and `report.falsely_aborted_txns` equals
+// `htm.falsely_aborted_txns` whenever the ring did not drop events — the
+// cross-check behind `punosim --verify-trace` and the Fig. 2 walkthrough in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace puno::trace {
+
+enum class AbortClass : std::uint8_t {
+  kFalse,       ///< GETX that caused it was NACKed: aborted for nothing.
+  kNecessary,   ///< Conflict was real: the requester won and proceeded.
+  kOverflow,    ///< Capacity eviction, not a coherence conflict.
+  kUnresolved,  ///< No matching outcome in the trace (truncated/filtered).
+};
+
+[[nodiscard]] constexpr const char* to_string(AbortClass c) noexcept {
+  switch (c) {
+    case AbortClass::kFalse: return "false";
+    case AbortClass::kNecessary: return "necessary";
+    case AbortClass::kOverflow: return "overflow";
+    case AbortClass::kUnresolved: return "unresolved";
+  }
+  return "?";
+}
+
+/// One NACK inside a conflict chain: a sharer that out-prioritized the
+/// requester.
+struct ChainNack {
+  NodeId nacker = kInvalidNode;
+  Timestamp nacker_ts = kInvalidTimestamp;  ///< kInvalidTimestamp: the NACK
+                                            ///< came from a non-transactional
+                                            ///< or mispredicted node.
+  Cycle cycle = 0;
+  bool mispredict = false;  ///< PUNO unicast landed on a non-conflicting node.
+};
+
+/// One classified abort.
+struct AttributedAbort {
+  Cycle cycle = 0;               ///< When the victim aborted.
+  Cycle resolved_at = 0;         ///< When the classifying outcome arrived.
+  BlockAddr addr = 0;            ///< Conflicting block.
+  NodeId victim = kInvalidNode;  ///< Core whose transaction died.
+  NodeId aborter = kInvalidNode; ///< Requester whose message killed it.
+  Timestamp victim_ts = kInvalidTimestamp;
+  Timestamp aborter_ts = kInvalidTimestamp;
+  std::uint64_t cause = kAbortRemoteWrite;
+  AbortClass cls = AbortClass::kUnresolved;
+};
+
+/// One *failed* transactional GETX issue: the requester, the sharers that
+/// NACKed it (priority ordering), and the sharers that aborted for it.
+struct ConflictChain {
+  Cycle resolved_at = 0;
+  BlockAddr addr = 0;
+  NodeId requester = kInvalidNode;
+  Timestamp requester_ts = kInvalidTimestamp;
+  std::uint64_t aborted_sharers = 0;  ///< As counted by the requester's acks.
+  std::vector<ChainNack> nacks;       ///< In arrival order.
+};
+
+struct AttributionReport {
+  std::vector<AttributedAbort> aborts;       ///< Every abort, stream order.
+  std::vector<ConflictChain> failed_issues;  ///< Every NACKed tx-GETX issue.
+
+  // Aggregates (aborts by class; events as the counters define them).
+  std::uint64_t false_aborts = 0;
+  std::uint64_t necessary_aborts = 0;
+  std::uint64_t overflow_aborts = 0;
+  std::uint64_t unresolved_aborts = 0;
+  /// Failed issues that aborted ≥1 sharer — comparable to the simulator's
+  /// `htm.false_abort_events` StatsRegistry counter.
+  std::uint64_t false_abort_events = 0;
+  /// Sum of sharers aborted across those — comparable to
+  /// `htm.falsely_aborted_txns`.
+  std::uint64_t falsely_aborted_txns = 0;
+  /// Ring drops at walk time; >0 weakens the counter-match guarantee.
+  std::uint64_t dropped_events = 0;
+
+  [[nodiscard]] std::uint64_t total_aborts() const noexcept {
+    return false_aborts + necessary_aborts + overflow_aborts +
+           unresolved_aborts;
+  }
+};
+
+/// Walk retained events and classify (see file comment for the algorithm).
+[[nodiscard]] AttributionReport attribute_aborts(const TraceRecorder& rec);
+
+/// Same walk over a bare event vector (events must be in recording order);
+/// lets tests hand-build scenarios without a recorder.
+[[nodiscard]] AttributionReport attribute_aborts(
+    const std::vector<TraceEvent>& events, std::uint64_t dropped = 0);
+
+/// Human-readable report: aggregate table, then one line per abort and per
+/// failed-issue chain. Stable formatting (goldenable).
+void write_abort_report(const AttributionReport& report, std::ostream& out);
+
+}  // namespace puno::trace

@@ -1,0 +1,519 @@
+#include "trace/chrome_export.hpp"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace puno::trace {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string jesc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string hex_addr(BlockAddr a) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(a));
+  return buf;
+}
+
+class ChromeWriter {
+ public:
+  ChromeWriter(const TraceMeta& meta, std::ostream& out)
+      : meta_(meta), out_(out) {}
+
+  void write(const TraceRecorder& rec) {
+    out_ << "{\"traceEvents\":[";
+    write_process_meta();
+    rec.for_each([&](const TraceEvent& ev) { dispatch(ev); });
+    close_open_txns();
+    out_ << "\n],\"otherData\":{\"workload\":\"" << jesc(meta_.workload)
+         << "\",\"scheme\":\"" << jesc(meta_.scheme)
+         << "\",\"seed\":" << meta_.seed
+         << ",\"num_nodes\":" << meta_.num_nodes
+         << ",\"recorded\":" << rec.recorded()
+         << ",\"dropped\":" << rec.dropped() << ",\"filter\":\""
+         << jesc(filter_to_string(rec.category_mask()))
+         << "\"},\"displayTimeUnit\":\"ns\"}\n";
+  }
+
+ private:
+  struct OpenTxn {
+    bool active = false;
+    Cycle begin = 0;
+    Timestamp ts = 0;
+    std::uint64_t id = 0;
+    bool retry = false;
+  };
+
+  void comma() {
+    if (first_) {
+      first_ = false;
+    } else {
+      out_ << ',';
+    }
+    out_ << "\n";
+  }
+
+  void write_process_meta() {
+    static constexpr std::array<const char*, 3> kProc = {"cores",
+                                                         "directories", "noc"};
+    static constexpr std::array<const char*, 3> kThread = {"core", "dir",
+                                                           "ni"};
+    for (int pid = 0; pid < 3; ++pid) {
+      comma();
+      out_ << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << kProc[pid]
+           << "\"}}";
+      for (std::uint32_t n = 0; n < meta_.num_nodes; ++n) {
+        comma();
+        out_ << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << n
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+             << kThread[pid] << " " << n << "\"}}";
+      }
+    }
+  }
+
+  void span(int pid, NodeId tid, const char* name, Cycle start, Cycle dur,
+            const std::string& args) {
+    comma();
+    out_ << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":" << start << ",\"dur\":" << dur << ",\"name\":\""
+         << name << "\"";
+    if (!args.empty()) out_ << ",\"args\":{" << args << "}";
+    out_ << "}";
+  }
+
+  void instant(int pid, NodeId tid, const char* name, Cycle at,
+               const std::string& args) {
+    comma();
+    out_ << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":" << at << ",\"name\":\"" << name << "\"";
+    if (!args.empty()) out_ << ",\"args\":{" << args << "}";
+    out_ << "}";
+  }
+
+  [[nodiscard]] static std::string txn_args(const OpenTxn& t,
+                                            const char* outcome) {
+    std::ostringstream a;
+    a << "\"txn\":" << t.id << ",\"priority_ts\":" << t.ts
+      << ",\"retry\":" << (t.retry ? "true" : "false") << ",\"outcome\":\""
+      << outcome << "\"";
+    return a.str();
+  }
+
+  void dispatch(const TraceEvent& ev) {
+    std::ostringstream a;
+    switch (ev.kind) {
+      case EventKind::kTxnBegin: {
+        OpenTxn& t = open_txn(ev.node);
+        t = OpenTxn{true, ev.cycle, ev.ts, ev.a, (ev.flags & 1) != 0};
+        return;  // span written at commit/abort
+      }
+      case EventKind::kTxnCommit: {
+        OpenTxn& t = open_txn(ev.node);
+        if (t.active) {
+          span(0, ev.node, "txn", t.begin, ev.cycle - t.begin,
+               txn_args(t, "commit"));
+          t.active = false;
+        } else {  // begin lost to ring wraparound
+          a << "\"txn\":" << ev.a << ",\"outcome\":\"commit\"";
+          instant(0, ev.node, "txn_commit", ev.cycle, a.str());
+        }
+        return;
+      }
+      case EventKind::kTxnAbort: {
+        OpenTxn& t = open_txn(ev.node);
+        std::ostringstream extra;
+        extra << "\"by\":" << ev.peer << ",\"addr\":\"" << hex_addr(ev.addr)
+              << "\",\"cause\":" << ev.a << ",\"aborter_ts\":" << ev.b;
+        if (t.active) {
+          span(0, ev.node, "txn", t.begin, ev.cycle - t.begin,
+               txn_args(t, "abort") + "," + extra.str());
+          t.active = false;
+        } else {
+          instant(0, ev.node, "txn_abort", ev.cycle, extra.str());
+        }
+        return;
+      }
+      case EventKind::kTxnStall:
+        a << "\"stall\":" << ev.a << ",\"aborts\":" << ev.b;
+        span(0, ev.node, "stall", ev.cycle, ev.a, a.str());
+        return;
+      case EventKind::kBackoffWindow:
+        a << "\"window\":" << ev.a << ",\"retries\":" << ev.b
+          << ",\"notification\":" << ev.ts << ",\"guided\":"
+          << ((ev.flags & 1) != 0 ? "true" : "false") << ",\"addr\":\""
+          << hex_addr(ev.addr) << "\"";
+        span(0, ev.node, "backoff", ev.cycle, ev.a, a.str());
+        return;
+      case EventKind::kDirBlock:
+        a << "\"requester\":" << ev.peer << ",\"addr\":\""
+          << hex_addr(ev.addr) << "\",\"tx_getx\":"
+          << ((ev.flags & 1) != 0 ? "true" : "false");
+        span(1, ev.node, "dir_block", ev.cycle, ev.a, a.str());
+        return;
+      case EventKind::kNackSent:
+      case EventKind::kNackMispredict:
+        a << "\"requester\":" << ev.peer << ",\"addr\":\""
+          << hex_addr(ev.addr) << "\",\"requester_ts\":" << ev.ts
+          << ",\"local_ts\":" << ev.b;
+        if (ev.kind == EventKind::kNackSent) {
+          a << ",\"notification\":" << ev.a;
+        }
+        instant(0, ev.node, to_string(ev.kind), ev.cycle, a.str());
+        return;
+      case EventKind::kGetxOutcome:
+        a << "\"addr\":\"" << hex_addr(ev.addr) << "\",\"nacks\":" << ev.a
+          << ",\"aborted_sharers\":" << ev.b << ",\"success\":"
+          << ((ev.flags & 1) != 0 ? "true" : "false");
+        instant(0, ev.node, "getx_outcome", ev.cycle, a.str());
+        return;
+      case EventKind::kGetxUnicast:
+        a << "\"requester\":" << ev.a << ",\"target\":" << ev.peer
+          << ",\"addr\":\"" << hex_addr(ev.addr)
+          << "\",\"spared_sharers\":" << ev.b << ",\"requester_ts\":"
+          << ev.ts;
+        instant(1, ev.node, "getx_unicast", ev.cycle, a.str());
+        return;
+      case EventKind::kGetxMulticast:
+        a << "\"requester\":" << ev.peer << ",\"addr\":\""
+          << hex_addr(ev.addr) << "\",\"targets\":" << ev.b
+          << ",\"requester_ts\":" << ev.ts << ",\"transactional\":"
+          << ((ev.flags & 1) != 0 ? "true" : "false");
+        instant(1, ev.node, "getx_multicast", ev.cycle, a.str());
+        return;
+      case EventKind::kUdPredict:
+        a << "\"requester\":" << ev.a << ",\"target\":" << ev.peer
+          << ",\"target_ts\":" << ev.b << ",\"requester_ts\":" << ev.ts;
+        instant(1, ev.node, "ud_predict", ev.cycle, a.str());
+        return;
+      case EventKind::kUdFallback:
+        a << "\"requester\":" << ev.a << ",\"requester_ts\":" << ev.ts;
+        instant(1, ev.node, "ud_fallback", ev.cycle, a.str());
+        return;
+      case EventKind::kMpFeedback:
+        a << "\"stale_node\":" << ev.peer;
+        instant(1, ev.node, "mp_feedback", ev.cycle, a.str());
+        return;
+      case EventKind::kFlitInject:
+      case EventKind::kFlitEject:
+        a << "\"peer\":" << ev.peer << ",\"packet\":" << ev.a
+          << ",\"vnet\":" << ev.b << ",\"head\":"
+          << ((ev.flags & 1) != 0 ? "true" : "false")
+          << ",\"tail\":" << ((ev.flags & 2) != 0 ? "true" : "false");
+        instant(2, ev.node, to_string(ev.kind), ev.cycle, a.str());
+        return;
+    }
+  }
+
+  void close_open_txns() {
+    for (std::size_t n = 0; n < open_.size(); ++n) {
+      const OpenTxn& t = open_[n];
+      if (!t.active) continue;
+      const Cycle end =
+          meta_.final_cycle > t.begin ? meta_.final_cycle : t.begin;
+      span(0, static_cast<NodeId>(n), "txn", t.begin, end - t.begin,
+           txn_args(t, "open"));
+    }
+  }
+
+  OpenTxn& open_txn(NodeId node) {
+    if (open_.size() <= node) open_.resize(node + std::size_t{1});
+    return open_[node];
+  }
+
+  const TraceMeta& meta_;
+  std::ostream& out_;
+  std::vector<OpenTxn> open_;
+  bool first_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Validator: streaming recursive-descent JSON parser.
+// ---------------------------------------------------------------------------
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::istream& in) : in_(in) {}
+
+  /// Entry point: parse the whole document, filling `check`.
+  [[nodiscard]] bool run(ChromeTraceCheck& check) {
+    check_ = &check;
+    skip_ws();
+    if (!parse_top_object()) return false;
+    skip_ws();
+    if (peek() != EOF) return fail("trailing content after document");
+    if (!saw_trace_events_) return fail("no \"traceEvents\" array");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const { return err_; }
+
+ private:
+  [[nodiscard]] int peek() { return in_.peek(); }
+  int get() { return in_.get(); }
+
+  void skip_ws() {
+    int c = peek();
+    while (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      get();
+      c = peek();
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (err_.empty()) err_ = what;
+    return false;
+  }
+
+  bool expect(char c) {
+    if (get() != c) return fail(std::string("expected '") + c + "'");
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    for (;;) {
+      const int c = get();
+      if (c == EOF) return fail("unterminated string");
+      if (c == '"') return true;
+      if (c == '\\') {
+        const int e = get();
+        switch (e) {
+          case '"': case '\\': case '/': case 'b': case 'f': case 'n':
+          case 'r': case 't':
+            if (out) out->push_back(static_cast<char>(e));
+            break;
+          case 'u':
+            for (int i = 0; i < 4; ++i) {
+              const int h = get();
+              if (!std::isxdigit(h)) return fail("bad \\u escape");
+            }
+            if (out) out->push_back('?');
+            break;
+          default:
+            return fail("bad escape character");
+        }
+      } else if (out) {
+        out->push_back(static_cast<char>(c));
+      }
+    }
+  }
+
+  bool parse_number() {
+    int c = peek();
+    if (c == '-') get(), c = peek();
+    if (!std::isdigit(c)) return fail("malformed number");
+    while (std::isdigit(peek())) get();
+    if (peek() == '.') {
+      get();
+      if (!std::isdigit(peek())) return fail("malformed fraction");
+      while (std::isdigit(peek())) get();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      get();
+      if (peek() == '+' || peek() == '-') get();
+      if (!std::isdigit(peek())) return fail("malformed exponent");
+      while (std::isdigit(peek())) get();
+    }
+    return true;
+  }
+
+  bool parse_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (get() != *p) return fail(std::string("bad literal ") + lit);
+    }
+    return true;
+  }
+
+  /// Any JSON value, contents discarded.
+  bool skip_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return skip_object();
+      case '[': return skip_array();
+      case '"': return parse_string(nullptr);
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool skip_object() {
+    if (!expect('{')) return false;
+    skip_ws();
+    if (peek() == '}') return get(), true;
+    for (;;) {
+      skip_ws();
+      if (!parse_string(nullptr)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      if (!skip_value()) return false;
+      skip_ws();
+      const int c = get();
+      if (c == '}') return true;
+      if (c != ',') return fail("expected ',' or '}'");
+    }
+  }
+
+  bool skip_array() {
+    if (!expect('[')) return false;
+    skip_ws();
+    if (peek() == ']') return get(), true;
+    for (;;) {
+      if (!skip_value()) return false;
+      skip_ws();
+      const int c = get();
+      if (c == ']') return true;
+      if (c != ',') return fail("expected ',' or ']'");
+    }
+  }
+
+  /// One element of "traceEvents": an object with string "ph" and "name".
+  bool parse_event() {
+    skip_ws();
+    if (peek() != '{') return fail("traceEvents element is not an object");
+    get();
+    std::string ph;
+    bool has_name = false;
+    skip_ws();
+    if (peek() == '}') {
+      get();
+      return fail("traceEvents element missing \"ph\"");
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      if (key == "ph") {
+        skip_ws();
+        if (peek() != '"') return fail("\"ph\" is not a string");
+        if (!parse_string(&ph)) return false;
+      } else if (key == "name") {
+        skip_ws();
+        if (peek() != '"') return fail("\"name\" is not a string");
+        if (!parse_string(nullptr)) return false;
+        has_name = true;
+      } else {
+        if (!skip_value()) return false;
+      }
+      skip_ws();
+      const int c = get();
+      if (c == '}') break;
+      if (c != ',') return fail("expected ',' or '}' in event");
+    }
+    if (ph.empty()) return fail("traceEvents element missing \"ph\"");
+    if (!has_name) return fail("traceEvents element missing \"name\"");
+    ++check_->events;
+    if (ph == "X") ++check_->complete;
+    else if (ph == "i" || ph == "I") ++check_->instants;
+    else if (ph == "M") ++check_->metadata;
+    return true;
+  }
+
+  bool parse_trace_events() {
+    skip_ws();
+    if (peek() != '[') return fail("\"traceEvents\" is not an array");
+    get();
+    skip_ws();
+    if (peek() == ']') return get(), true;
+    for (;;) {
+      if (!parse_event()) return false;
+      skip_ws();
+      const int c = get();
+      if (c == ']') return true;
+      if (c != ',') return fail("expected ',' or ']' in traceEvents");
+    }
+  }
+
+  bool parse_top_object() {
+    skip_ws();
+    if (peek() != '{') return fail("document is not a JSON object");
+    get();
+    skip_ws();
+    if (peek() == '}') return get(), true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      if (key == "traceEvents") {
+        saw_trace_events_ = true;
+        if (!parse_trace_events()) return false;
+      } else {
+        if (!skip_value()) return false;
+      }
+      skip_ws();
+      const int c = get();
+      if (c == '}') return true;
+      if (c != ',') return fail("expected ',' or '}' at top level");
+    }
+  }
+
+  std::istream& in_;
+  ChromeTraceCheck* check_ = nullptr;
+  std::string err_;
+  bool saw_trace_events_ = false;
+};
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& rec, const TraceMeta& meta,
+                        std::ostream& out) {
+  ChromeWriter(meta, out).write(rec);
+}
+
+bool write_chrome_trace_file(const TraceRecorder& rec, const TraceMeta& meta,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  write_chrome_trace(rec, meta, out);
+  out.flush();
+  return out.good();
+}
+
+std::optional<ChromeTraceCheck> validate_chrome_trace(std::istream& in,
+                                                      std::string* error) {
+  ChromeTraceCheck check;
+  JsonScanner scanner(in);
+  if (!scanner.run(check)) {
+    if (error != nullptr) *error = scanner.error();
+    return std::nullopt;
+  }
+  return check;
+}
+
+}  // namespace puno::trace

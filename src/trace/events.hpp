@@ -1,0 +1,183 @@
+// Transaction-lifecycle trace event vocabulary.
+//
+// One TraceEvent is a fixed-size POD snapshot of a single simulator
+// occurrence: a transaction phase change, a conflict-detection decision, a
+// directory service span, or a NoC flit crossing an injection/ejection
+// boundary. Events carry no pointers and no ownership — they are plain
+// values copied into the recorder's ring buffer — so recording can never
+// perturb simulated behaviour (the zero-overhead contract, docs/TRACING.md).
+//
+// The per-kind meaning of the generic fields (`peer`, `ts`, `a`, `b`,
+// `flags`) is documented next to each kind below and normatively in
+// docs/TRACING.md; the Chrome exporter and the abort-attribution walker are
+// the two consumers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace puno::trace {
+
+/// Coarse event category, used as the runtime filter granularity
+/// (`--trace=txn,dir`). Values are bitmask bits.
+enum class Cat : std::uint32_t {
+  kTxn = 1u << 0,       ///< Transaction lifecycle: begin/commit/abort/stall.
+  kConflict = 1u << 1,  ///< Conflict detection: NACKs, GETX outcomes, backoff.
+  kDir = 1u << 2,       ///< Directory: service spans, unicast/multicast.
+  kNoc = 1u << 3,       ///< Network: per-flit injection/ejection.
+  kPuno = 1u << 4,      ///< PUNO predictor: UD predictions and fallbacks.
+};
+
+inline constexpr std::uint32_t kAllCats =
+    static_cast<std::uint32_t>(Cat::kTxn) |
+    static_cast<std::uint32_t>(Cat::kConflict) |
+    static_cast<std::uint32_t>(Cat::kDir) |
+    static_cast<std::uint32_t>(Cat::kNoc) |
+    static_cast<std::uint32_t>(Cat::kPuno);
+
+/// What happened. Field interpretation per kind:
+///
+///   kTxnBegin      node=core. ts=txn timestamp, a=static txn id,
+///                  flags bit0 = retry of an aborted instance.
+///   kTxnCommit     node=core. ts=txn timestamp, a=static txn id,
+///                  b=attempt length in cycles.
+///   kTxnAbort      node=victim core. ts=victim's txn timestamp,
+///                  peer=requester whose message caused the abort
+///                  (kInvalidNode for overflow), addr=conflicting block,
+///                  a=cause (0 remote write, 1 remote read, 2 overflow),
+///                  b=requester's txn timestamp (kInvalidTimestamp for
+///                  overflow).
+///   kTxnStall      node=core. a=restart stall length in cycles (abort
+///                  recovery + scheme backoff), b=aborts of this instance
+///                  so far.
+///   kNackSent      node=nacker core, peer=requester, addr=block.
+///                  ts=requester's txn timestamp, a=notification attached
+///                  (cycles, 0 = none), b=nacker's txn timestamp,
+///                  flags bit0 = the nacked request was a GETX (write).
+///   kNackMispredict node=nacked core (PUNO unicast misprediction),
+///                  peer=requester, addr=block, ts=requester's timestamp,
+///                  b=local txn timestamp (kInvalidTimestamp if the node was
+///                  not in a transaction), flags bit0 as kNackSent.
+///   kGetxOutcome   node=requester core, addr=block. a=NACKs collected this
+///                  issue, b=sharers that aborted for this issue,
+///                  flags bit0 = the issue succeeded.
+///   kBackoffWindow node=requester core, addr=block. a=backoff window in
+///                  cycles, b=retries so far, ts=best notification received
+///                  (0 = none), flags bit0 = the window was
+///                  notification-guided.
+///   kDirBlock      node=directory, peer=requester, addr=block.
+///                  cycle=service start, a=blocked duration in cycles,
+///                  flags bit0 = the service was a transactional GETX.
+///   kGetxUnicast   node=directory, peer=predicted unicast destination,
+///                  addr=block, ts=requester's txn timestamp, a=requester,
+///                  b=sharer count the multicast would have disrupted.
+///   kGetxMulticast node=directory, peer=requester, addr=block,
+///                  ts=requester's txn timestamp, a=invalidation target
+///                  mask, b=target count, flags bit0 = transactional.
+///   kUdPredict     node=directory, peer=predicted destination,
+///                  ts=requester's txn timestamp, a=requester, b=P-Buffer
+///                  timestamp of the predicted node.
+///   kUdFallback    node=directory, ts=requester's txn timestamp,
+///                  a=requester (no usable prediction: multicast).
+///   kMpFeedback    node=directory, peer=node whose stale P-Buffer priority
+///                  misdirected a unicast (UNBLOCK MP-bit).
+///   kFlitInject    node=injecting NI, peer=destination node, a=packet id,
+///                  b=virtual network, flags bit0 = head flit,
+///                  bit1 = tail flit.
+///   kFlitEject     node=ejecting NI, peer=source node, a=packet id,
+///                  b=virtual network, flags bit0 = head flit,
+///                  bit1 = tail flit.
+enum class EventKind : std::uint8_t {
+  kTxnBegin,
+  kTxnCommit,
+  kTxnAbort,
+  kTxnStall,
+  kNackSent,
+  kNackMispredict,
+  kGetxOutcome,
+  kBackoffWindow,
+  kDirBlock,
+  kGetxUnicast,
+  kGetxMulticast,
+  kUdPredict,
+  kUdFallback,
+  kMpFeedback,
+  kFlitInject,
+  kFlitEject,
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kTxnBegin: return "txn_begin";
+    case EventKind::kTxnCommit: return "txn_commit";
+    case EventKind::kTxnAbort: return "txn_abort";
+    case EventKind::kTxnStall: return "txn_stall";
+    case EventKind::kNackSent: return "nack";
+    case EventKind::kNackMispredict: return "nack_mispredict";
+    case EventKind::kGetxOutcome: return "getx_outcome";
+    case EventKind::kBackoffWindow: return "backoff";
+    case EventKind::kDirBlock: return "dir_block";
+    case EventKind::kGetxUnicast: return "getx_unicast";
+    case EventKind::kGetxMulticast: return "getx_multicast";
+    case EventKind::kUdPredict: return "ud_predict";
+    case EventKind::kUdFallback: return "ud_fallback";
+    case EventKind::kMpFeedback: return "mp_feedback";
+    case EventKind::kFlitInject: return "flit_inject";
+    case EventKind::kFlitEject: return "flit_eject";
+  }
+  return "?";
+}
+
+/// Category each kind belongs to (drives the runtime filter).
+[[nodiscard]] constexpr Cat category_of(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kTxnBegin:
+    case EventKind::kTxnCommit:
+    case EventKind::kTxnAbort:
+    case EventKind::kTxnStall:
+      return Cat::kTxn;
+    case EventKind::kNackSent:
+    case EventKind::kNackMispredict:
+    case EventKind::kGetxOutcome:
+    case EventKind::kBackoffWindow:
+      return Cat::kConflict;
+    case EventKind::kDirBlock:
+    case EventKind::kGetxUnicast:
+    case EventKind::kGetxMulticast:
+    case EventKind::kMpFeedback:
+      return Cat::kDir;
+    case EventKind::kUdPredict:
+    case EventKind::kUdFallback:
+      return Cat::kPuno;
+    case EventKind::kFlitInject:
+    case EventKind::kFlitEject:
+      return Cat::kNoc;
+  }
+  return Cat::kTxn;
+}
+
+/// Abort causes mirrored from htm::AbortCause (kept as raw integers so the
+/// trace library does not depend on the HTM layer).
+inline constexpr std::uint64_t kAbortRemoteWrite = 0;
+inline constexpr std::uint64_t kAbortRemoteRead = 1;
+inline constexpr std::uint64_t kAbortOverflow = 2;
+
+/// One recorded occurrence. 48 bytes, trivially copyable; ownership is by
+/// value (the recorder's ring owns its copies, emitters keep nothing).
+struct TraceEvent {
+  Cycle cycle = 0;       ///< Simulated cycle the event describes (for span
+                         ///< kinds: the span start).
+  BlockAddr addr = 0;    ///< Cache-block address involved (0 if none).
+  Timestamp ts = 0;      ///< Transaction timestamp (priority); see per-kind.
+  std::uint64_t a = 0;   ///< Kind-specific (see EventKind docs).
+  std::uint64_t b = 0;   ///< Kind-specific (see EventKind docs).
+  NodeId node = 0;       ///< Track owner: the tile the event happened on.
+  NodeId peer = 0;       ///< Other party (requester/destination); see kind.
+  EventKind kind = EventKind::kTxnBegin;
+  std::uint8_t flags = 0;  ///< Kind-specific bits (see EventKind docs).
+};
+
+static_assert(sizeof(TraceEvent) <= 48, "keep trace events cache-friendly");
+
+}  // namespace puno::trace

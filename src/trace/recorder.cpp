@@ -1,0 +1,63 @@
+#include "trace/recorder.hpp"
+
+namespace puno::trace {
+
+namespace {
+
+[[nodiscard]] std::optional<std::uint32_t> token_mask(std::string_view tok) {
+  if (tok == "all") return kAllCats;
+  if (tok == "txn") return static_cast<std::uint32_t>(Cat::kTxn);
+  if (tok == "conflict") return static_cast<std::uint32_t>(Cat::kConflict);
+  if (tok == "dir") return static_cast<std::uint32_t>(Cat::kDir);
+  if (tok == "noc") return static_cast<std::uint32_t>(Cat::kNoc);
+  if (tok == "puno") return static_cast<std::uint32_t>(Cat::kPuno);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> parse_filter(std::string_view s) {
+  if (s.empty()) return kAllCats;
+  std::uint32_t mask = 0;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view tok =
+        comma == std::string_view::npos ? s : s.substr(0, comma);
+    s = comma == std::string_view::npos ? std::string_view{}
+                                        : s.substr(comma + 1);
+    if (tok.empty()) continue;  // tolerate "txn,,dir" and trailing commas
+    const auto m = token_mask(tok);
+    if (!m) return std::nullopt;
+    mask |= *m;
+  }
+  return mask == 0 ? kAllCats : mask;
+}
+
+std::string filter_to_string(std::uint32_t mask) {
+  if ((mask & kAllCats) == kAllCats) return "all";
+  std::string out;
+  const auto add = [&](Cat c, const char* name) {
+    if ((mask & static_cast<std::uint32_t>(c)) == 0) return;
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  add(Cat::kTxn, "txn");
+  add(Cat::kConflict, "conflict");
+  add(Cat::kDir, "dir");
+  add(Cat::kNoc, "noc");
+  add(Cat::kPuno, "puno");
+  return out.empty() ? "none" : out;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity,
+                             std::uint32_t category_mask)
+    : ring_(capacity > 0 ? capacity : 1), mask_(category_mask) {}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for_each([&](const TraceEvent& ev) { out.push_back(ev); });
+  return out;
+}
+
+}  // namespace puno::trace

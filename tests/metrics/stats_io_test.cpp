@@ -128,6 +128,27 @@ TEST(StatsIoJsonl, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.hint_wakeups, r.hint_wakeups);
 }
 
+TEST(StatsIoJsonl, TraceKeysAreConditionalAndRoundTrip) {
+  // Untraced rows must stay byte-identical to the pre-tracing schema.
+  RunResult plain;
+  plain.workload = "kmeans";
+  std::ostringstream out_plain;
+  write_result_jsonl(plain, out_plain);
+  EXPECT_EQ(out_plain.str().find("trace_"), std::string::npos);
+
+  RunResult traced = plain;
+  traced.trace_path = "traces/kmeans.trace.json";
+  traced.trace_events = 4096;
+  traced.trace_dropped = 17;
+  std::ostringstream out_traced;
+  write_result_jsonl(traced, out_traced);
+  RunResult back;
+  ASSERT_TRUE(read_result_jsonl(out_traced.str(), back));
+  EXPECT_EQ(back.trace_path, traced.trace_path);
+  EXPECT_EQ(back.trace_events, traced.trace_events);
+  EXPECT_EQ(back.trace_dropped, traced.trace_dropped);
+}
+
 TEST(StatsIoJsonl, EscapesAndRestoresSpecialCharacters) {
   RunResult r;
   r.workload = "odd \"name\"\twith\nnewline\\slash";

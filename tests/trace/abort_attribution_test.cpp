@@ -1,0 +1,247 @@
+// Abort-attribution walker unit tests on hand-built event streams.
+//
+// The canonical scenario is the paper's Figure 1(b): requester R multicasts
+// a transactional GETX; a higher-priority sharer NACKs it while a
+// lower-priority sharer aborts — a false abort, because R's issue failed.
+#include "trace/abort_attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace puno::trace {
+namespace {
+
+TraceEvent abort_ev(Cycle cycle, NodeId victim, NodeId aborter,
+                    BlockAddr addr, Timestamp victim_ts,
+                    Timestamp aborter_ts, std::uint64_t cause) {
+  TraceEvent e;
+  e.kind = EventKind::kTxnAbort;
+  e.cycle = cycle;
+  e.node = victim;
+  e.peer = aborter;
+  e.addr = addr;
+  e.ts = victim_ts;
+  e.b = aborter_ts;
+  e.a = cause;
+  return e;
+}
+
+TraceEvent nack_ev(Cycle cycle, NodeId nacker, NodeId requester,
+                   BlockAddr addr, Timestamp requester_ts,
+                   Timestamp nacker_ts, bool getx = true,
+                   bool mispredict = false) {
+  TraceEvent e;
+  e.kind = mispredict ? EventKind::kNackMispredict : EventKind::kNackSent;
+  e.cycle = cycle;
+  e.node = nacker;
+  e.peer = requester;
+  e.addr = addr;
+  e.ts = requester_ts;
+  e.b = nacker_ts;
+  e.flags = getx ? 1 : 0;
+  return e;
+}
+
+TraceEvent outcome_ev(Cycle cycle, NodeId requester, BlockAddr addr,
+                      Timestamp requester_ts, std::uint64_t nacks,
+                      std::uint64_t aborted, bool success) {
+  TraceEvent e;
+  e.kind = EventKind::kGetxOutcome;
+  e.cycle = cycle;
+  e.node = requester;
+  e.addr = addr;
+  e.ts = requester_ts;
+  e.a = nacks;
+  e.b = aborted;
+  e.flags = success ? 1 : 0;
+  return e;
+}
+
+// Three transactions on block 0x1c0: requester n0 (ts=100), survivor n1
+// (ts=50, older, NACKs), victim n2 (ts=200, younger, aborts). n0's issue
+// fails => n2's abort was false.
+std::vector<TraceEvent> false_abort_scenario() {
+  return {
+      abort_ev(10, /*victim=*/2, /*aborter=*/0, 0x1c0, /*victim_ts=*/200,
+               /*aborter_ts=*/100, kAbortRemoteWrite),
+      nack_ev(11, /*nacker=*/1, /*requester=*/0, 0x1c0,
+              /*requester_ts=*/100, /*nacker_ts=*/50),
+      outcome_ev(12, /*requester=*/0, 0x1c0, 100, /*nacks=*/1,
+                 /*aborted=*/1, /*success=*/false),
+  };
+}
+
+TEST(AbortAttribution, ClassifiesFalseAbort) {
+  const AttributionReport rep = attribute_aborts(false_abort_scenario());
+  EXPECT_EQ(rep.false_aborts, 1u);
+  EXPECT_EQ(rep.necessary_aborts, 0u);
+  EXPECT_EQ(rep.overflow_aborts, 0u);
+  EXPECT_EQ(rep.unresolved_aborts, 0u);
+  EXPECT_EQ(rep.false_abort_events, 1u);
+  EXPECT_EQ(rep.falsely_aborted_txns, 1u);
+  EXPECT_EQ(rep.total_aborts(), 1u);
+
+  ASSERT_EQ(rep.aborts.size(), 1u);
+  const AttributedAbort& ab = rep.aborts.front();
+  EXPECT_EQ(ab.cls, AbortClass::kFalse);
+  EXPECT_EQ(ab.victim, 2u);
+  EXPECT_EQ(ab.aborter, 0u);
+  EXPECT_EQ(ab.victim_ts, 200u);
+  EXPECT_EQ(ab.aborter_ts, 100u);
+  EXPECT_EQ(ab.cycle, 10u);
+  EXPECT_EQ(ab.resolved_at, 12u);
+
+  ASSERT_EQ(rep.failed_issues.size(), 1u);
+  const ConflictChain& cc = rep.failed_issues.front();
+  EXPECT_EQ(cc.requester, 0u);
+  EXPECT_EQ(cc.requester_ts, 100u);
+  EXPECT_EQ(cc.addr, 0x1c0u);
+  EXPECT_EQ(cc.aborted_sharers, 1u);
+  ASSERT_EQ(cc.nacks.size(), 1u);
+  EXPECT_EQ(cc.nacks.front().nacker, 1u);
+  EXPECT_EQ(cc.nacks.front().nacker_ts, 50u);
+  EXPECT_FALSE(cc.nacks.front().mispredict);
+  // Priority ordering recorded faithfully: the nacker is older (smaller ts)
+  // than the requester, which is older than the victim.
+  EXPECT_LT(cc.nacks.front().nacker_ts, cc.requester_ts);
+}
+
+TEST(AbortAttribution, SuccessfulIssueMakesAbortsNecessary) {
+  const std::vector<TraceEvent> events = {
+      abort_ev(10, 2, 0, 0x1c0, 200, 100, kAbortRemoteWrite),
+      outcome_ev(12, 0, 0x1c0, 100, /*nacks=*/0, /*aborted=*/1,
+                 /*success=*/true),
+  };
+  const AttributionReport rep = attribute_aborts(events);
+  EXPECT_EQ(rep.necessary_aborts, 1u);
+  EXPECT_EQ(rep.false_aborts, 0u);
+  EXPECT_EQ(rep.false_abort_events, 0u);
+  EXPECT_TRUE(rep.failed_issues.empty());
+  EXPECT_EQ(rep.aborts.front().cls, AbortClass::kNecessary);
+}
+
+TEST(AbortAttribution, RemoteReadAbortIsNecessaryImmediately) {
+  const std::vector<TraceEvent> events = {
+      abort_ev(10, 2, 0, 0x1c0, 200, 100, kAbortRemoteRead),
+  };
+  const AttributionReport rep = attribute_aborts(events);
+  EXPECT_EQ(rep.necessary_aborts, 1u);
+  EXPECT_EQ(rep.unresolved_aborts, 0u);
+  EXPECT_EQ(rep.aborts.front().cls, AbortClass::kNecessary);
+  EXPECT_EQ(rep.aborts.front().resolved_at, 10u);
+}
+
+TEST(AbortAttribution, OverflowAbortCountedSeparately) {
+  const std::vector<TraceEvent> events = {
+      abort_ev(10, 3, kInvalidNode, 0, kInvalidTimestamp, kInvalidTimestamp,
+               kAbortOverflow),
+  };
+  const AttributionReport rep = attribute_aborts(events);
+  EXPECT_EQ(rep.overflow_aborts, 1u);
+  EXPECT_EQ(rep.false_aborts, 0u);
+  EXPECT_EQ(rep.necessary_aborts, 0u);
+  EXPECT_EQ(rep.aborts.front().cls, AbortClass::kOverflow);
+}
+
+TEST(AbortAttribution, AbortWithoutOutcomeStaysUnresolved) {
+  const std::vector<TraceEvent> events = {
+      abort_ev(10, 2, 0, 0x1c0, 200, 100, kAbortRemoteWrite),
+  };
+  const AttributionReport rep = attribute_aborts(events);
+  EXPECT_EQ(rep.unresolved_aborts, 1u);
+  EXPECT_EQ(rep.aborts.front().cls, AbortClass::kUnresolved);
+}
+
+TEST(AbortAttribution, GetsNacksAreExcludedFromChains) {
+  // A nacked GETS never emits an outcome event; if it were pended it would
+  // pollute the next GETX chain at the same (requester, addr).
+  std::vector<TraceEvent> events = {
+      nack_ev(5, 1, 0, 0x1c0, kInvalidTimestamp, 50, /*getx=*/false),
+  };
+  const auto tail = false_abort_scenario();
+  events.insert(events.end(), tail.begin(), tail.end());
+  const AttributionReport rep = attribute_aborts(events);
+  ASSERT_EQ(rep.failed_issues.size(), 1u);
+  // Only the GETX NACK appears; the GETS NACK at cycle 5 does not.
+  ASSERT_EQ(rep.failed_issues.front().nacks.size(), 1u);
+  EXPECT_EQ(rep.failed_issues.front().nacks.front().cycle, 11u);
+}
+
+TEST(AbortAttribution, MispredictNackFlaggedInChain) {
+  const std::vector<TraceEvent> events = {
+      nack_ev(11, 1, 0, 0x1c0, 100, kInvalidTimestamp, /*getx=*/true,
+              /*mispredict=*/true),
+      outcome_ev(12, 0, 0x1c0, 100, 1, 0, /*success=*/false),
+  };
+  const AttributionReport rep = attribute_aborts(events);
+  ASSERT_EQ(rep.failed_issues.size(), 1u);
+  ASSERT_EQ(rep.failed_issues.front().nacks.size(), 1u);
+  EXPECT_TRUE(rep.failed_issues.front().nacks.front().mispredict);
+  // No abort happened, so a failed issue is not a false-abort event.
+  EXPECT_EQ(rep.false_abort_events, 0u);
+}
+
+TEST(AbortAttribution, IndependentBlocksDoNotCrossTalk) {
+  // Same requester, two different blocks: each outcome resolves only its
+  // own block's pending aborts.
+  const std::vector<TraceEvent> events = {
+      abort_ev(10, 2, 0, 0x100, 200, 100, kAbortRemoteWrite),
+      abort_ev(11, 3, 0, 0x200, 300, 100, kAbortRemoteWrite),
+      outcome_ev(12, 0, 0x100, 100, 1, 1, /*success=*/false),
+      outcome_ev(13, 0, 0x200, 100, 0, 1, /*success=*/true),
+  };
+  const AttributionReport rep = attribute_aborts(events);
+  EXPECT_EQ(rep.false_aborts, 1u);
+  EXPECT_EQ(rep.necessary_aborts, 1u);
+  ASSERT_EQ(rep.aborts.size(), 2u);
+  EXPECT_EQ(rep.aborts[0].cls, AbortClass::kFalse);
+  EXPECT_EQ(rep.aborts[1].cls, AbortClass::kNecessary);
+}
+
+TEST(AbortAttribution, MultipleVictimsOfOneFailedIssue) {
+  const std::vector<TraceEvent> events = {
+      abort_ev(10, 2, 0, 0x1c0, 200, 100, kAbortRemoteWrite),
+      abort_ev(10, 3, 0, 0x1c0, 300, 100, kAbortRemoteWrite),
+      nack_ev(11, 1, 0, 0x1c0, 100, 50),
+      outcome_ev(12, 0, 0x1c0, 100, 1, 2, /*success=*/false),
+  };
+  const AttributionReport rep = attribute_aborts(events);
+  EXPECT_EQ(rep.false_aborts, 2u);
+  EXPECT_EQ(rep.false_abort_events, 1u);
+  EXPECT_EQ(rep.falsely_aborted_txns, 2u);
+}
+
+TEST(AbortAttribution, RecorderOverloadForwardsDropCount) {
+  TraceRecorder rec(2);
+  for (const TraceEvent& e : false_abort_scenario()) rec.record(e);
+  // Capacity 2 dropped the abort itself; only nack + outcome remain.
+  const AttributionReport rep = attribute_aborts(rec);
+  EXPECT_EQ(rep.dropped_events, 1u);
+  EXPECT_EQ(rep.aborts.size(), 0u);
+  // The failed issue is still visible, so the event counters survive drops.
+  EXPECT_EQ(rep.false_abort_events, 1u);
+}
+
+TEST(WriteAbortReport, IsStableAndMentionsEverySection) {
+  const AttributionReport rep = attribute_aborts(false_abort_scenario());
+  std::ostringstream a, b;
+  write_abort_report(rep, a);
+  write_abort_report(rep, b);
+  EXPECT_EQ(a.str(), b.str());  // goldenable: no wall-clock content
+  EXPECT_NE(a.str().find("false:               1"), std::string::npos);
+  EXPECT_NE(a.str().find("failed tx-GETX issues"), std::string::npos);
+  EXPECT_NE(a.str().find("n1(ts=50)"), std::string::npos);
+}
+
+TEST(WriteAbortReport, WarnsOnDrops) {
+  AttributionReport rep;
+  rep.dropped_events = 7;
+  std::ostringstream os;
+  write_abort_report(rep, os);
+  EXPECT_NE(os.str().find("WARNING: 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace puno::trace

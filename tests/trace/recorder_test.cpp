@@ -1,0 +1,173 @@
+// Ring-buffer recorder and filter-syntax unit tests.
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace puno::trace {
+namespace {
+
+TraceEvent ev_at(Cycle cycle) {
+  TraceEvent e;
+  e.cycle = cycle;
+  e.kind = EventKind::kTxnBegin;
+  return e;
+}
+
+TEST(ParseFilter, EmptyMeansAll) {
+  const auto m = parse_filter("");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, kAllCats);
+}
+
+TEST(ParseFilter, AllToken) {
+  const auto m = parse_filter("all");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, kAllCats);
+}
+
+TEST(ParseFilter, SingleCategories) {
+  EXPECT_EQ(parse_filter("txn"), static_cast<std::uint32_t>(Cat::kTxn));
+  EXPECT_EQ(parse_filter("conflict"),
+            static_cast<std::uint32_t>(Cat::kConflict));
+  EXPECT_EQ(parse_filter("dir"), static_cast<std::uint32_t>(Cat::kDir));
+  EXPECT_EQ(parse_filter("noc"), static_cast<std::uint32_t>(Cat::kNoc));
+  EXPECT_EQ(parse_filter("puno"), static_cast<std::uint32_t>(Cat::kPuno));
+}
+
+TEST(ParseFilter, CommaSeparatedCombination) {
+  const auto m = parse_filter("txn,conflict");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, static_cast<std::uint32_t>(Cat::kTxn) |
+                    static_cast<std::uint32_t>(Cat::kConflict));
+}
+
+TEST(ParseFilter, DuplicateTokensAreIdempotent) {
+  EXPECT_EQ(parse_filter("dir,dir,dir"),
+            static_cast<std::uint32_t>(Cat::kDir));
+}
+
+TEST(ParseFilter, UnknownTokenRejected) {
+  EXPECT_FALSE(parse_filter("bogus").has_value());
+  EXPECT_FALSE(parse_filter("txn,bogus").has_value());
+}
+
+TEST(ParseFilter, RoundTripsThroughToString) {
+  for (const char* f : {"txn", "txn,conflict", "dir,noc,puno", "all"}) {
+    const auto m = parse_filter(f);
+    ASSERT_TRUE(m.has_value()) << f;
+    EXPECT_EQ(parse_filter(filter_to_string(*m)), m) << f;
+  }
+}
+
+TEST(ParseFilter, ToStringOfFullAndEmptyMasks) {
+  EXPECT_EQ(filter_to_string(kAllCats), "all");
+  EXPECT_EQ(filter_to_string(0), "none");
+}
+
+TEST(CategoryOf, EveryKindMapsIntoTheMask) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kFlitEject); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto cat = static_cast<std::uint32_t>(category_of(kind));
+    EXPECT_NE(cat & kAllCats, 0u) << to_string(kind);
+  }
+}
+
+TEST(TraceRecorder, StartsEmpty) {
+  TraceRecorder rec(8);
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(TraceRecorder, ZeroCapacityIsClampedToOne) {
+  TraceRecorder rec(0);
+  EXPECT_GE(rec.capacity(), 1u);
+  rec.record(ev_at(7));
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(TraceRecorder, RetainsInOrderBelowCapacity) {
+  TraceRecorder rec(8);
+  for (Cycle c = 0; c < 5; ++c) rec.record(ev_at(c));
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].cycle, i);
+  }
+}
+
+TEST(TraceRecorder, OverflowDropsOldestKeepsNewest) {
+  TraceRecorder rec(4);
+  for (Cycle c = 0; c < 10; ++c) rec.record(ev_at(c));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest retained is event 6, newest 9, still oldest → newest.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].cycle, 6 + i);
+  }
+}
+
+TEST(TraceRecorder, WraparoundAtExactCapacityBoundary) {
+  TraceRecorder rec(4);
+  for (Cycle c = 0; c < 4; ++c) rec.record(ev_at(c));
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.snapshot().front().cycle, 0u);
+  rec.record(ev_at(4));  // first overwrite
+  EXPECT_EQ(rec.dropped(), 1u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().cycle, 1u);
+  EXPECT_EQ(snap.back().cycle, 4u);
+}
+
+TEST(TraceRecorder, ForEachMatchesSnapshot) {
+  TraceRecorder rec(4);
+  for (Cycle c = 0; c < 7; ++c) rec.record(ev_at(c));
+  std::vector<Cycle> seen;
+  rec.for_each([&](const TraceEvent& e) { seen.push_back(e.cycle); });
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(seen.size(), snap.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], snap[i].cycle);
+  }
+}
+
+TEST(TraceRecorder, ClearResetsEverything) {
+  TraceRecorder rec(4);
+  for (Cycle c = 0; c < 9; ++c) rec.record(ev_at(c));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.record(ev_at(42));
+  EXPECT_EQ(rec.snapshot().front().cycle, 42u);
+}
+
+TEST(TraceRecorder, WantsRespectsMask) {
+  TraceRecorder rec(4, static_cast<std::uint32_t>(Cat::kTxn) |
+                           static_cast<std::uint32_t>(Cat::kNoc));
+  EXPECT_TRUE(rec.wants(Cat::kTxn));
+  EXPECT_TRUE(rec.wants(Cat::kNoc));
+  EXPECT_FALSE(rec.wants(Cat::kConflict));
+  EXPECT_FALSE(rec.wants(Cat::kDir));
+  EXPECT_FALSE(rec.wants(Cat::kPuno));
+}
+
+TEST(TraceRequest, ActiveFollowsEnabled) {
+  TraceRequest req;
+  EXPECT_FALSE(req.active());
+  req.enabled = true;
+  EXPECT_TRUE(req.active());
+}
+
+}  // namespace
+}  // namespace puno::trace

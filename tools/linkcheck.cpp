@@ -1,0 +1,245 @@
+// linkcheck: documentation link checker for the repository's Markdown.
+//
+// Scans every *.md under the given roots (default: current directory,
+// skipping build*/ and dot-directories) and verifies
+//
+//   * relative links `[text](path)` resolve to an existing file/directory,
+//   * anchored links `[text](path#anchor)` and same-file `[text](#anchor)`
+//     name a real heading in the target file (GitHub anchor slugging),
+//
+// printing every broken link as `file:line: message` and exiting 1 if any.
+// External schemes (http:, https:, mailto:) are out of scope — CI must not
+// depend on the network. Fenced code blocks and inline code spans are
+// ignored, so example snippets can show link syntax freely.
+//
+// Wired into the test suite under the `docs_links` ctest label.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Link {
+  std::string target;  // raw link destination
+  std::size_t line = 0;
+};
+
+[[nodiscard]] bool is_external(std::string_view target) {
+  return target.starts_with("http://") || target.starts_with("https://") ||
+         target.starts_with("mailto:") || target.starts_with("ftp://");
+}
+
+/// GitHub's heading → anchor slug: lowercase, drop everything but
+/// alphanumerics, spaces and hyphens, then spaces → hyphens.
+[[nodiscard]] std::string slugify(std::string_view heading) {
+  std::string slug;
+  slug.reserve(heading.size());
+  for (const char ch : heading) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      slug.push_back(static_cast<char>(std::tolower(c)));
+    } else if (c == ' ' || c == '-' || c == '_') {
+      slug.push_back(c == ' ' ? '-' : static_cast<char>(c));
+    }
+    // every other character (punctuation, backticks, slashes) is dropped
+  }
+  return slug;
+}
+
+/// Strip markdown emphasis/code markers GitHub removes before slugging.
+[[nodiscard]] std::string strip_inline_markup(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '`' || c == '*') continue;
+    if (c == '[') continue;
+    if (c == ']') {
+      // drop a trailing "(url)" of an inline link inside the heading
+      if (i + 1 < s.size() && s[i + 1] == '(') {
+        const std::size_t close = s.find(')', i + 1);
+        if (close != std::string_view::npos) i = close;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Anchors available in one markdown file: the slug of every ATX heading,
+/// with GitHub's -1, -2 suffixes for duplicates.
+[[nodiscard]] std::set<std::string> collect_anchors(const fs::path& file) {
+  std::set<std::string> anchors;
+  std::map<std::string, int> seen;
+  std::ifstream in(file);
+  std::string line;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    std::string_view v(line);
+    if (v.starts_with("```") || v.starts_with("~~~")) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence || !v.starts_with("#")) continue;
+    std::size_t level = 0;
+    while (level < v.size() && v[level] == '#') ++level;
+    if (level > 6 || level == v.size() || v[level] != ' ') continue;
+    std::string text(v.substr(level + 1));
+    // trim trailing closing hashes/space ("## title ##")
+    while (!text.empty() && (text.back() == '#' || text.back() == ' ')) {
+      text.pop_back();
+    }
+    const std::string slug = slugify(strip_inline_markup(text));
+    const int n = seen[slug]++;
+    anchors.insert(n == 0 ? slug : slug + "-" + std::to_string(n));
+  }
+  return anchors;
+}
+
+/// Inline `[text](target)` links outside code fences and `code spans`,
+/// including images; reference-style links are not used in this repo.
+[[nodiscard]] std::vector<Link> collect_links(const fs::path& file) {
+  std::vector<Link> links;
+  std::ifstream in(file);
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view v(line);
+    if (v.starts_with("```") || v.starts_with("~~~")) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+    bool in_code_span = false;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == '`') {
+        in_code_span = !in_code_span;
+        continue;
+      }
+      if (in_code_span || v[i] != ']' || i + 1 >= v.size() ||
+          v[i + 1] != '(') {
+        continue;
+      }
+      // confirm there is a matching '[' before us on this line
+      const std::size_t open = v.rfind('[', i);
+      if (open == std::string_view::npos) continue;
+      const std::size_t close = v.find(')', i + 2);
+      if (close == std::string_view::npos) continue;
+      std::string target(v.substr(i + 2, close - (i + 2)));
+      // drop an optional title: [x](path "title")
+      if (const std::size_t sp = target.find(' ');
+          sp != std::string::npos) {
+        target.resize(sp);
+      }
+      if (!target.empty()) links.push_back({target, lineno});
+      i = close;
+    }
+  }
+  return links;
+}
+
+[[nodiscard]] bool should_skip_dir(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name.starts_with(".") || name.starts_with("build") ||
+         name == "node_modules";
+}
+
+[[nodiscard]] std::vector<fs::path> find_markdown(const fs::path& root) {
+  std::vector<fs::path> files;
+  fs::recursive_directory_iterator it(
+      root, fs::directory_options::skip_permission_denied);
+  for (const auto& entry : it) {
+    if (entry.is_directory() && should_skip_dir(entry.path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (entry.is_regular_file() && entry.path().extension() == ".md") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) roots.emplace_back(".");
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "linkcheck: no such path: %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+    auto found = find_markdown(root);
+    files.insert(files.end(), found.begin(), found.end());
+  }
+
+  int broken = 0;
+  std::size_t checked = 0;
+  std::map<fs::path, std::set<std::string>> anchor_cache;
+  const auto anchors_of = [&](const fs::path& f) -> const std::set<std::string>& {
+    const fs::path key = fs::weakly_canonical(f);
+    auto it = anchor_cache.find(key);
+    if (it == anchor_cache.end()) {
+      it = anchor_cache.emplace(key, collect_anchors(f)).first;
+    }
+    return it->second;
+  };
+
+  for (const fs::path& file : files) {
+    for (const Link& link : collect_links(file)) {
+      if (is_external(link.target)) continue;
+      ++checked;
+      std::string path_part = link.target;
+      std::string anchor;
+      if (const std::size_t hash = path_part.find('#');
+          hash != std::string::npos) {
+        anchor = path_part.substr(hash + 1);
+        path_part.resize(hash);
+      }
+      const fs::path target_file =
+          path_part.empty() ? file : file.parent_path() / path_part;
+      if (!fs::exists(target_file)) {
+        std::fprintf(stderr, "%s:%zu: broken link: %s (file not found)\n",
+                     file.string().c_str(), link.line,
+                     link.target.c_str());
+        ++broken;
+        continue;
+      }
+      if (!anchor.empty()) {
+        if (target_file.extension() != ".md") continue;  // HTML ids etc.
+        const auto& anchors = anchors_of(target_file);
+        if (!anchors.contains(anchor)) {
+          std::fprintf(stderr,
+                       "%s:%zu: broken anchor: %s (no heading '#%s' in %s)\n",
+                       file.string().c_str(), link.line,
+                       link.target.c_str(), anchor.c_str(),
+                       target_file.string().c_str());
+          ++broken;
+        }
+      }
+    }
+  }
+
+  std::printf("linkcheck: %zu markdown files, %zu relative links, %d broken\n",
+              files.size(), checked, broken);
+  return broken == 0 ? 0 : 1;
+}
