@@ -1,0 +1,196 @@
+// bench_baseline: host-performance baseline for CI trend tracking.
+//
+// Drives arch::Cmp directly (no runner, no result cache — the point is the
+// wall clock, which a cache hit would fake) for a workload x scheme grid,
+// with the telemetry::HostProfiler attached so the per-component host-time
+// split rides along. Writes BENCH_4.json:
+//
+//   {"schema":"puno-bench-baseline-1",
+//    "ticks_per_second":2.99e9,
+//    "runs":[{"workload":"intruder","scheme":"PUNO","seed":1,
+//             "cycles":67975,"wall_s":0.22,"cycles_per_s":3.1e5,
+//             "commits":160,
+//             "components":[{"name":"noc.mesh","calls":...,"ticks":...},...]
+//            },...]}
+//
+// CI runs this on two small workloads and uploads the JSON as an artifact;
+// comparing cycles_per_s across commits catches host-perf regressions the
+// simulated-cycle tests cannot see.
+//
+//   usage: bench_baseline [--out FILE] [--workloads LIST] [--schemes LIST]
+//                         [--seed N] [--scale X] [--max-cycles N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/cmp.hpp"
+#include "metrics/stats_io.hpp"
+#include "runner/grid.hpp"
+#include "sim/profile.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "workloads/stamp.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchRun {
+  std::string workload;
+  puno::Scheme scheme{};
+  std::uint64_t seed = 1;
+  std::uint64_t cycles = 0;
+  std::uint64_t commits = 0;
+  bool completed = false;
+  double wall_s = 0.0;
+  std::vector<puno::telemetry::HostProfiler::Bucket> components;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --out FILE        output JSON (default: BENCH_4.json)\n"
+      "  --workloads LIST  csv of benchmarks, or \"all\"\n"
+      "                    (default: genome,ssca2)\n"
+      "  --schemes LIST    csv of baseline|backoff|rmw|puno, or \"all\"\n"
+      "                    (default: baseline,puno)\n"
+      "  --seed N          workload seed (default: 1)\n"
+      "  --scale X         committed-txn quota multiplier (default: 0.25)\n"
+      "  --max-cycles N    per-run cycle budget (default: 30000000)\n",
+      argv0);
+}
+
+void write_json(const std::vector<BenchRun>& runs, std::ostream& out) {
+  char num[40];
+  std::snprintf(num, sizeof num, "%.6g", puno::sim::host_ticks_per_second());
+  out << "{\"schema\":\"puno-bench-baseline-1\",\"ticks_per_second\":" << num
+      << ",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const BenchRun& r = runs[i];
+    const double cps =
+        r.wall_s > 0.0 ? static_cast<double>(r.cycles) / r.wall_s : 0.0;
+    if (i > 0) out << ',';
+    out << "\n {\"workload\":\"" << puno::metrics::json_escape(r.workload)
+        << "\",\"scheme\":\"" << puno::to_string(r.scheme)
+        << "\",\"seed\":" << r.seed << ",\"completed\":"
+        << (r.completed ? "true" : "false") << ",\"cycles\":" << r.cycles
+        << ",\"commits\":" << r.commits << ",\"wall_s\":";
+    std::snprintf(num, sizeof num, "%.6g", r.wall_s);
+    out << num << ",\"cycles_per_s\":";
+    std::snprintf(num, sizeof num, "%.6g", cps);
+    out << num << ",\"components\":[";
+    for (std::size_t c = 0; c < r.components.size(); ++c) {
+      const auto& b = r.components[c];
+      if (c > 0) out << ',';
+      out << "{\"name\":\"" << puno::metrics::json_escape(b.name)
+          << "\",\"calls\":" << b.calls << ",\"ticks\":" << b.ticks << '}';
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace puno;
+
+  std::string out_path = "BENCH_4.json";
+  std::string workloads_spec = "genome,ssca2";
+  std::string schemes_spec = "baseline,puno";
+  std::uint64_t seed = 1;
+  double scale = 0.25;
+  Cycle max_cycles = 30'000'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--workloads") {
+      workloads_spec = next();
+    } else if (arg == "--schemes") {
+      schemes_spec = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--max-cycles") {
+      max_cycles = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> workloads;
+  std::vector<Scheme> schemes;
+  try {
+    workloads = runner::parse_workload_list(workloads_spec);
+    schemes = runner::parse_scheme_list(schemes_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_baseline: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<BenchRun> runs;
+  for (const std::string& w : workloads) {
+    for (const Scheme s : schemes) {
+      SystemConfig cfg;
+      cfg.scheme = s;
+      cfg.seed = seed;
+      auto workload = workloads::stamp::make(w, cfg.num_nodes, seed, scale);
+      arch::Cmp cmp(cfg, *workload);
+      telemetry::HostProfiler profiler;
+      cmp.kernel().set_profiler(&profiler);
+      const auto t0 = Clock::now();
+      const bool completed = cmp.run(max_cycles);
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      cmp.kernel().set_profiler(nullptr);
+
+      BenchRun r;
+      r.workload = w;
+      r.scheme = s;
+      r.seed = seed;
+      r.cycles = cmp.kernel().now();
+      r.commits = cmp.kernel().stats().counter("htm.commits").value();
+      r.completed = completed;
+      r.wall_s = wall;
+      for (const auto& b : profiler.tickables()) r.components.push_back(b);
+      for (const auto& b : profiler.hooks()) r.components.push_back(b);
+      r.components.push_back(profiler.events());
+      runs.push_back(std::move(r));
+
+      std::printf("%-12s %-9s %12llu cycles  %8.3fs  %10.3gM cycles/s\n",
+                  w.c_str(), to_string(s),
+                  static_cast<unsigned long long>(r.cycles), wall,
+                  wall > 0 ? static_cast<double>(r.cycles) / wall / 1e6 : 0.0);
+    }
+  }
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_baseline: cannot write '%s'\n",
+                 out_path.c_str());
+    return 1;
+  }
+  write_json(runs, out);
+  std::printf("baseline written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -56,6 +56,11 @@ void usage(const char* argv0) {
       "                    traced jobs bypass the result cache\n"
       "  --trace-dir DIR   where per-job trace JSON lands (default:\n"
       "                    ./traces); manifest rows record each path\n"
+      "  --telemetry[=N]   sample live gauges every N cycles per job\n"
+      "                    (default 1000; docs/TELEMETRY.md); sampled jobs\n"
+      "                    bypass the result cache\n"
+      "  --telemetry-dir DIR  where per-job telemetry JSONL lands (default:\n"
+      "                    ./telemetry); manifest rows record each path\n"
       "  --progress        live progress meter on stderr\n"
       "  --quiet           suppress the per-run result table\n",
       argv0);
@@ -77,6 +82,9 @@ int main(int argc, char** argv) {
   bool progress = false, quiet = false;
   bool trace_on = false;
   std::string trace_filter, trace_dir = "traces";
+  bool telemetry_on = false;
+  Cycle telemetry_interval = 1000;
+  std::string telemetry_dir = "telemetry";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -136,6 +144,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-dir") {
       trace_on = true;
       trace_dir = next();
+    } else if (arg == "--telemetry") {
+      telemetry_on = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_on = true;
+      telemetry_interval =
+          std::strtoull(arg.c_str() + std::strlen("--telemetry="), nullptr,
+                        10);
+      if (telemetry_interval == 0) {
+        std::fprintf(stderr, "--telemetry interval must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--telemetry-dir") {
+      telemetry_on = true;
+      telemetry_dir = next();
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--quiet") {
@@ -185,6 +207,27 @@ int main(int argc, char** argv) {
       }
       spec.params.trace.path =
           (std::filesystem::path(trace_dir) / (name + ".trace.json"))
+              .string();
+    }
+  }
+
+  if (telemetry_on) {
+    std::error_code ec;
+    std::filesystem::create_directories(telemetry_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "punobatch: cannot create '%s': %s\n",
+                   telemetry_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (runner::JobSpec& spec : specs) {
+      spec.params.telemetry.interval = telemetry_interval;
+      // One JSONL per job, label-named like the per-job traces above.
+      std::string name = spec.label;
+      for (char& c : name) {
+        if (c == '/' || c == ' ' || c == '=' || c == ',') c = '_';
+      }
+      spec.params.telemetry.jsonl_path =
+          (std::filesystem::path(telemetry_dir) / (name + ".telemetry.jsonl"))
               .string();
     }
   }

@@ -25,6 +25,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <sstream>
+#include <vector>
 
 #include "trace/abort_attribution.hpp"
 #include "trace/chrome_export.hpp"
@@ -33,6 +36,10 @@
 #include "arch/cmp.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/stats_io.hpp"
+#include "telemetry/dashboard.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/sampler.hpp"
 #include "workloads/stamp.hpp"
 #include "workloads/trace.hpp"
 
@@ -62,7 +69,21 @@ void usage(const char* argv0) {
       "                    (default FILE: <trace-out>.aborts.txt)\n"
       "  --verify-trace    re-parse the JSON and cross-check false-abort\n"
       "                    counts against the stats counters; exit 1 on\n"
-      "                    mismatch\n",
+      "                    mismatch\n"
+      "  --telemetry[=N]   sample live gauges every N cycles (default 1000)\n"
+      "                    into a windowed series (docs/TELEMETRY.md)\n"
+      "  --telemetry-out F series JSONL path (default:\n"
+      "                    <workload>-<scheme>-s<seed>.telemetry.jsonl)\n"
+      "  --telemetry-csv F also write the series as CSV\n"
+      "  --dashboard[=F]   write the self-contained HTML dashboard\n"
+      "                    (default F: <workload>-<scheme>-s<seed>"
+      ".dashboard.html)\n"
+      "  --verify-telemetry  re-parse the written JSONL, check it round-trips\n"
+      "                    and that windows sum to the final cycle; exit 1\n"
+      "                    on mismatch\n"
+      "  --profile[=F]     time every component's tick/hook in host terms;\n"
+      "                    prints the breakdown, and with F also writes the\n"
+      "                    JSON form\n",
       argv0);
 }
 
@@ -77,6 +98,10 @@ int main(int argc, char** argv) {
   bool trace_on = false, verify_trace = false, want_abort_report = false;
   std::string trace_filter, trace_out, abort_report_path;
   std::size_t trace_capacity = trace::TraceRecorder::kDefaultCapacity;
+  bool telemetry_on = false, verify_telemetry = false, want_dashboard = false;
+  bool profile_on = false;
+  Cycle telemetry_interval = 1000;
+  std::string telemetry_out, telemetry_csv, dashboard_out, profile_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -130,6 +155,38 @@ int main(int argc, char** argv) {
     } else if (arg == "--verify-trace") {
       trace_on = true;
       verify_trace = true;
+    } else if (arg == "--telemetry") {
+      telemetry_on = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_on = true;
+      telemetry_interval =
+          std::strtoull(arg.c_str() + std::strlen("--telemetry="), nullptr,
+                        10);
+      if (telemetry_interval == 0) {
+        std::fprintf(stderr, "--telemetry interval must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--telemetry-out") {
+      telemetry_on = true;
+      telemetry_out = next();
+    } else if (arg == "--telemetry-csv") {
+      telemetry_on = true;
+      telemetry_csv = next();
+    } else if (arg == "--dashboard") {
+      telemetry_on = true;
+      want_dashboard = true;
+    } else if (arg.rfind("--dashboard=", 0) == 0) {
+      telemetry_on = true;
+      want_dashboard = true;
+      dashboard_out = arg.substr(std::strlen("--dashboard="));
+    } else if (arg == "--verify-telemetry") {
+      telemetry_on = true;
+      verify_telemetry = true;
+    } else if (arg == "--profile") {
+      profile_on = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_on = true;
+      profile_out = arg.substr(std::strlen("--profile="));
     } else if (arg == "--record-trace") {
       record_path = next();
     } else if (arg == "--csv") {
@@ -187,7 +244,18 @@ int main(int argc, char** argv) {
     cmp.kernel().set_tracer(&*recorder);
   }
 
+  std::unique_ptr<telemetry::TelemetrySampler> sampler;
+  if (telemetry_on) {
+    telemetry::TelemetryRequest treq;
+    treq.interval = telemetry_interval;
+    sampler = telemetry::TelemetrySampler::attach(cmp, treq);
+  }
+
+  telemetry::HostProfiler profiler;
+  if (profile_on) cmp.kernel().set_profiler(&profiler);
+
   const bool completed = cmp.run(params.max_cycles);
+  if (profile_on) cmp.kernel().set_profiler(nullptr);
 
   auto r = metrics::RunResult::from_stats(cmp.kernel().stats());
   r.cycles = cmp.kernel().now();
@@ -315,6 +383,108 @@ int main(int argc, char** argv) {
         std::printf("verify-trace         counter cross-check skipped (%s)\n",
                     skip_reason);
       }
+    }
+  }
+
+  if (sampler != nullptr) {
+    sampler->finish();
+    const auto& samples = sampler->series().samples();
+    if (telemetry_out.empty()) {
+      telemetry_out = params.workload + "-" +
+                      std::string(to_string(params.scheme)) + "-s" +
+                      std::to_string(params.seed) + ".telemetry.jsonl";
+    }
+    {
+      std::ofstream out(telemetry_out, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", telemetry_out.c_str());
+        return 1;
+      }
+      telemetry::write_telemetry_jsonl(samples, out);
+    }
+    std::printf("telemetry            %zu windows (%llu dropped) -> %s\n",
+                samples.size(),
+                static_cast<unsigned long long>(sampler->series().dropped()),
+                telemetry_out.c_str());
+    if (!telemetry_csv.empty()) {
+      std::ofstream out(telemetry_csv, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", telemetry_csv.c_str());
+        return 1;
+      }
+      telemetry::write_telemetry_csv(samples, cfg.num_nodes, out);
+      std::printf("telemetry CSV        -> %s\n", telemetry_csv.c_str());
+    }
+    if (want_dashboard) {
+      if (dashboard_out.empty()) {
+        dashboard_out = params.workload + "-" +
+                        std::string(to_string(params.scheme)) + "-s" +
+                        std::to_string(params.seed) + ".dashboard.html";
+      }
+      std::ofstream out(dashboard_out, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", dashboard_out.c_str());
+        return 1;
+      }
+      telemetry::DashboardMeta dmeta;
+      dmeta.workload = params.workload;
+      dmeta.scheme = to_string(params.scheme);
+      dmeta.cycles = cmp.kernel().now();
+      dmeta.interval = sampler->interval();
+      dmeta.dropped = sampler->series().dropped();
+      telemetry::write_dashboard_html(dmeta, samples, &cmp.kernel().stats(),
+                                      out);
+      std::printf("dashboard            -> %s\n", dashboard_out.c_str());
+    }
+    if (verify_telemetry) {
+      std::ifstream in(telemetry_out);
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      std::vector<telemetry::TelemetrySample> parsed;
+      if (!telemetry::read_telemetry_jsonl(text, parsed)) {
+        std::fprintf(stderr, "verify-telemetry: JSONL FAILED to parse\n");
+        return 1;
+      }
+      if (parsed != samples) {
+        std::fprintf(stderr,
+                     "verify-telemetry: MISMATCH: %zu parsed windows do not "
+                     "round-trip %zu recorded windows\n",
+                     parsed.size(), samples.size());
+        return 1;
+      }
+      std::uint64_t covered = 0;
+      for (const auto& s : samples) covered += s.window;
+      if (sampler->series().dropped() == 0 && covered != r.cycles) {
+        std::fprintf(stderr,
+                     "verify-telemetry: windows cover %llu cycles, run was "
+                     "%llu\n",
+                     static_cast<unsigned long long>(covered),
+                     static_cast<unsigned long long>(r.cycles));
+        return 1;
+      }
+      std::printf(
+          "verify-telemetry     JSONL ok: %zu windows round-trip, %llu "
+          "cycles covered\n",
+          parsed.size(), static_cast<unsigned long long>(covered));
+    }
+  }
+
+  if (profile_on) {
+    std::string report;
+    {
+      std::ostringstream os;
+      profiler.write_report(os);
+      report = os.str();
+    }
+    std::fputs(report.c_str(), stdout);
+    if (!profile_out.empty()) {
+      std::ofstream out(profile_out, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", profile_out.c_str());
+        return 1;
+      }
+      profiler.write_json(out);
+      std::printf("profile JSON         -> %s\n", profile_out.c_str());
     }
   }
 

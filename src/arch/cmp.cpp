@@ -40,7 +40,7 @@ using coherence::MsgType;
 Cmp::Cmp(const SystemConfig& cfg, workloads::Workload& workload) : cfg_(cfg) {
   assert(cfg_.num_nodes == cfg_.noc.mesh_width * cfg_.noc.mesh_width);
   mesh_ = std::make_unique<noc::Mesh>(kernel_, cfg_.noc);
-  kernel_.add_tickable(*mesh_);
+  kernel_.add_tickable(*mesh_, "noc.mesh");
 
   const Cycle c2c = mesh_->average_c2c_latency();
   const auto n = static_cast<NodeId>(cfg_.num_nodes);

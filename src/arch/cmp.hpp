@@ -45,6 +45,11 @@ class Cmp {
   [[nodiscard]] coherence::Directory& directory(NodeId n) {
     return *dirs_[n];
   }
+  /// The PUNO assist at node `n`, or nullptr when the scheme runs without
+  /// assists (assists exist only under Scheme::kPuno).
+  [[nodiscard]] core::PunoDirectory* assist(NodeId n) {
+    return n < assists_.size() ? assists_[n].get() : nullptr;
+  }
 
   [[nodiscard]] std::uint64_t total_committed() const;
   [[nodiscard]] bool all_done() const;

@@ -66,9 +66,11 @@ void InvariantChecker::watch_mesh(const noc::Mesh& mesh,
 }
 
 void InvariantChecker::install(sim::Kernel& kernel) {
-  kernel.add_post_cycle_hook([this](Cycle now) {
-    if (now % cfg_.stride == 0) check_now(now);
-  });
+  kernel.add_post_cycle_hook(
+      [this](Cycle now) {
+        if (now % cfg_.stride == 0) check_now(now);
+      },
+      "check.invariants");
 }
 
 std::unique_ptr<InvariantChecker> InvariantChecker::attach(arch::Cmp& cmp,

@@ -92,6 +92,11 @@ class Directory {
   [[nodiscard]] std::size_t pending_services() const noexcept {
     return busy_entries_;
   }
+  /// Number of blocks this home node currently tracks (occupancy gauge for
+  /// the telemetry sampler's directory panel).
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries_.size();
+  }
   /// Visits every entry that is currently busy (debug aid).
   template <typename Fn>
   void for_each_busy(Fn&& fn) const {

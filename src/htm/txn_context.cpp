@@ -31,7 +31,9 @@ TxnContext::TxnContext(sim::Kernel& kernel, const SystemConfig& cfg,
       false_abort_multiplicity_(
           kernel.stats().histogram("htm.false_abort_multiplicity", 16)),
       notified_backoffs_(kernel.stats().counter("htm.notified_backoffs")),
-      commit_hints_sent_(kernel.stats().counter("htm.commit_hints_sent")) {}
+      commit_hints_sent_(kernel.stats().counter("htm.commit_hints_sent")),
+      txn_len_cycles_(kernel.stats().histogram("htm.txn_len_cycles", 256)),
+      backoff_cycles_(kernel.stats().histogram("htm.backoff_cycles", 256)) {}
 
 void TxnContext::remember_waiter(NodeId requester, BlockAddr addr) {
   if (!cfg_.puno.enable_commit_hint || send_hint_ == nullptr) return;
@@ -95,6 +97,7 @@ void TxnContext::commit() {
   txlb_.on_commit(static_id_, len);
   good_cycles_.add(len);
   commits_.add();
+  txn_len_cycles_.sample(len);
 
   // Negative RMW training: loads whose block was never stored in this
   // transaction were plain reads.
@@ -147,7 +150,9 @@ Cycle TxnContext::restart_backoff() {
   const std::uint64_t slots =
       std::min<std::uint64_t>(attempt_aborts_, cfg_.htm.backoff_max_slots);
   if (slots == 0) return 0;
-  return rng_.next_below(slots + 1) * cfg_.htm.backoff_slot;
+  const Cycle wait = rng_.next_below(slots + 1) * cfg_.htm.backoff_slot;
+  if (wait > 0) backoff_cycles_.sample(wait);
+  return wait;
 }
 
 void TxnContext::on_access(Addr addr, bool write, std::uint64_t pc) {
@@ -290,9 +295,11 @@ Cycle TxnContext::retry_backoff(Cycle notification, std::uint32_t /*retries*/) {
           wait > cfg_.puno.max_notified_backoff) {
         wait = cfg_.puno.max_notified_backoff;
       }
+      backoff_cycles_.sample(wait);
       return wait;
     }
   }
+  if (cfg_.htm.fixed_backoff > 0) backoff_cycles_.sample(cfg_.htm.fixed_backoff);
   return cfg_.htm.fixed_backoff;
 }
 

@@ -177,6 +177,11 @@ class TxnContext final : public coherence::TxnHooks {
   sim::Histogram& false_abort_multiplicity_;
   sim::Counter& notified_backoffs_;
   sim::Counter& commit_hints_sent_;
+  /// Committed-attempt length and granted backoff wait distributions; feed
+  /// the dashboard's p50/p90/p99 latency panels. Stats only — never read
+  /// back by the simulation, so they cannot perturb behaviour.
+  sim::Histogram& txn_len_cycles_;
+  sim::Histogram& backoff_cycles_;
 };
 
 }  // namespace puno::htm

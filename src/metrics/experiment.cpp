@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "arch/cmp.hpp"
+#include "telemetry/dashboard.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/sampler.hpp"
 #include "trace/abort_attribution.hpp"
 #include "trace/chrome_export.hpp"
 #include "workloads/stamp.hpp"
@@ -36,6 +39,14 @@ RunResult run_experiment(const ExperimentParams& params,
     }
     recorder.emplace(params.trace.capacity, *mask);
     cmp.kernel().set_tracer(&*recorder);
+  }
+
+  // The sampler's hook registers before the first cycle so window 0 starts
+  // at cycle 0. Pure observer: attaching it never changes the RunResult
+  // (tests/telemetry/telemetry_integration_test.cpp asserts bit-identity).
+  std::unique_ptr<telemetry::TelemetrySampler> sampler;
+  if (params.telemetry.active()) {
+    sampler = telemetry::TelemetrySampler::attach(cmp, params.telemetry);
   }
 
   const bool completed =
@@ -71,6 +82,40 @@ RunResult run_experiment(const ExperimentParams& params,
                                  params.trace.report_path);
       }
       trace::write_abort_report(trace::attribute_aborts(*recorder), rep);
+    }
+  }
+
+  if (sampler != nullptr) {
+    sampler->finish();  // close the final partial window
+    const auto& samples = sampler->series().samples();
+    r.telemetry_samples = samples.size();
+    r.telemetry_dropped = sampler->series().dropped();
+    const auto open_out = [](const std::string& path) {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out.is_open()) {
+        throw std::runtime_error("telemetry: cannot write " + path);
+      }
+      return out;
+    };
+    if (!params.telemetry.jsonl_path.empty()) {
+      auto out = open_out(params.telemetry.jsonl_path);
+      telemetry::write_telemetry_jsonl(samples, out);
+      r.telemetry_path = params.telemetry.jsonl_path;
+    }
+    if (!params.telemetry.csv_path.empty()) {
+      auto out = open_out(params.telemetry.csv_path);
+      telemetry::write_telemetry_csv(samples, cfg.num_nodes, out);
+    }
+    if (!params.telemetry.dashboard_path.empty()) {
+      auto out = open_out(params.telemetry.dashboard_path);
+      telemetry::DashboardMeta meta;
+      meta.workload = params.workload;
+      meta.scheme = to_string(params.scheme);
+      meta.cycles = cmp.kernel().now();
+      meta.interval = sampler->interval();
+      meta.dropped = sampler->series().dropped();
+      telemetry::write_dashboard_html(meta, samples, &cmp.kernel().stats(),
+                                      out);
     }
   }
   return r;

@@ -11,6 +11,7 @@
 
 #include "metrics/run_result.hpp"
 #include "sim/config.hpp"
+#include "telemetry/series.hpp"
 #include "trace/recorder.hpp"
 
 namespace puno::metrics {
@@ -28,6 +29,9 @@ struct ExperimentParams {
   /// runner's cache key: tracing never changes simulated behaviour, and
   /// traced jobs bypass the cache so the side-effect files always appear.
   trace::TraceRequest trace{};
+  /// Telemetry-sampling request (docs/TELEMETRY.md). Same cache contract as
+  /// `trace`: excluded from the key, sampled jobs bypass the cache.
+  telemetry::TelemetryRequest telemetry{};
 };
 
 /// Optional supervision of a running experiment: `stop` is polled every

@@ -66,6 +66,13 @@ struct RunResult {
   std::uint64_t trace_events = 0;    ///< Events retained at export.
   std::uint64_t trace_dropped = 0;   ///< Events lost to ring wraparound.
 
+  // Telemetry metadata, set by run_experiment() when the params carried a
+  // TelemetryRequest (docs/TELEMETRY.md); same contract as the trace fields
+  // above (not derived from the stats registry, absent from default output).
+  std::string telemetry_path;           ///< Sample-series JSONL ("" = none).
+  std::uint64_t telemetry_samples = 0;  ///< Windows retained at export.
+  std::uint64_t telemetry_dropped = 0;  ///< Windows lost to the series cap.
+
   [[nodiscard]] double abort_rate() const {
     const double total = static_cast<double>(commits + aborts);
     return total == 0.0 ? 0.0 : static_cast<double>(aborts) / total;

@@ -1,9 +1,9 @@
 #include "metrics/stats_io.hpp"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <ostream>
+
+#include "sim/jsonio.hpp"
 
 namespace puno::metrics {
 
@@ -61,275 +61,84 @@ void write_results_csv(const std::vector<RunResult>& results,
 }
 
 std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return sim::jsonio::escape(s);
 }
 
+// The JSON mechanics live in sim/jsonio.hpp (shared with the telemetry
+// exporter and the result cache); this file only knows the RunResult schema.
 namespace {
 
-/// Writes a double as a JSON number that parses back to the same value
-/// (max_digits10); non-finite values, which JSON cannot represent, become 0.
-void write_json_double(std::ostream& out, double v) {
-  if (!(v == v) || v > 1.7e308 || v < -1.7e308) {
-    out << 0;
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out << buf;
-}
-
-// ---- minimal JSON reader for the flat RunResult schema -------------------
-
-void skip_ws(std::string_view& s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
-                        s.front() == '\r' || s.front() == '\n')) {
-    s.remove_prefix(1);
-  }
-}
-
-[[nodiscard]] bool consume(std::string_view& s, char c) {
-  skip_ws(s);
-  if (s.empty() || s.front() != c) return false;
-  s.remove_prefix(1);
-  return true;
-}
-
-[[nodiscard]] bool parse_json_string(std::string_view& s, std::string& out) {
-  if (!consume(s, '"')) return false;
-  out.clear();
-  while (!s.empty()) {
-    const char c = s.front();
-    s.remove_prefix(1);
-    if (c == '"') return true;
-    if (c != '\\') {
-      out += c;
-      continue;
-    }
-    if (s.empty()) return false;
-    const char esc = s.front();
-    s.remove_prefix(1);
-    switch (esc) {
-      case '"': out += '"'; break;
-      case '\\': out += '\\'; break;
-      case '/': out += '/'; break;
-      case 'n': out += '\n'; break;
-      case 't': out += '\t'; break;
-      case 'r': out += '\r'; break;
-      case 'b': out += '\b'; break;
-      case 'f': out += '\f'; break;
-      case 'u': {
-        if (s.size() < 4) return false;
-        unsigned cp = 0;
-        for (int i = 0; i < 4; ++i) {
-          const char h = s.front();
-          s.remove_prefix(1);
-          cp <<= 4;
-          if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-          else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-          else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-          else return false;
-        }
-        // BMP code points only (the writer never emits surrogate pairs).
-        if (cp < 0x80) {
-          out += static_cast<char>(cp);
-        } else if (cp < 0x800) {
-          out += static_cast<char>(0xC0 | (cp >> 6));
-          out += static_cast<char>(0x80 | (cp & 0x3F));
-        } else {
-          out += static_cast<char>(0xE0 | (cp >> 12));
-          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
-          out += static_cast<char>(0x80 | (cp & 0x3F));
-        }
-        break;
-      }
-      default: return false;
-    }
-  }
-  return false;  // unterminated
-}
-
-[[nodiscard]] bool parse_number_token(std::string_view& s, std::string& tok) {
-  skip_ws(s);
-  tok.clear();
-  while (!s.empty()) {
-    const char c = s.front();
-    if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
-        c == 'e' || c == 'E') {
-      tok += c;
-      s.remove_prefix(1);
-    } else {
-      break;
-    }
-  }
-  return !tok.empty();
-}
-
-[[nodiscard]] bool parse_json_double(std::string_view& s, double& v) {
-  std::string tok;
-  if (!parse_number_token(s, tok)) return false;
-  char* end = nullptr;
-  errno = 0;
-  v = std::strtod(tok.c_str(), &end);
-  return end != nullptr && *end == '\0' && errno == 0;
-}
-
-[[nodiscard]] bool parse_json_u64(std::string_view& s, std::uint64_t& v) {
-  std::string tok;
-  if (!parse_number_token(s, tok)) return false;
-  char* end = nullptr;
-  errno = 0;
-  v = std::strtoull(tok.c_str(), &end, 10);
-  if (end != nullptr && *end == '\0' && errno == 0) return true;
-  // Tolerate a float spelling (e.g. "1e3") for an integer field.
-  errno = 0;
-  const double d = std::strtod(tok.c_str(), &end);
-  if (end == nullptr || *end != '\0' || errno != 0 || d < 0) return false;
-  v = static_cast<std::uint64_t>(d);
-  return true;
-}
-
-[[nodiscard]] bool parse_json_bool(std::string_view& s, bool& v) {
-  skip_ws(s);
-  if (s.substr(0, 4) == "true") {
-    v = true;
-    s.remove_prefix(4);
-    return true;
-  }
-  if (s.substr(0, 5) == "false") {
-    v = false;
-    s.remove_prefix(5);
-    return true;
-  }
-  return false;
-}
-
-[[nodiscard]] bool parse_json_double_array(std::string_view& s,
-                                           std::vector<double>& out) {
-  if (!consume(s, '[')) return false;
-  out.clear();
-  skip_ws(s);
-  if (consume(s, ']')) return true;
-  for (;;) {
-    double v = 0;
-    if (!parse_json_double(s, v)) return false;
-    out.push_back(v);
-    if (consume(s, ',')) continue;
-    return consume(s, ']');
-  }
-}
-
-/// Skips one JSON value of any type (for forward-compatible unknown keys).
-[[nodiscard]] bool skip_json_value(std::string_view& s) {
-  skip_ws(s);
-  if (s.empty()) return false;
-  const char c = s.front();
-  if (c == '"') {
-    std::string dummy;
-    return parse_json_string(s, dummy);
-  }
-  if (c == '{' || c == '[') {
-    const char close = c == '{' ? '}' : ']';
-    s.remove_prefix(1);
-    skip_ws(s);
-    if (consume(s, close)) return true;
-    for (;;) {
-      if (c == '{') {
-        std::string key;
-        if (!parse_json_string(s, key)) return false;
-        if (!consume(s, ':')) return false;
-      }
-      if (!skip_json_value(s)) return false;
-      if (consume(s, ',')) continue;
-      return consume(s, close);
-    }
-  }
-  if (c == 't' || c == 'f') {
-    bool dummy = false;
-    return parse_json_bool(s, dummy);
-  }
-  if (s.substr(0, 4) == "null") {
-    s.remove_prefix(4);
-    return true;
-  }
-  std::string tok;
-  return parse_number_token(s, tok);
-}
+using sim::jsonio::consume;
+using sim::jsonio::parse_bool;
+using sim::jsonio::parse_double;
+using sim::jsonio::parse_double_array;
+using sim::jsonio::parse_string;
+using sim::jsonio::parse_u64;
+using sim::jsonio::skip_ws;
+using sim::jsonio::write_double;
 
 [[nodiscard]] bool parse_result_field(std::string_view& s,
                                       const std::string& key, RunResult& r) {
-  if (key == "workload") return parse_json_string(s, r.workload);
+  if (key == "workload") return parse_string(s, r.workload);
   if (key == "scheme") {
     std::string name;
-    if (!parse_json_string(s, name)) return false;
+    if (!parse_string(s, name)) return false;
     const auto scheme = scheme_from_string(name);
     if (!scheme) return false;
     r.scheme = *scheme;
     return true;
   }
-  if (key == "completed") return parse_json_bool(s, r.completed);
-  if (key == "cycles") return parse_json_u64(s, r.cycles);
-  if (key == "commits") return parse_json_u64(s, r.commits);
-  if (key == "aborts") return parse_json_u64(s, r.aborts);
-  if (key == "aborts_by_getx") return parse_json_u64(s, r.aborts_by_getx);
-  if (key == "aborts_by_gets") return parse_json_u64(s, r.aborts_by_gets);
-  if (key == "aborts_overflow") return parse_json_u64(s, r.aborts_overflow);
-  if (key == "tx_getx_issued") return parse_json_u64(s, r.tx_getx_issued);
-  if (key == "tx_getx_nacked") return parse_json_u64(s, r.tx_getx_nacked);
-  if (key == "request_retries") return parse_json_u64(s, r.request_retries);
+  if (key == "completed") return parse_bool(s, r.completed);
+  if (key == "cycles") return parse_u64(s, r.cycles);
+  if (key == "commits") return parse_u64(s, r.commits);
+  if (key == "aborts") return parse_u64(s, r.aborts);
+  if (key == "aborts_by_getx") return parse_u64(s, r.aborts_by_getx);
+  if (key == "aborts_by_gets") return parse_u64(s, r.aborts_by_gets);
+  if (key == "aborts_overflow") return parse_u64(s, r.aborts_overflow);
+  if (key == "tx_getx_issued") return parse_u64(s, r.tx_getx_issued);
+  if (key == "tx_getx_nacked") return parse_u64(s, r.tx_getx_nacked);
+  if (key == "request_retries") return parse_u64(s, r.request_retries);
   if (key == "retries_per_contended_acquire") {
-    return parse_json_double(s, r.retries_per_contended_acquire);
+    return parse_double(s, r.retries_per_contended_acquire);
   }
   if (key == "false_abort_events") {
-    return parse_json_u64(s, r.false_abort_events);
+    return parse_u64(s, r.false_abort_events);
   }
   if (key == "falsely_aborted_txns") {
-    return parse_json_u64(s, r.falsely_aborted_txns);
+    return parse_u64(s, r.falsely_aborted_txns);
   }
   if (key == "false_abort_multiplicity") {
-    return parse_json_double_array(s, r.false_abort_multiplicity);
+    return parse_double_array(s, r.false_abort_multiplicity);
   }
   if (key == "router_traversals") {
-    return parse_json_u64(s, r.router_traversals);
+    return parse_u64(s, r.router_traversals);
   }
-  if (key == "dir_blocked_mean") return parse_json_double(s, r.dir_blocked_mean);
+  if (key == "dir_blocked_mean") return parse_double(s, r.dir_blocked_mean);
   if (key == "dir_txgetx_services") {
-    return parse_json_u64(s, r.dir_txgetx_services);
+    return parse_u64(s, r.dir_txgetx_services);
   }
-  if (key == "good_cycles") return parse_json_u64(s, r.good_cycles);
-  if (key == "discarded_cycles") return parse_json_u64(s, r.discarded_cycles);
-  if (key == "unicast_forwards") return parse_json_u64(s, r.unicast_forwards);
-  if (key == "mp_feedbacks") return parse_json_u64(s, r.mp_feedbacks);
+  if (key == "good_cycles") return parse_u64(s, r.good_cycles);
+  if (key == "discarded_cycles") return parse_u64(s, r.discarded_cycles);
+  if (key == "unicast_forwards") return parse_u64(s, r.unicast_forwards);
+  if (key == "mp_feedbacks") return parse_u64(s, r.mp_feedbacks);
   if (key == "notified_backoffs") {
-    return parse_json_u64(s, r.notified_backoffs);
+    return parse_u64(s, r.notified_backoffs);
   }
   if (key == "commit_hints_sent") {
-    return parse_json_u64(s, r.commit_hints_sent);
+    return parse_u64(s, r.commit_hints_sent);
   }
-  if (key == "hint_wakeups") return parse_json_u64(s, r.hint_wakeups);
-  if (key == "trace_path") return parse_json_string(s, r.trace_path);
-  if (key == "trace_events") return parse_json_u64(s, r.trace_events);
-  if (key == "trace_dropped") return parse_json_u64(s, r.trace_dropped);
-  return skip_json_value(s);  // unknown key: ignore for forward compat
+  if (key == "hint_wakeups") return parse_u64(s, r.hint_wakeups);
+  if (key == "trace_path") return parse_string(s, r.trace_path);
+  if (key == "trace_events") return parse_u64(s, r.trace_events);
+  if (key == "trace_dropped") return parse_u64(s, r.trace_dropped);
+  if (key == "telemetry_path") return parse_string(s, r.telemetry_path);
+  if (key == "telemetry_samples") {
+    return parse_u64(s, r.telemetry_samples);
+  }
+  if (key == "telemetry_dropped") {
+    return parse_u64(s, r.telemetry_dropped);
+  }
+  return sim::jsonio::skip_value(s);  // unknown key: ignore for forward compat
 }
 
 }  // namespace
@@ -347,17 +156,17 @@ void write_result_jsonl(const RunResult& r, std::ostream& out) {
       << ",\"tx_getx_nacked\":" << r.tx_getx_nacked
       << ",\"request_retries\":" << r.request_retries
       << ",\"retries_per_contended_acquire\":";
-  write_json_double(out, r.retries_per_contended_acquire);
+  write_double(out, r.retries_per_contended_acquire);
   out << ",\"false_abort_events\":" << r.false_abort_events
       << ",\"falsely_aborted_txns\":" << r.falsely_aborted_txns
       << ",\"false_abort_multiplicity\":[";
   for (std::size_t i = 0; i < r.false_abort_multiplicity.size(); ++i) {
     if (i != 0) out << ',';
-    write_json_double(out, r.false_abort_multiplicity[i]);
+    write_double(out, r.false_abort_multiplicity[i]);
   }
   out << "],\"router_traversals\":" << r.router_traversals
       << ",\"dir_blocked_mean\":";
-  write_json_double(out, r.dir_blocked_mean);
+  write_double(out, r.dir_blocked_mean);
   out << ",\"dir_txgetx_services\":" << r.dir_txgetx_services
       << ",\"good_cycles\":" << r.good_cycles
       << ",\"discarded_cycles\":" << r.discarded_cycles
@@ -372,6 +181,14 @@ void write_result_jsonl(const RunResult& r, std::ostream& out) {
     out << ",\"trace_path\":\"" << json_escape(r.trace_path)
         << "\",\"trace_events\":" << r.trace_events
         << ",\"trace_dropped\":" << r.trace_dropped;
+  }
+  // Same conditional contract for telemetry metadata: untraced/unsampled
+  // rows stay byte-identical to the historical schema.
+  if (!r.telemetry_path.empty() || r.telemetry_samples > 0 ||
+      r.telemetry_dropped > 0) {
+    out << ",\"telemetry_path\":\"" << json_escape(r.telemetry_path)
+        << "\",\"telemetry_samples\":" << r.telemetry_samples
+        << ",\"telemetry_dropped\":" << r.telemetry_dropped;
   }
   out << "}\n";
 }
@@ -389,7 +206,7 @@ bool read_result_jsonl(std::string_view line, RunResult& result) {
   if (!consume(s, '}')) {
     for (;;) {
       std::string key;
-      if (!parse_json_string(s, key)) return false;
+      if (!parse_string(s, key)) return false;
       if (!consume(s, ':')) return false;
       if (!parse_result_field(s, key, result)) return false;
       if (consume(s, ',')) continue;

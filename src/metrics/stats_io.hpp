@@ -14,7 +14,9 @@
 //   (integers). When the run carried an event trace (docs/TRACING.md) three
 //   more keys follow: trace_path (string), trace_events, trace_dropped
 //   (integers); untraced rows omit them and stay byte-identical to the
-//   pre-tracing schema.
+//   pre-tracing schema. Likewise, a run with telemetry sampling
+//   (docs/TELEMETRY.md) appends telemetry_path (string), telemetry_samples,
+//   telemetry_dropped (integers); unsampled rows omit them.
 // Derived metrics (abort_rate, gd_ratio, ...) are intentionally omitted:
 // they are recomputable from the raw fields. read_result_jsonl() restores
 // every field and skips unknown keys, so the schema can grow compatibly.

@@ -119,6 +119,7 @@ void Router::tick(Cycle now) {
       input_port_used[static_cast<std::size_t>(ip)] = true;
       oport.rr_next = (idx + 1) % num_cand;
       traversals_.add();
+      ++local_traversals_;
       PUNO_TRACE(sim::TraceCat::kNoc, now, "router ", id_, " ",
                  to_string(ip), ivc, " -> ", to_string(static_cast<Port>(op)),
                  in.out_vc, " pkt ", flit.packet->id,

@@ -70,6 +70,13 @@ class Router {
     return buffered_flits_;
   }
 
+  /// Lifetime switch traversals through *this* router (the mesh-wide counter
+  /// aggregates all routers). The telemetry sampler differences this between
+  /// windows for the per-router utilization panel.
+  [[nodiscard]] std::uint64_t local_traversals() const noexcept {
+    return local_traversals_;
+  }
+
   /// Fault injection for the invariant-checker tests ONLY: silently discards
   /// one buffered flit (as a flow-control bug would), without touching the
   /// injected/ejected counters. Returns false if nothing was buffered.
@@ -115,6 +122,7 @@ class Router {
   std::vector<OutputPort> outputs_;        // [port]
   std::vector<CreditSink> credit_return_;  // [port]
   std::uint64_t buffered_flits_ = 0;
+  std::uint64_t local_traversals_ = 0;
 };
 
 }  // namespace puno::noc

@@ -53,9 +53,10 @@ std::string params_repr(const metrics::ExperimentParams& p) {
   // Every field of ExperimentParams and SystemConfig, by name. When a new
   // knob is added to either struct, add it here (the cache_key regression
   // tests enumerate the fields most likely to be forgotten).
-  // Exception: p.trace is deliberately NOT keyed — tracing is observational
-  // (bit-identical simulation either way), and the runner never serves a
-  // traced job from the cache because the cached row carries no trace files.
+  // Exception: p.trace and p.telemetry are deliberately NOT keyed — both
+  // are observational (bit-identical simulation either way), and the runner
+  // never serves a traced or sampled job from the cache because the cached
+  // row carries no trace/telemetry files.
   const SystemConfig& c = p.base_config;
   std::ostringstream os;
   os << "workload=" << p.workload;

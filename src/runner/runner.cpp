@@ -98,6 +98,13 @@ void write_manifest_row(std::ostream& out, std::size_t index,
         << "\",\"trace_events\":" << o.result.trace_events
         << ",\"trace_dropped\":" << o.result.trace_dropped;
   }
+  // Per-job telemetry manifest, same contract as the trace block above.
+  if (!o.result.telemetry_path.empty() || o.result.telemetry_samples > 0) {
+    out << ",\"telemetry_path\":\""
+        << metrics::json_escape(o.result.telemetry_path)
+        << "\",\"telemetry_samples\":" << o.result.telemetry_samples
+        << ",\"telemetry_dropped\":" << o.result.telemetry_dropped;
+  }
   if (!o.error.empty()) {
     out << ",\"error\":\"" << metrics::json_escape(o.error) << "\"";
   }
@@ -146,9 +153,11 @@ SweepResult run_jobs(const std::vector<JobSpec>& specs,
       out.result.scheme = spec.params.scheme;
 
       bool hit = false;
-      // Traced jobs always simulate: the point of the trace is its
-      // side-effect files, which a cached result row cannot reproduce.
-      const bool traced = spec.params.trace.active();
+      // Traced and telemetry-sampled jobs always simulate: the point of
+      // either is its side-effect files, which a cached result row cannot
+      // reproduce.
+      const bool traced =
+          spec.params.trace.active() || spec.params.telemetry.active();
       if (options.cache != nullptr && !traced) {
         if (auto cached = options.cache->load(spec.params)) {
           out.result = std::move(*cached);

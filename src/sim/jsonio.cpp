@@ -1,0 +1,235 @@
+#include "sim/jsonio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace puno::sim::jsonio {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_double(std::ostream& out, double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) {
+    out << 0;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+void skip_ws(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+}
+
+bool consume(std::string_view& s, char c) {
+  skip_ws(s);
+  if (s.empty() || s.front() != c) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+bool parse_string(std::string_view& s, std::string& out) {
+  if (!consume(s, '"')) return false;
+  out.clear();
+  while (!s.empty()) {
+    const char c = s.front();
+    s.remove_prefix(1);
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (s.empty()) return false;
+    const char esc = s.front();
+    s.remove_prefix(1);
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (s.size() < 4) return false;
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = s.front();
+          s.remove_prefix(1);
+          cp <<= 4;
+          if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // BMP code points only (the writers never emit surrogate pairs).
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xC0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+namespace {
+
+[[nodiscard]] bool parse_number_token(std::string_view& s, std::string& tok) {
+  skip_ws(s);
+  tok.clear();
+  while (!s.empty()) {
+    const char c = s.front();
+    if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+        c == 'e' || c == 'E') {
+      tok += c;
+      s.remove_prefix(1);
+    } else {
+      break;
+    }
+  }
+  return !tok.empty();
+}
+
+}  // namespace
+
+bool parse_double(std::string_view& s, double& v) {
+  std::string tok;
+  if (!parse_number_token(s, tok)) return false;
+  char* end = nullptr;
+  errno = 0;
+  v = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0' && errno == 0;
+}
+
+bool parse_u64(std::string_view& s, std::uint64_t& v) {
+  std::string tok;
+  if (!parse_number_token(s, tok)) return false;
+  char* end = nullptr;
+  errno = 0;
+  v = std::strtoull(tok.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && errno == 0) return true;
+  // Tolerate a float spelling (e.g. "1e3") for an integer field.
+  errno = 0;
+  const double d = std::strtod(tok.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno != 0 || d < 0) return false;
+  v = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+bool parse_bool(std::string_view& s, bool& v) {
+  skip_ws(s);
+  if (s.substr(0, 4) == "true") {
+    v = true;
+    s.remove_prefix(4);
+    return true;
+  }
+  if (s.substr(0, 5) == "false") {
+    v = false;
+    s.remove_prefix(5);
+    return true;
+  }
+  return false;
+}
+
+bool parse_double_array(std::string_view& s, std::vector<double>& out) {
+  if (!consume(s, '[')) return false;
+  out.clear();
+  skip_ws(s);
+  if (consume(s, ']')) return true;
+  for (;;) {
+    double v = 0;
+    if (!parse_double(s, v)) return false;
+    out.push_back(v);
+    if (consume(s, ',')) continue;
+    return consume(s, ']');
+  }
+}
+
+bool parse_u64_array(std::string_view& s, std::vector<std::uint64_t>& out) {
+  if (!consume(s, '[')) return false;
+  out.clear();
+  skip_ws(s);
+  if (consume(s, ']')) return true;
+  for (;;) {
+    std::uint64_t v = 0;
+    if (!parse_u64(s, v)) return false;
+    out.push_back(v);
+    if (consume(s, ',')) continue;
+    return consume(s, ']');
+  }
+}
+
+bool skip_value(std::string_view& s) {
+  skip_ws(s);
+  if (s.empty()) return false;
+  const char c = s.front();
+  if (c == '"') {
+    std::string dummy;
+    return parse_string(s, dummy);
+  }
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    s.remove_prefix(1);
+    skip_ws(s);
+    if (consume(s, close)) return true;
+    for (;;) {
+      if (c == '{') {
+        std::string key;
+        if (!parse_string(s, key)) return false;
+        if (!consume(s, ':')) return false;
+      }
+      if (!skip_value(s)) return false;
+      if (consume(s, ',')) continue;
+      return consume(s, close);
+    }
+  }
+  if (c == 't' || c == 'f') {
+    bool dummy = false;
+    return parse_bool(s, dummy);
+  }
+  if (s.substr(0, 4) == "null") {
+    s.remove_prefix(4);
+    return true;
+  }
+  std::string tok;
+  return parse_number_token(s, tok);
+}
+
+}  // namespace puno::sim::jsonio

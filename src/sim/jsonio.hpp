@@ -1,0 +1,47 @@
+// Minimal JSON reading/writing helpers shared by every flat-JSONL schema in
+// the tree (RunResult rows, the runner manifest, the result cache and the
+// telemetry series).
+//
+// This is deliberately not a general JSON library: the writers emit flat
+// objects whose values are strings, numbers, booleans and numeric arrays,
+// and the readers parse exactly that shape back, skipping unknown values so
+// schemas can grow compatibly. Doubles round-trip exactly (max_digits10);
+// non-finite values, which JSON cannot represent, are written as 0.
+//
+// The parse_* functions consume from a std::string_view in place and return
+// false (leaving the view unspecified) on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace puno::sim::jsonio {
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Writes a double as a JSON number that parses back to the same value.
+void write_double(std::ostream& out, double v);
+
+void skip_ws(std::string_view& s);
+
+/// Consumes one expected punctuation character (after whitespace).
+[[nodiscard]] bool consume(std::string_view& s, char c);
+
+[[nodiscard]] bool parse_string(std::string_view& s, std::string& out);
+[[nodiscard]] bool parse_double(std::string_view& s, double& v);
+[[nodiscard]] bool parse_u64(std::string_view& s, std::uint64_t& v);
+[[nodiscard]] bool parse_bool(std::string_view& s, bool& v);
+[[nodiscard]] bool parse_double_array(std::string_view& s,
+                                      std::vector<double>& out);
+[[nodiscard]] bool parse_u64_array(std::string_view& s,
+                                   std::vector<std::uint64_t>& out);
+
+/// Skips one JSON value of any type (for forward-compatible unknown keys).
+[[nodiscard]] bool skip_value(std::string_view& s);
+
+}  // namespace puno::sim::jsonio

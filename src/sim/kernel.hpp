@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/profile.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -41,8 +42,16 @@ class Kernel {
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
   /// Registers a per-cycle component. Order of registration fixes the order
-  /// of evaluation within a cycle (and therefore determinism).
-  void add_tickable(Tickable& t) { tickables_.push_back(&t); }
+  /// of evaluation within a cycle (and therefore determinism). The name is
+  /// only used by the host profiler's per-component breakdown.
+  void add_tickable(Tickable& t, std::string name = "tickable") {
+    tickables_.push_back(&t);
+    tickable_names_.push_back(std::move(name));
+    if (profiler_ != nullptr) {
+      profiler_->declare_tickable(tickables_.size() - 1,
+                                  tickable_names_.back().c_str());
+    }
+  }
 
   /// Schedules `fn` to run `delay` cycles from now (0 = later this cycle,
   /// after all tickables). Events at the same cycle run in scheduling order;
@@ -57,23 +66,27 @@ class Kernel {
   /// tickables and events have run but before the clock advances. Hooks must
   /// only *inspect* state; an event scheduled from a hook (even with delay 0)
   /// runs in the next cycle.
-  void add_post_cycle_hook(std::function<void(Cycle)> hook) {
+  void add_post_cycle_hook(std::function<void(Cycle)> hook,
+                           std::string name = "hook") {
     post_cycle_hooks_.push_back(std::move(hook));
+    hook_names_.push_back(std::move(name));
+    if (profiler_ != nullptr) {
+      profiler_->declare_hook(post_cycle_hooks_.size() - 1,
+                              hook_names_.back().c_str());
+    }
   }
 
   /// Advances one cycle: run all tickables, then all events due this cycle,
   /// then the post-cycle hooks.
   void step() {
-    for (Tickable* t : tickables_) t->tick(now_);
-    while (!events_.empty() && events_.front().when <= now_) {
-      // Move the event fully out of the heap before running it, so the
-      // handler can schedule further events (including zero-delay ones for
-      // this same cycle) without touching live heap storage.
-      std::pop_heap(events_.begin(), events_.end(), EventLater{});
-      Event ev = std::move(events_.back());
-      events_.pop_back();
-      ev.fn();
+#ifndef PUNO_PROFILING_DISABLED
+    if (profiler_ != nullptr) {
+      step_profiled();
+      return;
     }
+#endif
+    for (Tickable* t : tickables_) t->tick(now_);
+    drain_due_events();
     for (const auto& hook : post_cycle_hooks_) hook(now_);
     ++now_;
   }
@@ -111,6 +124,23 @@ class Kernel {
     return tracer_;
   }
 
+  /// Optional host-time profiler. Null (the default) means step() runs the
+  /// unprofiled path; with a sink attached every tick, event batch and hook
+  /// is bracketed with host_ticks(). Like the tracer, the kernel does not
+  /// own the sink. Under PUNO_PROFILING_DISABLED the attachment is accepted
+  /// but never consulted, so profiling code compiles out of step().
+  void set_profiler(ProfileSink* p) {
+    profiler_ = p;
+    if (profiler_ == nullptr) return;
+    for (std::size_t i = 0; i < tickable_names_.size(); ++i) {
+      profiler_->declare_tickable(i, tickable_names_[i].c_str());
+    }
+    for (std::size_t i = 0; i < hook_names_.size(); ++i) {
+      profiler_->declare_hook(i, hook_names_[i].c_str());
+    }
+  }
+  [[nodiscard]] ProfileSink* profiler() const noexcept { return profiler_; }
+
  private:
   struct Event {
     Cycle when;
@@ -124,13 +154,56 @@ class Kernel {
     }
   };
 
+  /// Runs all events due this cycle. Returns the number of handlers run.
+  std::uint64_t drain_due_events() {
+    std::uint64_t ran = 0;
+    while (!events_.empty() && events_.front().when <= now_) {
+      // Move the event fully out of the heap before running it, so the
+      // handler can schedule further events (including zero-delay ones for
+      // this same cycle) without touching live heap storage.
+      std::pop_heap(events_.begin(), events_.end(), EventLater{});
+      Event ev = std::move(events_.back());
+      events_.pop_back();
+      ev.fn();
+      ++ran;
+    }
+    return ran;
+  }
+
+#ifndef PUNO_PROFILING_DISABLED
+  /// step() with each phase bracketed by host_ticks(). A separate method so
+  /// the common unprofiled path stays branch-light and the timing calls sit
+  /// outside it entirely.
+  void step_profiled() {
+    for (std::size_t i = 0; i < tickables_.size(); ++i) {
+      const std::uint64_t t0 = host_ticks();
+      tickables_[i]->tick(now_);
+      profiler_->tickable_cost(i, host_ticks() - t0);
+    }
+    {
+      const std::uint64_t t0 = host_ticks();
+      const std::uint64_t ran = drain_due_events();
+      profiler_->event_cost(ran, host_ticks() - t0);
+    }
+    for (std::size_t i = 0; i < post_cycle_hooks_.size(); ++i) {
+      const std::uint64_t t0 = host_ticks();
+      post_cycle_hooks_[i](now_);
+      profiler_->hook_cost(i, host_ticks() - t0);
+    }
+    ++now_;
+  }
+#endif
+
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::vector<Tickable*> tickables_;
+  std::vector<std::string> tickable_names_;  ///< Parallel to tickables_.
   std::vector<Event> events_;  ///< Binary heap ordered by EventLater.
   std::vector<std::function<void(Cycle)>> post_cycle_hooks_;
+  std::vector<std::string> hook_names_;  ///< Parallel to post_cycle_hooks_.
   StatsRegistry stats_;
-  trace::TraceRecorder* tracer_ = nullptr;  // not owned
+  trace::TraceRecorder* tracer_ = nullptr;    // not owned
+  ProfileSink* profiler_ = nullptr;           // not owned
 };
 
 }  // namespace puno::sim

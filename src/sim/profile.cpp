@@ -1,0 +1,38 @@
+#include "sim/profile.hpp"
+
+#include <chrono>
+
+namespace puno::sim {
+
+namespace {
+
+double calibrate() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // Spin for ~2 ms against steady_clock and take the ratio. Short enough to
+  // be unnoticeable, long enough that clock granularity is in the noise.
+  using clock = std::chrono::steady_clock;
+  const auto wall0 = clock::now();
+  const std::uint64_t tsc0 = host_ticks();
+  for (;;) {
+    const auto wall = clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall - wall0)
+            .count();
+    if (ns >= 2'000'000) {
+      const std::uint64_t tsc = host_ticks();
+      return static_cast<double>(tsc - tsc0) * 1e9 / static_cast<double>(ns);
+    }
+  }
+#else
+  return 1e9;  // host_ticks() is steady_clock nanoseconds on this target
+#endif
+}
+
+}  // namespace
+
+double host_ticks_per_second() {
+  static const double rate = calibrate();
+  return rate;
+}
+
+}  // namespace puno::sim

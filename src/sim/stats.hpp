@@ -80,6 +80,29 @@ class Histogram {
                        : static_cast<double>(bucket(i)) /
                              static_cast<double>(total_);
   }
+  /// The p-quantile (p in [0,1], clamped): the smallest bucket value v such
+  /// that at least ceil(p * total) samples are <= v. Returns 0 on an empty
+  /// histogram; samples beyond the cap report the overflow bucket's index,
+  /// so a tail percentile can read "cap or more". percentile(0.5) is the
+  /// median; the dashboard's latency/backoff panels use p50/p90/p99.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
+    if (total_ == 0) return 0;
+    const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    // ceil(p * total), but at least 1 so percentile(0) is the minimum.
+    auto rank = static_cast<std::uint64_t>(clamped *
+                                           static_cast<double>(total_));
+    if (static_cast<double>(rank) < clamped * static_cast<double>(total_) ||
+        rank == 0) {
+      ++rank;
+    }
+    if (rank > total_) rank = total_;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      cum += buckets_[i];
+      if (cum >= rank) return i;
+    }
+    return buckets_.size() - 1;  // unreachable: cum == total_ at the end
+  }
   void reset() noexcept {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     total_ = 0;

@@ -1,0 +1,306 @@
+#include "telemetry/dashboard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <ostream>
+
+#include "sim/jsonio.hpp"
+#include "sim/stats.hpp"
+
+namespace puno::telemetry {
+
+namespace {
+
+constexpr int kSparkW = 300;
+constexpr int kSparkH = 64;
+
+/// Formats a double compactly and deterministically ("12", "3.25", "1.2e+06").
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// One inline-SVG sparkline: a filled area + line over the series, y scaled
+/// to [0, max]. Values are window-level quantities; x is the sample index.
+void sparkline(std::ostream& out, const std::vector<double>& ys,
+               const char* color) {
+  double maxy = 0;
+  for (const double y : ys) maxy = std::max(maxy, y);
+  out << "<svg class=\"spark\" viewBox=\"0 0 " << kSparkW << ' ' << kSparkH
+      << "\" width=\"" << kSparkW << "\" height=\"" << kSparkH
+      << "\" preserveAspectRatio=\"none\">";
+  if (ys.size() >= 2 && maxy > 0) {
+    const double dx =
+        static_cast<double>(kSparkW) / static_cast<double>(ys.size() - 1);
+    std::string line;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      const double x = dx * static_cast<double>(i);
+      const double y =
+          static_cast<double>(kSparkH) * (1.0 - ys[i] / maxy * 0.92) - 2.0;
+      if (!line.empty()) line += ' ';
+      line += fmt(x) + ',' + fmt(std::max(1.0, y));
+    }
+    out << "<polygon fill=\"" << color << "\" fill-opacity=\"0.15\" points=\""
+        << "0," << kSparkH << ' ' << line << ' ' << kSparkW << ','
+        << kSparkH << "\"/>";
+    out << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"1.5\" points=\"" << line << "\"/>";
+  }
+  out << "</svg>";
+}
+
+/// One metric card: title, the latest value + max, and a sparkline.
+void card(std::ostream& out, const char* title,
+          const std::vector<double>& ys, const char* color,
+          const char* unit) {
+  double maxy = 0;
+  const double last = ys.empty() ? 0.0 : ys.back();
+  for (const double y : ys) maxy = std::max(maxy, y);
+  out << "<div class=\"card\"><div class=\"t\">"
+      << sim::jsonio::escape(title) << "</div><div class=\"v\">" << fmt(last)
+      << "<span class=\"u\">" << unit << " (max " << fmt(maxy)
+      << ")</span></div>";
+  sparkline(out, ys, color);
+  out << "</div>\n";
+}
+
+std::vector<double> pluck(
+    const std::vector<TelemetrySample>& ss,
+    const std::function<double(const TelemetrySample&)>& f) {
+  std::vector<double> ys;
+  ys.reserve(ss.size());
+  for (const TelemetrySample& s : ss) ys.push_back(f(s));
+  return ys;
+}
+
+/// Per-window rate: delta / window, guarded against zero-width windows.
+double rate(std::uint64_t delta, std::uint64_t window) {
+  return window == 0 ? 0.0
+                     : static_cast<double>(delta) /
+                           static_cast<double>(window);
+}
+
+void percentile_row(std::ostream& out, const char* label,
+                    const sim::Histogram& h) {
+  out << "<tr><td>" << label << "</td><td>" << h.total() << "</td><td>"
+      << fmt(h.mean()) << "</td><td>" << h.percentile(0.50) << "</td><td>"
+      << h.percentile(0.90) << "</td><td>" << h.percentile(0.99)
+      << "</td></tr>";
+}
+
+}  // namespace
+
+void write_dashboard_html(const DashboardMeta& meta,
+                          const std::vector<TelemetrySample>& samples,
+                          const sim::StatsRegistry* stats,
+                          std::ostream& out) {
+  out << "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+      << "<title>PUNO telemetry &mdash; "
+      << sim::jsonio::escape(meta.workload) << " / "
+      << sim::jsonio::escape(meta.scheme) << "</title>\n<style>\n"
+      << "body{font:14px/1.4 system-ui,sans-serif;margin:1.5em;"
+         "background:#fafafa;color:#222}\n"
+      << "h1{font-size:1.3em}h2{font-size:1.05em;margin:1.2em 0 .4em;"
+         "border-bottom:1px solid #ddd}\n"
+      << ".meta{color:#666}\n"
+      << ".grid{display:flex;flex-wrap:wrap;gap:12px}\n"
+      << ".card{background:#fff;border:1px solid #e2e2e2;border-radius:6px;"
+         "padding:8px 10px;width:" << (kSparkW + 2) << "px}\n"
+      << ".card .t{font-weight:600;font-size:.85em;color:#444}\n"
+      << ".card .v{font-size:1.25em;margin:.1em 0}\n"
+      << ".card .u{font-size:.6em;color:#888;margin-left:.4em}\n"
+      << ".spark{display:block}\n"
+      << "table{border-collapse:collapse;background:#fff}\n"
+      << "td,th{border:1px solid #e2e2e2;padding:4px 10px;text-align:right}\n"
+      << "th{background:#f0f0f0}\ntd:first-child{text-align:left}\n"
+      << ".bar{fill:#4878cf}\n"
+      << "</style></head><body>\n"
+      << "<h1>PUNO telemetry dashboard</h1>\n"
+      << "<p class=\"meta\">workload <b>"
+      << sim::jsonio::escape(meta.workload) << "</b> &middot; scheme <b>"
+      << sim::jsonio::escape(meta.scheme) << "</b> &middot; "
+      << meta.cycles << " cycles &middot; sampled every " << meta.interval
+      << " cycles &middot; " << samples.size() << " windows";
+  if (meta.dropped > 0) {
+    out << " &middot; <b>" << meta.dropped
+        << " windows dropped (series cap)</b>";
+  }
+  out << "</p>\n";
+
+  // --- per-core transaction state ---
+  out << "<h2>Cores</h2><div class=\"grid\">\n";
+  card(out, "cores in txn",
+       pluck(samples,
+             [](const auto& s) { return double(s.cores_in_txn); }),
+       "#2a9d4e", "cores");
+  card(out, "cores aborting (backoff population)",
+       pluck(samples,
+             [](const auto& s) { return double(s.cores_aborting); }),
+       "#d0342c", "cores");
+  card(out, "live read-set blocks",
+       pluck(samples,
+             [](const auto& s) { return double(s.read_set_blocks); }),
+       "#4878cf", "blocks");
+  card(out, "live write-set blocks",
+       pluck(samples,
+             [](const auto& s) { return double(s.write_set_blocks); }),
+       "#8c54b0", "blocks");
+  out << "</div>\n";
+
+  // --- HTM throughput ---
+  out << "<h2>HTM</h2><div class=\"grid\">\n";
+  card(out, "commits / kcycle",
+       pluck(samples,
+             [](const auto& s) { return 1e3 * rate(s.commits, s.window); }),
+       "#2a9d4e", "");
+  card(out, "aborts / kcycle",
+       pluck(samples,
+             [](const auto& s) { return 1e3 * rate(s.aborts, s.window); }),
+       "#d0342c", "");
+  card(out, "false aborts / kcycle",
+       pluck(samples,
+             [](const auto& s) {
+               return 1e3 * rate(s.false_aborts, s.window);
+             }),
+       "#e8871e", "");
+  card(out, "nacks / kcycle",
+       pluck(samples,
+             [](const auto& s) { return 1e3 * rate(s.nacks, s.window); }),
+       "#946b2d", "");
+  out << "</div>\n";
+
+  // --- directory ---
+  out << "<h2>Directory</h2><div class=\"grid\">\n";
+  card(out, "entries mid-service (blocked)",
+       pluck(samples, [](const auto& s) { return double(s.dir_busy); }),
+       "#d0342c", "entries");
+  card(out, "directory occupancy",
+       pluck(samples, [](const auto& s) { return double(s.dir_entries); }),
+       "#4878cf", "entries");
+  card(out, "TX_GETX services / kcycle",
+       pluck(samples,
+             [](const auto& s) {
+               return 1e3 * rate(s.txgetx_services, s.window);
+             }),
+       "#2a9d4e", "");
+  out << "</div>\n";
+
+  // --- PUNO assist ---
+  out << "<h2>PUNO</h2><div class=\"grid\">\n";
+  card(out, "unicast predictions / kcycle",
+       pluck(samples,
+             [](const auto& s) { return 1e3 * rate(s.unicasts, s.window); }),
+       "#2a9d4e", "");
+  card(out, "multicast fallbacks / kcycle",
+       pluck(samples,
+             [](const auto& s) {
+               return 1e3 * rate(s.multicasts, s.window);
+             }),
+       "#e8871e", "");
+  card(out, "P-Buffer hit rate (window)",
+       pluck(samples,
+             [](const auto& s) {
+               const double u = static_cast<double>(s.unicasts);
+               return u == 0
+                          ? 0.0
+                          : 1.0 - static_cast<double>(s.mp_feedbacks) / u;
+             }),
+       "#4878cf", "");
+  card(out, "usable P-Buffer entries",
+       pluck(samples,
+             [](const auto& s) { return double(s.pbuffer_usable); }),
+       "#8c54b0", "entries");
+  card(out, "TxLB entries",
+       pluck(samples,
+             [](const auto& s) { return double(s.txlb_entries); }),
+       "#946b2d", "entries");
+  card(out, "notified-backoff rate (of nacks)",
+       pluck(samples,
+             [](const auto& s) {
+               const double n = static_cast<double>(s.nacks);
+               return n == 0
+                          ? 0.0
+                          : static_cast<double>(s.notified_backoffs) / n;
+             }),
+       "#2a9d4e", "");
+  out << "</div>\n";
+
+  // --- NoC ---
+  out << "<h2>NoC</h2><div class=\"grid\">\n";
+  card(out, "flits injected / kcycle",
+       pluck(samples,
+             [](const auto& s) {
+               return 1e3 * rate(s.flits_sent, s.window);
+             }),
+       "#4878cf", "");
+  card(out, "switch traversals / kcycle",
+       pluck(samples,
+             [](const auto& s) {
+               return 1e3 * rate(s.traversals, s.window);
+             }),
+       "#2a9d4e", "");
+  card(out, "flits buffered in routers",
+       pluck(samples,
+             [](const auto& s) { return double(s.noc_buffered); }),
+       "#e8871e", "flits");
+  card(out, "flits in flight on links",
+       pluck(samples,
+             [](const auto& s) { return double(s.noc_inflight); }),
+       "#8c54b0", "flits");
+  out << "</div>\n";
+
+  // Per-router lifetime traversal share as a bar chart (sums of the
+  // per-window deltas = each router's total traffic).
+  if (!samples.empty() && !samples.front().router_traversals.empty()) {
+    const std::size_t n = samples.front().router_traversals.size();
+    std::vector<std::uint64_t> totals(n, 0);
+    for (const TelemetrySample& s : samples) {
+      for (std::size_t i = 0; i < s.router_traversals.size() && i < n; ++i) {
+        totals[i] += s.router_traversals[i];
+      }
+    }
+    std::uint64_t maxt = 1;
+    for (const std::uint64_t t : totals) maxt = std::max(maxt, t);
+    const int bw = 18, gap = 4, h = 90;
+    const int w = static_cast<int>(n) * (bw + gap);
+    out << "<h2>Per-router traversals (whole run)</h2><svg width=\"" << w
+        << "\" height=\"" << (h + 16) << "\">";
+    for (std::size_t i = 0; i < n; ++i) {
+      const int bh = static_cast<int>(
+          static_cast<double>(h) * static_cast<double>(totals[i]) /
+          static_cast<double>(maxt));
+      const int x = static_cast<int>(i) * (bw + gap);
+      out << "<rect class=\"bar\" x=\"" << x << "\" y=\"" << (h - bh)
+          << "\" width=\"" << bw << "\" height=\"" << bh << "\"><title>router "
+          << i << ": " << totals[i] << "</title></rect>"
+          << "<text x=\"" << (x + bw / 2) << "\" y=\"" << (h + 12)
+          << "\" font-size=\"9\" text-anchor=\"middle\">" << i << "</text>";
+    }
+    out << "</svg>\n";
+  }
+
+  // --- latency / backoff percentile table (registry histograms) ---
+  if (stats != nullptr) {
+    const auto& hists = stats->histograms();
+    const auto len = hists.find("htm.txn_len_cycles");
+    const auto back = hists.find("htm.backoff_cycles");
+    if (len != hists.end() || back != hists.end()) {
+      out << "<h2>Latency distributions (cycles; 256+ = overflow bucket)"
+          << "</h2><table><tr><th>histogram</th><th>samples</th><th>mean"
+          << "</th><th>p50</th><th>p90</th><th>p99</th></tr>";
+      if (len != hists.end()) {
+        percentile_row(out, "committed txn length", len->second);
+      }
+      if (back != hists.end()) {
+        percentile_row(out, "granted backoff wait", back->second);
+      }
+      out << "</table>\n";
+    }
+  }
+
+  out << "</body></html>\n";
+}
+
+}  // namespace puno::telemetry

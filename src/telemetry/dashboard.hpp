@@ -1,0 +1,38 @@
+// Self-contained single-file HTML dashboard for one run's telemetry series.
+//
+// The generated page has zero external dependencies — no scripts, no
+// stylesheets, no fonts fetched from anywhere — so it renders identically
+// from a local file://, a CI artifact store, or an air-gapped machine.
+// Charts are inline SVG sparklines computed at generation time; output is
+// fully deterministic for a given series (no timestamps, no randomness).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/series.hpp"
+
+namespace puno::sim {
+class StatsRegistry;
+}  // namespace puno::sim
+
+namespace puno::telemetry {
+
+/// Run identification shown in the dashboard header.
+struct DashboardMeta {
+  std::string workload;
+  std::string scheme;
+  std::uint64_t cycles = 0;       ///< Total simulated cycles.
+  std::uint64_t interval = 0;     ///< Sampling interval.
+  std::uint64_t dropped = 0;      ///< Samples lost to the series cap.
+};
+
+/// Writes the dashboard. `stats` may be null; when present it feeds the
+/// latency/backoff percentile panel (htm.txn_len_cycles, htm.backoff_cycles
+/// p50/p90/p99 via Histogram::percentile).
+void write_dashboard_html(const DashboardMeta& meta,
+                          const std::vector<TelemetrySample>& samples,
+                          const sim::StatsRegistry* stats, std::ostream& out);
+
+}  // namespace puno::telemetry

@@ -1,0 +1,47 @@
+// Telemetry series serialization: JSONL (one sample object per line, the
+// machine-readable interchange format), CSV (for spreadsheets/pandas) and
+// the JSONL reader used by the round-trip validator.
+//
+// The JSONL schema is flat — every key maps to an integer or an integer
+// array — and is parsed back by read_telemetry_jsonl, which skips unknown
+// keys so the schema can grow compatibly. Writing is fully deterministic
+// (fixed key order, no floats), so two runs of the same simulation produce
+// byte-identical files regardless of runner parallelism.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/series.hpp"
+
+namespace puno::telemetry {
+
+/// Writes one sample as a single JSONL line (trailing '\n' included).
+void write_sample_jsonl(const TelemetrySample& s, std::ostream& out);
+
+/// Writes the whole series, one line per sample.
+void write_telemetry_jsonl(const std::vector<TelemetrySample>& samples,
+                           std::ostream& out);
+
+/// Parses one JSONL line back into a sample. Returns false on malformed
+/// input; unknown keys are skipped.
+[[nodiscard]] bool read_sample_jsonl(std::string_view line,
+                                     TelemetrySample& out);
+
+/// Parses a whole JSONL document (one object per line; blank lines are
+/// ignored). Returns false — leaving `out` unspecified — on the first
+/// malformed line.
+[[nodiscard]] bool read_telemetry_jsonl(std::string_view text,
+                                        std::vector<TelemetrySample>& out);
+
+/// CSV header for a series whose samples carry `num_nodes` per-core states
+/// and per-router columns (core0..coreN-1, router0..routerN-1).
+[[nodiscard]] std::string telemetry_csv_header(std::size_t num_nodes);
+
+/// Writes the series as CSV, header included.
+void write_telemetry_csv(const std::vector<TelemetrySample>& samples,
+                         std::size_t num_nodes, std::ostream& out);
+
+}  // namespace puno::telemetry

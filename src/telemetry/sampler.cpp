@@ -1,0 +1,142 @@
+#include "telemetry/sampler.hpp"
+
+#include "arch/cmp.hpp"
+#include "htm/txn_context.hpp"
+#include "noc/mesh.hpp"
+#include "puno/puno_directory.hpp"
+#include "sim/kernel.hpp"
+
+namespace puno::telemetry {
+
+namespace {
+
+/// Reads one counter's current value. StatsRegistry::counter creates absent
+/// names with value 0, which matches "component never instantiated" (e.g.
+/// no PUNO counters under the Eager scheme) and never perturbs simulation.
+std::uint64_t read(sim::StatsRegistry& stats, const char* name) {
+  return stats.counter(name).value();
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(arch::Cmp& cmp, Cycle interval,
+                                   std::size_t capacity)
+    : cmp_(cmp), interval_(interval == 0 ? 1 : interval), ring_(capacity) {
+  prev_.router_traversals.assign(cmp_.config().num_nodes, 0);
+}
+
+std::unique_ptr<TelemetrySampler> TelemetrySampler::attach(
+    arch::Cmp& cmp, const TelemetryRequest& req) {
+  auto sampler =
+      std::make_unique<TelemetrySampler>(cmp, req.interval, req.capacity);
+  TelemetrySampler* raw = sampler.get();
+  cmp.kernel().add_post_cycle_hook(
+      [raw](Cycle now) { raw->on_post_cycle(now); },
+      "telemetry.sampler");
+  return sampler;
+}
+
+void TelemetrySampler::on_post_cycle(Cycle now) {
+  // The hook runs before the clock advances, so cycle `now` has completed
+  // `now + 1` cycles. Sample on every interval boundary.
+  const Cycle completed = now + 1;
+  if (completed % interval_ == 0) take_sample(completed);
+}
+
+void TelemetrySampler::finish() {
+  const Cycle completed = cmp_.kernel().now();
+  if (completed > prev_cycle_) take_sample(completed);
+}
+
+void TelemetrySampler::take_sample(Cycle cycles_completed) {
+  const auto& cfg = cmp_.config();
+  const auto n = static_cast<NodeId>(cfg.num_nodes);
+  sim::StatsRegistry& stats = cmp_.kernel().stats();
+
+  TelemetrySample s;
+  s.cycle = cycles_completed;
+  s.window = cycles_completed - prev_cycle_;
+
+  // Per-core transaction state.
+  s.core_state.resize(cfg.num_nodes, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    const htm::TxnContext& txn = cmp_.txn(i);
+    if (!txn.in_txn()) continue;
+    if (txn.aborted()) {
+      ++s.cores_aborting;
+      s.core_state[i] = 2;
+    } else {
+      ++s.cores_in_txn;
+      s.core_state[i] = 1;
+    }
+    s.read_set_blocks += txn.read_set_size();
+    s.write_set_blocks += txn.write_set_size();
+  }
+
+  // HTM / L1 counter deltas.
+  CounterSnapshot cur;
+  cur.commits = read(stats, "htm.commits");
+  cur.aborts = read(stats, "htm.aborts");
+  cur.false_aborts = read(stats, "htm.false_abort_events");
+  cur.notified_backoffs = read(stats, "htm.notified_backoffs");
+  cur.nacks = read(stats, "l1.tx_getx_nacked");
+  cur.txgetx_services = read(stats, "dir.txgetx_services");
+  cur.unicasts = read(stats, "puno.unicast_predictions");
+  cur.multicasts = read(stats, "puno.multicast_fallbacks");
+  cur.mp_feedbacks = read(stats, "dir.mp_feedbacks");
+  cur.flits_sent = read(stats, "noc.flits_sent");
+  cur.flits_ejected = read(stats, "noc.flits_ejected");
+  cur.traversals = read(stats, "noc.router_traversals");
+
+  s.commits = cur.commits - prev_.commits;
+  s.aborts = cur.aborts - prev_.aborts;
+  s.false_aborts = cur.false_aborts - prev_.false_aborts;
+  s.notified_backoffs = cur.notified_backoffs - prev_.notified_backoffs;
+  s.nacks = cur.nacks - prev_.nacks;
+  s.txgetx_services = cur.txgetx_services - prev_.txgetx_services;
+  s.unicasts = cur.unicasts - prev_.unicasts;
+  s.multicasts = cur.multicasts - prev_.multicasts;
+  s.mp_feedbacks = cur.mp_feedbacks - prev_.mp_feedbacks;
+  s.flits_sent = cur.flits_sent - prev_.flits_sent;
+  s.flits_ejected = cur.flits_ejected - prev_.flits_ejected;
+  s.traversals = cur.traversals - prev_.traversals;
+
+  // Directory gauges.
+  for (NodeId i = 0; i < n; ++i) {
+    const coherence::Directory& dir = cmp_.directory(i);
+    s.dir_busy += dir.pending_services();
+    s.dir_entries += dir.entry_count();
+  }
+
+  // PUNO assist gauges (assists exist only under Scheme::kPuno).
+  for (NodeId i = 0; i < n; ++i) {
+    if (const core::PunoDirectory* assist = cmp_.assist(i)) {
+      const core::PBuffer& pbuf = assist->pbuffer();
+      for (std::uint32_t e = 0; e < pbuf.size(); ++e) {
+        if (pbuf.usable(static_cast<NodeId>(e),
+                        cfg.puno.validity_threshold)) {
+          ++s.pbuffer_usable;
+        }
+      }
+    }
+    s.txlb_entries += cmp_.txn(i).txlb().size();
+  }
+
+  // NoC gauges + per-router traversal deltas.
+  noc::Mesh& mesh = cmp_.mesh();
+  s.noc_buffered = mesh.buffered_router_flits();
+  s.noc_inflight = mesh.inflight_link_flits();
+  cur.router_traversals.resize(cfg.num_nodes);
+  s.router_traversals.resize(cfg.num_nodes);
+  for (NodeId i = 0; i < n; ++i) {
+    cur.router_traversals[i] = mesh.router(i).local_traversals();
+    s.router_traversals[i] =
+        cur.router_traversals[i] - prev_.router_traversals[i];
+  }
+
+  ring_.push(std::move(s));
+  prev_ = std::move(cur);
+  prev_cycle_ = cycles_completed;
+}
+
+}  // namespace puno::telemetry

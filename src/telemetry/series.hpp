@@ -1,0 +1,118 @@
+// Windowed telemetry series: the sample record, the fixed-capacity ring
+// that holds a run's samples, and the request struct callers use to ask
+// for sampling.
+//
+// Semantics (docs/TELEMETRY.md): every `interval` cycles the sampler
+// snapshots the whole machine into one TelemetrySample. Monotonic counters
+// are stored as *deltas since the previous sample* (so a window's commits
+// are directly plottable and windows sum to the run totals); instantaneous
+// quantities (cores in a transaction, directory occupancy, buffered flits)
+// are stored as point-in-time gauges. The final window may be shorter than
+// `interval` — `window` records each sample's true width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace puno::telemetry {
+
+/// One sampling window's snapshot of the whole CMP.
+struct TelemetrySample {
+  Cycle cycle = 0;   ///< Cycles completed at the end of this window.
+  Cycle window = 0;  ///< Width in cycles (== interval except the last).
+
+  // --- per-core transaction state (gauges at window end) ---
+  std::uint32_t cores_in_txn = 0;    ///< Cores inside a transaction.
+  std::uint32_t cores_aborting = 0;  ///< Aborted, awaiting restart (backoff
+                                     ///< population).
+  std::uint64_t read_set_blocks = 0;   ///< Sum of live read-set sizes.
+  std::uint64_t write_set_blocks = 0;  ///< Sum of live write-set sizes.
+  /// Per-core state: 0 = idle, 1 = in transaction, 2 = aborted/backoff.
+  std::vector<std::uint64_t> core_state;
+
+  // --- HTM activity (deltas over the window) ---
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t false_aborts = 0;       ///< htm.false_abort_events delta.
+  std::uint64_t notified_backoffs = 0;  ///< TxLB-driven notified waits.
+  std::uint64_t nacks = 0;              ///< l1.tx_getx_nacked delta.
+
+  // --- directory (gauges + deltas) ---
+  std::uint64_t dir_busy = 0;     ///< Entries mid-service (blocked requests).
+  std::uint64_t dir_entries = 0;  ///< Total tracked blocks (occupancy).
+  std::uint64_t txgetx_services = 0;  ///< dir.txgetx_services delta.
+
+  // --- PUNO assist (deltas + gauges) ---
+  std::uint64_t unicasts = 0;      ///< puno.unicast_predictions delta.
+  std::uint64_t multicasts = 0;    ///< puno.multicast_fallbacks delta.
+  std::uint64_t mp_feedbacks = 0;  ///< Misprediction feedbacks delta.
+  std::uint64_t pbuffer_usable = 0;  ///< P-Buffer entries above the validity
+                                     ///< threshold, summed over assists.
+  std::uint64_t txlb_entries = 0;    ///< Live TxLB entries, summed over cores.
+
+  // --- NoC (deltas + gauges) ---
+  std::uint64_t flits_sent = 0;     ///< noc.flits_sent delta.
+  std::uint64_t flits_ejected = 0;  ///< noc.flits_ejected delta.
+  std::uint64_t traversals = 0;     ///< Mesh-wide switch traversals delta.
+  std::uint64_t noc_buffered = 0;   ///< Flits in router buffers (gauge).
+  std::uint64_t noc_inflight = 0;   ///< Flits riding links (gauge).
+  /// Per-router switch-traversal delta (index = node id).
+  std::vector<std::uint64_t> router_traversals;
+
+  bool operator==(const TelemetrySample&) const = default;
+};
+
+/// Fixed-capacity sample store. Samples beyond capacity are counted but not
+/// retained (the bound keeps a sampler's footprint predictable inside sweep
+/// jobs, mirroring trace::TraceRecorder); unlike the trace ring it keeps the
+/// *oldest* samples, so the series always starts at cycle 0 and `dropped()`
+/// flags a truncated tail.
+class SeriesRing {
+ public:
+  /// 16Ki windows: a 1M-cycle run sampled every 100 cycles fits untruncated.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+
+  explicit SeriesRing(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(TelemetrySample s) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(std::move(s));
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] const std::vector<TelemetrySample>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TelemetrySample> samples_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Run-scoped settings a caller (punosim, punobatch, ExperimentParams) uses
+/// to request telemetry. Plain data; owned by value wherever embedded.
+/// Mirrors trace::TraceRequest. Deliberately excluded from the runner's
+/// cache key: sampling never changes simulated results, only side-effect
+/// files (verified by tests/telemetry/telemetry_integration_test.cpp).
+struct TelemetryRequest {
+  Cycle interval = 0;    ///< Cycles per window; 0 = sampling off.
+  std::string jsonl_path;     ///< Sample series JSONL; "" = don't write.
+  std::string csv_path;       ///< Sample series CSV; "" = don't write.
+  std::string dashboard_path; ///< Self-contained HTML; "" = don't write.
+  std::size_t capacity = SeriesRing::kDefaultCapacity;
+
+  [[nodiscard]] bool active() const noexcept { return interval > 0; }
+};
+
+}  // namespace puno::telemetry

@@ -79,6 +79,62 @@ TEST(Histogram, ResetClears) {
   EXPECT_EQ(h.bucket(2), 0u);
 }
 
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h(8);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(Histogram, PercentileCeilRank) {
+  Histogram h(16);
+  // 1,2,3,...,10: p50 -> rank ceil(0.5*10)=5 -> value 5; p90 -> 9; p100 -> 10.
+  for (std::uint64_t v = 1; v <= 10; ++v) h.sample(v);
+  EXPECT_EQ(h.percentile(0.5), 5u);
+  EXPECT_EQ(h.percentile(0.9), 9u);
+  EXPECT_EQ(h.percentile(1.0), 10u);
+}
+
+TEST(Histogram, PercentileZeroIsMinimum) {
+  Histogram h(16);
+  h.sample(3);
+  h.sample(7);
+  EXPECT_EQ(h.percentile(0.0), 3u) << "rank is floored at 1";
+}
+
+TEST(Histogram, PercentileClampsP) {
+  Histogram h(8);
+  h.sample(4);
+  EXPECT_EQ(h.percentile(-2.0), 4u);
+  EXPECT_EQ(h.percentile(7.5), 4u);
+}
+
+TEST(Histogram, PercentileSingleValue) {
+  Histogram h(8);
+  for (int i = 0; i < 100; ++i) h.sample(6);
+  EXPECT_EQ(h.percentile(0.01), 6u);
+  EXPECT_EQ(h.percentile(0.5), 6u);
+  EXPECT_EQ(h.percentile(0.99), 6u);
+}
+
+TEST(Histogram, PercentileTailReportsOverflowBucket) {
+  Histogram h(4);  // buckets 0..4, cap at 4
+  h.sample(1);
+  h.sample(100);  // lands in the overflow bucket
+  EXPECT_EQ(h.percentile(1.0), 4u) << "tail reads as 'cap or more'";
+}
+
+TEST(Histogram, PercentileSkewedDistribution) {
+  Histogram h(32);
+  for (int i = 0; i < 90; ++i) h.sample(1);
+  for (int i = 0; i < 9; ++i) h.sample(10);
+  h.sample(30);
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(0.9), 1u) << "rank 90 is still inside the spike";
+  EXPECT_EQ(h.percentile(0.95), 10u);
+  EXPECT_EQ(h.percentile(0.99), 10u);
+  EXPECT_EQ(h.percentile(1.0), 30u);
+}
+
 TEST(StatsRegistry, ReturnsSameObjectForSameName) {
   StatsRegistry reg;
   Counter& a = reg.counter("x");

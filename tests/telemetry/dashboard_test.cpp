@@ -1,0 +1,100 @@
+// Dashboard generator contracts: self-contained output, deterministic
+// bytes, and the percentile panel's dependence on the stats registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "telemetry/dashboard.hpp"
+#include "telemetry/series.hpp"
+
+namespace puno::telemetry {
+namespace {
+
+std::vector<TelemetrySample> tiny_series() {
+  std::vector<TelemetrySample> series;
+  for (int i = 1; i <= 6; ++i) {
+    TelemetrySample s;
+    s.cycle = static_cast<Cycle>(100 * i);
+    s.window = 100;
+    s.cores_in_txn = static_cast<std::uint32_t>(i % 4);
+    s.commits = static_cast<std::uint64_t>(2 * i);
+    s.aborts = static_cast<std::uint64_t>(i);
+    s.unicasts = 5;
+    s.mp_feedbacks = 1;
+    s.flits_sent = 50;
+    s.core_state = {0, 1, 2, 1};
+    s.router_traversals = {10, 20, 30, 40};
+    series.push_back(s);
+  }
+  return series;
+}
+
+DashboardMeta meta() {
+  DashboardMeta m;
+  m.workload = "intruder";
+  m.scheme = "PUNO";
+  m.cycles = 600;
+  m.interval = 100;
+  return m;
+}
+
+std::string render(const sim::StatsRegistry* stats) {
+  std::ostringstream os;
+  write_dashboard_html(meta(), tiny_series(), stats, os);
+  return os.str();
+}
+
+TEST(Dashboard, IsACompleteHtmlDocument) {
+  const std::string html = render(nullptr);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("intruder"), std::string::npos);
+  EXPECT_NE(html.find("PUNO"), std::string::npos);
+}
+
+TEST(Dashboard, HasInlineSvgSparklines) {
+  const std::string html = render(nullptr);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("polyline"), std::string::npos);
+}
+
+TEST(Dashboard, IsSelfContained) {
+  const std::string html = render(nullptr);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<script src"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos)
+      << "no external stylesheets";
+}
+
+TEST(Dashboard, IsByteDeterministic) {
+  EXPECT_EQ(render(nullptr), render(nullptr));
+}
+
+TEST(Dashboard, PercentilePanelNeedsStats) {
+  sim::StatsRegistry stats;
+  sim::Histogram& txn = stats.histogram("htm.txn_len_cycles", 256);
+  sim::Histogram& backoff = stats.histogram("htm.backoff_cycles", 256);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    txn.sample(v);
+    backoff.sample(2 * v);
+  }
+  const std::string with = render(&stats);
+  const std::string without = render(nullptr);
+  EXPECT_NE(with.find("p99"), std::string::npos);
+  EXPECT_EQ(without.find("p99"), std::string::npos)
+      << "no stats registry, no percentile table";
+}
+
+TEST(Dashboard, EmptySeriesStillRenders) {
+  std::ostringstream os;
+  write_dashboard_html(meta(), {}, nullptr, os);
+  const std::string html = os.str();
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace puno::telemetry

@@ -1,0 +1,156 @@
+// SeriesRing container semantics and TelemetrySampler window accounting
+// over real (small) simulations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+
+#include "arch/cmp.hpp"
+#include "sim/kernel.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/series.hpp"
+#include "workloads/stamp.hpp"
+
+namespace puno::telemetry {
+namespace {
+
+TelemetrySample sample_at(Cycle c) {
+  TelemetrySample s;
+  s.cycle = c;
+  s.window = 1;
+  return s;
+}
+
+TEST(SeriesRing, KeepsOldestDropsTail) {
+  SeriesRing ring(3);
+  for (Cycle c = 1; c <= 5; ++c) ring.push(sample_at(c));
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.samples()[0].cycle, 1u) << "oldest samples are retained";
+  EXPECT_EQ(ring.samples()[2].cycle, 3u);
+}
+
+TEST(SeriesRing, ZeroCapacityClampsToOne) {
+  SeriesRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(sample_at(1));
+  ring.push(sample_at(2));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(TelemetryRequest, ActiveMeansNonZeroInterval) {
+  TelemetryRequest req;
+  EXPECT_FALSE(req.active()) << "default is off";
+  req.interval = 100;
+  EXPECT_TRUE(req.active());
+}
+
+struct SampledRun {
+  std::unique_ptr<arch::Cmp> cmp;
+  std::unique_ptr<TelemetrySampler> sampler;
+  std::unique_ptr<workloads::Workload> workload;
+};
+
+SampledRun run_sampled(Cycle interval, std::size_t capacity,
+                       Scheme scheme = Scheme::kPuno) {
+  SampledRun r;
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 3;
+  r.workload = workloads::stamp::make("kmeans", cfg.num_nodes, 3, 0.05);
+  r.cmp = std::make_unique<arch::Cmp>(cfg, *r.workload);
+  TelemetryRequest req;
+  req.interval = interval;
+  req.capacity = capacity;
+  r.sampler = TelemetrySampler::attach(*r.cmp, req);
+  r.cmp->run(2'000'000);
+  r.sampler->finish();
+  return r;
+}
+
+TEST(TelemetrySampler, WindowsTileTheRun) {
+  const auto run = run_sampled(250, SeriesRing::kDefaultCapacity);
+  const auto& samples = run.sampler->series().samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(run.sampler->series().dropped(), 0u);
+
+  Cycle covered = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TelemetrySample& s = samples[i];
+    EXPECT_GT(s.window, 0u);
+    if (i + 1 < samples.size()) {
+      EXPECT_EQ(s.window, 250u) << "only the last window may be partial";
+    }
+    covered += s.window;
+    EXPECT_EQ(s.cycle, covered) << "cycle is the running end-of-window";
+  }
+  EXPECT_EQ(covered, run.cmp->kernel().now())
+      << "windows sum to the run's cycle count";
+}
+
+TEST(TelemetrySampler, DeltasSumToRunTotals) {
+  const auto run = run_sampled(100, SeriesRing::kDefaultCapacity);
+  ASSERT_EQ(run.sampler->series().dropped(), 0u);
+  const auto& samples = run.sampler->series().samples();
+  const auto sum = [&](auto field) {
+    std::uint64_t acc = 0;
+    for (const TelemetrySample& s : samples) acc += field(s);
+    return acc;
+  };
+  auto& stats = run.cmp->kernel().stats();
+  EXPECT_EQ(sum([](const auto& s) { return s.commits; }),
+            stats.counter("htm.commits").value());
+  EXPECT_EQ(sum([](const auto& s) { return s.aborts; }),
+            stats.counter("htm.aborts").value());
+  EXPECT_EQ(sum([](const auto& s) { return s.flits_sent; }),
+            stats.counter("noc.flits_sent").value());
+  EXPECT_EQ(sum([](const auto& s) { return s.traversals; }),
+            stats.counter("noc.router_traversals").value());
+}
+
+TEST(TelemetrySampler, PerRouterDeltasSumToMeshTotal) {
+  const auto run = run_sampled(100, SeriesRing::kDefaultCapacity);
+  const auto& samples = run.sampler->series().samples();
+  std::uint64_t per_router = 0;
+  std::uint64_t mesh_wide = 0;
+  for (const TelemetrySample& s : samples) {
+    mesh_wide += s.traversals;
+    per_router += std::accumulate(s.router_traversals.begin(),
+                                  s.router_traversals.end(), std::uint64_t{0});
+  }
+  EXPECT_EQ(per_router, mesh_wide);
+}
+
+TEST(TelemetrySampler, CapacityTruncatesTailAndCounts) {
+  const auto run = run_sampled(50, 4);
+  EXPECT_EQ(run.sampler->series().size(), 4u);
+  EXPECT_GT(run.sampler->series().dropped(), 0u);
+  EXPECT_EQ(run.sampler->series().samples()[0].cycle, 50u)
+      << "the retained samples are the run's start";
+}
+
+TEST(TelemetrySampler, FinishIsIdempotent) {
+  auto run = run_sampled(250, SeriesRing::kDefaultCapacity);
+  const std::size_t n = run.sampler->series().size();
+  run.sampler->finish();
+  EXPECT_EQ(run.sampler->series().size(), n)
+      << "no cycles elapsed, so no extra window";
+}
+
+TEST(TelemetrySampler, CoreStateVectorMatchesGaugeCounts) {
+  const auto run = run_sampled(100, SeriesRing::kDefaultCapacity);
+  for (const TelemetrySample& s : run.sampler->series().samples()) {
+    std::uint32_t in_txn = 0, aborting = 0;
+    for (const std::uint64_t st : s.core_state) {
+      if (st == 1) ++in_txn;
+      if (st == 2) ++aborting;
+    }
+    EXPECT_EQ(in_txn, s.cores_in_txn);
+    EXPECT_EQ(aborting, s.cores_aborting);
+  }
+}
+
+}  // namespace
+}  // namespace puno::telemetry

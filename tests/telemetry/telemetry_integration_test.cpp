@@ -1,0 +1,195 @@
+// End-to-end telemetry contracts over real simulations:
+//
+//   1. Observability: attaching the sampler never changes simulated results
+//      (bit-identical RunResult with and without telemetry).
+//   2. Determinism: the runner produces byte-identical telemetry JSONL no
+//      matter how many worker threads execute the sweep.
+//   3. Cache contract: sampled jobs bypass the result cache and sampling is
+//      invisible to the cache key.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+#include "metrics/stats_io.hpp"
+#include "runner/cache.hpp"
+#include "runner/runner.hpp"
+#include "telemetry/export.hpp"
+
+namespace puno::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+metrics::ExperimentParams small_params(Scheme scheme = Scheme::kPuno) {
+  metrics::ExperimentParams p;
+  p.workload = "kmeans";
+  p.scheme = scheme;
+  p.seed = 3;
+  p.scale = 0.1;
+  return p;
+}
+
+std::string result_row(const metrics::RunResult& r) {
+  std::ostringstream os;
+  metrics::write_result_jsonl(r, os);
+  return os.str();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag)
+      : path(fs::temp_directory_path() /
+             (std::string("puno-telemetry-test-") + tag)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(TelemetryIntegration, SamplingDoesNotPerturbResults) {
+  for (const Scheme scheme : {Scheme::kBaseline, Scheme::kPuno}) {
+    const metrics::RunResult plain = metrics::run_experiment(
+        small_params(scheme));
+
+    metrics::ExperimentParams sampled_params = small_params(scheme);
+    sampled_params.telemetry.interval = 100;
+    metrics::RunResult sampled = metrics::run_experiment(sampled_params);
+    EXPECT_GT(sampled.telemetry_samples, 0u);
+
+    // Strip the telemetry bookkeeping: every simulated field must match.
+    sampled.telemetry_path.clear();
+    sampled.telemetry_samples = 0;
+    sampled.telemetry_dropped = 0;
+    EXPECT_EQ(result_row(sampled), result_row(plain))
+        << "scheme " << to_string(scheme)
+        << ": sampling changed simulated results";
+  }
+}
+
+TEST(TelemetryIntegration, RunnerTelemetryIsThreadCountInvariant) {
+  const auto sweep_files = [](unsigned jobs, const TempDir& dir) {
+    std::vector<runner::JobSpec> specs;
+    for (const Scheme scheme : {Scheme::kBaseline, Scheme::kPuno}) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        runner::JobSpec spec;
+        spec.params = small_params(scheme);
+        spec.params.seed = seed;
+        spec.params.scale = 0.05;
+        spec.params.telemetry.interval = 200;
+        spec.params.telemetry.jsonl_path =
+            (dir.path / (std::string(to_string(scheme)) + "-s" +
+                         std::to_string(seed) + ".telemetry.jsonl"))
+                .string();
+        specs.push_back(std::move(spec));
+      }
+    }
+    runner::RunnerOptions options;
+    options.jobs = jobs;
+    const runner::SweepResult sweep = runner::run_jobs(specs, options);
+    EXPECT_EQ(sweep.failed, 0u);
+    std::vector<std::string> bytes;
+    for (const runner::JobSpec& spec : specs) {
+      bytes.push_back(file_bytes(spec.params.telemetry.jsonl_path));
+      EXPECT_FALSE(bytes.back().empty());
+    }
+    return bytes;
+  };
+
+  const TempDir serial_dir("serial");
+  const TempDir parallel_dir("parallel");
+  const auto serial = sweep_files(1, serial_dir);
+  const auto parallel = sweep_files(8, parallel_dir);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i])
+        << "telemetry JSONL " << i << " differs across thread counts";
+  }
+}
+
+TEST(TelemetryIntegration, SampledJobsBypassTheCache) {
+  const TempDir dir("cache");
+  runner::ResultCache cache(dir.path / "cache");
+
+  runner::JobSpec spec;
+  spec.params = small_params();
+  spec.params.scale = 0.05;
+  runner::RunnerOptions options;
+  options.jobs = 1;
+  options.cache = &cache;
+
+  // Prime the cache with an unsampled run.
+  auto sweep = runner::run_jobs({spec}, options);
+  EXPECT_EQ(sweep.simulated, 1u);
+  sweep = runner::run_jobs({spec}, options);
+  EXPECT_EQ(sweep.cached, 1u) << "second unsampled run is a cache hit";
+
+  // The sampled twin must simulate (its JSONL cannot come from the cache)
+  // even though sampling does not change the cache key.
+  runner::JobSpec sampled = spec;
+  sampled.params.telemetry.interval = 200;
+  sampled.params.telemetry.jsonl_path =
+      (dir.path / "sampled.telemetry.jsonl").string();
+  EXPECT_EQ(runner::cache_key(sampled.params), runner::cache_key(spec.params))
+      << "telemetry must not be part of the cache key";
+  sweep = runner::run_jobs({sampled}, options);
+  EXPECT_EQ(sweep.simulated, 1u) << "sampled job must not be served cached";
+  EXPECT_FALSE(file_bytes(sampled.params.telemetry.jsonl_path).empty());
+}
+
+TEST(TelemetryIntegration, RunResultRowRoundTripsTelemetryKeys) {
+  metrics::RunResult r;
+  r.workload = "kmeans";
+  r.scheme = Scheme::kPuno;
+  r.telemetry_path = "telemetry/kmeans.telemetry.jsonl";
+  r.telemetry_samples = 42;
+  r.telemetry_dropped = 3;
+  metrics::RunResult back;
+  ASSERT_TRUE(metrics::read_result_jsonl(result_row(r), back));
+  EXPECT_EQ(back.telemetry_path, r.telemetry_path);
+  EXPECT_EQ(back.telemetry_samples, 42u);
+  EXPECT_EQ(back.telemetry_dropped, 3u);
+
+  metrics::RunResult unsampled;
+  unsampled.workload = "kmeans";
+  unsampled.scheme = Scheme::kPuno;
+  EXPECT_EQ(result_row(unsampled).find("telemetry"), std::string::npos)
+      << "unsampled rows carry no telemetry keys";
+}
+
+TEST(TelemetryIntegration, ExperimentWritesRequestedFiles) {
+  const TempDir dir("files");
+  metrics::ExperimentParams p = small_params();
+  p.scale = 0.05;
+  p.telemetry.interval = 250;
+  p.telemetry.jsonl_path = (dir.path / "run.telemetry.jsonl").string();
+  p.telemetry.csv_path = (dir.path / "run.telemetry.csv").string();
+  p.telemetry.dashboard_path = (dir.path / "run.dashboard.html").string();
+  const metrics::RunResult r = metrics::run_experiment(p);
+
+  EXPECT_EQ(r.telemetry_path, p.telemetry.jsonl_path);
+  std::vector<TelemetrySample> samples;
+  ASSERT_TRUE(
+      read_telemetry_jsonl(file_bytes(p.telemetry.jsonl_path), samples));
+  EXPECT_EQ(samples.size(), r.telemetry_samples);
+  Cycle covered = 0;
+  for (const TelemetrySample& s : samples) covered += s.window;
+  EXPECT_EQ(covered, r.cycles) << "windows tile the run";
+  EXPECT_FALSE(file_bytes(p.telemetry.csv_path).empty());
+  const std::string html = file_bytes(p.telemetry.dashboard_path);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace puno::telemetry
