@@ -3,9 +3,10 @@
 // Drives arch::Cmp directly (no runner, no result cache — the point is the
 // wall clock, which a cache hit would fake) for a workload x scheme grid,
 // with the telemetry::HostProfiler attached so the per-component host-time
-// split rides along. Writes BENCH_4.json:
+// split rides along. Covers the full 8-workload x 4-scheme STAMP grid by
+// default and writes BENCH_5.json:
 //
-//   {"schema":"puno-bench-baseline-1",
+//   {"schema":"puno-bench-baseline-2",
 //    "ticks_per_second":2.99e9,
 //    "runs":[{"workload":"intruder","scheme":"PUNO","seed":1,
 //             "cycles":67975,"wall_s":0.22,"cycles_per_s":3.1e5,
@@ -16,6 +17,9 @@
 // CI runs this on two small workloads and uploads the JSON as an artifact;
 // comparing cycles_per_s across commits catches host-perf regressions the
 // simulated-cycle tests cannot see.
+//
+// tools/perf_check compares two of these files and fails on aggregate
+// cycles_per_s regressions (the CI perf gate).
 //
 //   usage: bench_baseline [--out FILE] [--workloads LIST] [--schemes LIST]
 //                         [--seed N] [--scale X] [--max-cycles N]
@@ -54,11 +58,11 @@ struct BenchRun {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --out FILE        output JSON (default: BENCH_4.json)\n"
+      "  --out FILE        output JSON (default: BENCH_5.json)\n"
       "  --workloads LIST  csv of benchmarks, or \"all\"\n"
-      "                    (default: genome,ssca2)\n"
+      "                    (default: all)\n"
       "  --schemes LIST    csv of baseline|backoff|rmw|puno, or \"all\"\n"
-      "                    (default: baseline,puno)\n"
+      "                    (default: all)\n"
       "  --seed N          workload seed (default: 1)\n"
       "  --scale X         committed-txn quota multiplier (default: 0.25)\n"
       "  --max-cycles N    per-run cycle budget (default: 30000000)\n",
@@ -68,7 +72,7 @@ void usage(const char* argv0) {
 void write_json(const std::vector<BenchRun>& runs, std::ostream& out) {
   char num[40];
   std::snprintf(num, sizeof num, "%.6g", puno::sim::host_ticks_per_second());
-  out << "{\"schema\":\"puno-bench-baseline-1\",\"ticks_per_second\":" << num
+  out << "{\"schema\":\"puno-bench-baseline-2\",\"ticks_per_second\":" << num
       << ",\"runs\":[";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const BenchRun& r = runs[i];
@@ -100,9 +104,9 @@ void write_json(const std::vector<BenchRun>& runs, std::ostream& out) {
 int main(int argc, char** argv) {
   using namespace puno;
 
-  std::string out_path = "BENCH_4.json";
-  std::string workloads_spec = "genome,ssca2";
-  std::string schemes_spec = "baseline,puno";
+  std::string out_path = "BENCH_5.json";
+  std::string workloads_spec = "all";
+  std::string schemes_spec = "all";
   std::uint64_t seed = 1;
   double scale = 0.25;
   Cycle max_cycles = 30'000'000;

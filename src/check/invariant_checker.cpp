@@ -327,6 +327,22 @@ void InvariantChecker::check_noc_conservation(Cycle now) {
        << " delivered";
     report(InvariantId::kNocConservation, now, kInvalidNode, 0, os.str());
   }
+  // Active-set coverage: a component holding work the tick loop must drain
+  // has to be on the schedule, or it would sit on its flits forever. This
+  // holds in always_tick mode too — the full sweep keeps the sets pruned
+  // but never unregisters a busy component.
+  for (NodeId n = 0; n < mesh_->num_nodes(); ++n) {
+    if (mesh_->router(n).buffered_flits() != 0 && !mesh_->router_active(n)) {
+      std::ostringstream os;
+      os << "router buffers " << mesh_->router(n).buffered_flits()
+         << " flit(s) but is not on the active schedule";
+      report(InvariantId::kNocConservation, now, n, 0, os.str());
+    }
+    if (!mesh_->ni(n).idle() && !mesh_->ni_active(n)) {
+      report(InvariantId::kNocConservation, now, n, 0,
+             "NI has injection work but is not on the active schedule");
+    }
+  }
 }
 
 }  // namespace puno::check

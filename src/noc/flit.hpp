@@ -1,42 +1,18 @@
-// Packet and flit representation for the on-chip network.
+// Flit representation for the on-chip network.
 //
-// The NoC is payload-agnostic: upper protocol layers derive their message
-// types from PacketPayload and the network moves them as wormhole-routed
-// flit trains. A control message fits in one flit; a 64-byte data-carrying
-// message needs 1 head + 4 body flits at the 16-byte channel width of
-// Table II.
+// All flits of a packet share it through a pooled PacketRef (see
+// packet_pool.hpp): copying a flit costs one non-atomic increment, and the
+// packet storage is recycled through a free-list arena instead of the heap.
 #pragma once
 
-#include <cstdint>
-#include <memory>
-
+#include "noc/packet.hpp"
+#include "noc/packet_pool.hpp"
 #include "sim/types.hpp"
 
 namespace puno::noc {
 
-/// Base class for anything carried through the network.
-class PacketPayload {
- public:
-  virtual ~PacketPayload() = default;
-};
-
-/// Virtual network a packet travels on. Separating request, forward and
-/// response traffic onto disjoint VC sets breaks protocol-level deadlock
-/// cycles (request→forward→response dependency chain).
-enum class VNet : std::uint8_t { kRequest = 0, kForward = 1, kResponse = 2 };
-
-struct Packet {
-  std::uint64_t id = 0;            ///< Unique per-network packet id.
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  VNet vnet = VNet::kRequest;
-  std::uint32_t num_flits = 1;     ///< Head + body flits.
-  Cycle injected_at = 0;
-  std::shared_ptr<const PacketPayload> payload;
-};
-
 struct Flit {
-  std::shared_ptr<Packet> packet;  ///< All flits of a packet share it.
+  PacketRef packet;    ///< All flits of a packet share it.
   bool is_head = false;
   bool is_tail = false;
   Cycle ready_at = 0;  ///< Earliest cycle this flit may traverse the switch

@@ -5,6 +5,17 @@
 // whose source and destination coincide (e.g. an L1 talking to the L2 bank
 // on its own tile) bypass the network with one cycle of latency and generate
 // no router traversals, as on a real tiled CMP.
+//
+// Scheduling: instead of ticking all N routers and N NIs every cycle, the
+// mesh keeps two id-ordered active sets. A router registers when a flit
+// lands in an empty router (Router::receive_flit), an NI when a message is
+// queued (NetworkInterface::send); each is pruned once it drains. Because
+// iteration is in ascending id order — NIs first, then routers, exactly the
+// order the full sweep used — and a skipped component's tick was a no-op by
+// construction, the active-set schedule is cycle-for-cycle identical to the
+// full sweep. NocConfig::always_tick restores the full sweep (the reference
+// path the equivalence tests compare against); the active sets are kept
+// up to date in both modes so the invariant checker can assert coverage.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +23,9 @@
 #include <memory>
 #include <vector>
 
+#include "noc/active_set.hpp"
 #include "noc/network_interface.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/router.hpp"
 #include "sim/config.hpp"
 #include "sim/kernel.hpp"
@@ -53,9 +66,16 @@ class Mesh final : public sim::Tickable {
   /// mean hop distance over all src != dst pairs times per-hop cost plus the
   /// endpoint pipeline. PUNO's notification-guided backoff subtracts twice
   /// this value from the nacker's estimated remaining runtime (Section III.D)
-  [[nodiscard]] std::uint32_t average_c2c_latency() const noexcept;
+  /// Purely topology-derived, so it is computed once at construction.
+  [[nodiscard]] std::uint32_t average_c2c_latency() const noexcept {
+    return avg_c2c_latency_;
+  }
 
   [[nodiscard]] Router& router(NodeId n) { return *routers_[n]; }
+  [[nodiscard]] const Router& router(NodeId n) const { return *routers_[n]; }
+  [[nodiscard]] const NetworkInterface& ni(NodeId n) const {
+    return *nis_[n];
+  }
 
   // --- Read-only inspection for the invariant checker ---
 
@@ -79,6 +99,17 @@ class Mesh final : public sim::Tickable {
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
     return messages_delivered_;
   }
+  /// True if the router is on the active-set schedule. Any router holding
+  /// buffered flits must be active, or it would silently stop draining —
+  /// the invariant checker asserts exactly that.
+  [[nodiscard]] bool router_active(NodeId n) const noexcept {
+    return router_active_.contains(n);
+  }
+  /// True if the NI is on the active-set schedule. Any NI with queued or
+  /// in-flight injection work must be active.
+  [[nodiscard]] bool ni_active(NodeId n) const noexcept {
+    return ni_active_.contains(n);
+  }
 
   /// Fault injection for the invariant-checker tests ONLY: drops one flit
   /// from some router buffer. Returns false if the network held no flit.
@@ -88,13 +119,20 @@ class Mesh final : public sim::Tickable {
   sim::Kernel& kernel_;
   const NocConfig cfg_;
   sim::Counter* traversals_;
+  /// Shared packet arena. Held by shared_ptr and parked in Kernel::retain()
+  /// so PacketRefs captured in still-queued link events stay valid even if
+  /// the mesh is destroyed before the kernel.
+  std::shared_ptr<PacketPool> pool_;
   std::uint64_t inflight_flits_ = 0;
   std::uint64_t inflight_local_ = 0;  ///< Self-sends awaiting delivery.
   std::uint64_t messages_injected_ = 0;
   std::uint64_t messages_delivered_ = 0;
+  std::uint32_t avg_c2c_latency_ = 0;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<MessageHandler> handlers_;
+  ActiveSet ni_active_;
+  ActiveSet router_active_;
 };
 
 }  // namespace puno::noc

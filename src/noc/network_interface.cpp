@@ -8,14 +8,16 @@
 namespace puno::noc {
 
 NetworkInterface::NetworkInterface(sim::Kernel& kernel, const NocConfig& cfg,
-                                   NodeId id, Router& router,
+                                   NodeId id, Router& router, PacketPool& pool,
                                    sim::StatsRegistry& stats)
     : kernel_(kernel),
       cfg_(cfg),
       id_(id),
       router_(router),
+      pool_(pool),
       lanes_(cfg.num_vnets),
       local_vc_(cfg.total_vcs()),
+      eject_have_(cfg.total_vcs(), 0),
       packets_sent_(stats.counter("noc.packets_sent")),
       packets_received_(stats.counter("noc.packets_received")),
       flits_sent_(stats.counter("noc.flits_sent")),
@@ -34,7 +36,7 @@ bool NetworkInterface::idle() const {
 void NetworkInterface::send(NodeId dst, VNet vnet, std::uint32_t data_bytes,
                             std::shared_ptr<const PacketPayload> payload) {
   assert(dst != id_ && "NoC messages to self must be short-circuited above");
-  auto pkt = std::make_shared<Packet>();
+  PacketRef pkt = pool_.allocate();
   pkt->id = (static_cast<std::uint64_t>(id_) << 48) | next_packet_seq_++;
   pkt->src = id_;
   pkt->dst = dst;
@@ -43,6 +45,7 @@ void NetworkInterface::send(NodeId dst, VNet vnet, std::uint32_t data_bytes,
   pkt->injected_at = kernel_.now();
   pkt->payload = std::move(payload);
   lanes_[static_cast<std::size_t>(vnet)].queue.push_back(std::move(pkt));
+  if (active_set_ != nullptr) active_set_->add(id_);
 }
 
 int NetworkInterface::pick_vc(VNet vnet) const {
@@ -63,7 +66,7 @@ void NetworkInterface::tick(Cycle now) {
       if (lane.queue.empty()) continue;
       const int vc = pick_vc(static_cast<VNet>(v));
       if (vc < 0) continue;  // no credited VC this cycle
-      lane.inflight = lane.queue.front();
+      lane.inflight = std::move(lane.queue.front());
       lane.queue.pop_front();
       lane.vc = static_cast<std::uint32_t>(vc);
       lane.sent = 0;
@@ -93,16 +96,16 @@ void NetworkInterface::tick(Cycle now) {
       PUNO_TRACE(sim::TraceCat::kNoc, now, "NI ", id_, " injected pkt ",
                  lane.inflight->id, " -> node ", lane.inflight->dst);
       packets_sent_.add();
-      lane.inflight = nullptr;
+      lane.inflight.reset();
     }
     rr_vnet_ = (v + 1) % cfg_.num_vnets;
     return;  // injected our one flit for this cycle
   }
 }
 
-void NetworkInterface::eject_flit(std::uint32_t /*vc*/, Flit flit) {
+void NetworkInterface::eject_flit(std::uint32_t vc, Flit flit) {
   flits_ejected_.add();
-  const std::shared_ptr<Packet>& pkt = flit.packet;
+  const PacketRef& pkt = flit.packet;
   PUNO_TEV(kernel_, trace::Cat::kNoc,
            (trace::TraceEvent{
                .cycle = kernel_.now(),
@@ -113,9 +116,14 @@ void NetworkInterface::eject_flit(std::uint32_t /*vc*/, Flit flit) {
                .kind = trace::EventKind::kFlitEject,
                .flags = static_cast<std::uint8_t>(
                    (flit.is_head ? 1u : 0u) | (flit.is_tail ? 2u : 0u))}));
-  const std::uint32_t have = ++reassembly_[pkt->id];
-  if (have < pkt->num_flits) return;
-  reassembly_.erase(pkt->id);
+  // Wormhole routing delivers a packet's flits contiguously on its VC, so a
+  // plain per-VC counter replaces the old per-packet-id reassembly map. The
+  // tail flit is by construction the num_flits'th flit of its packet.
+  const std::uint32_t have = ++eject_have_[vc];
+  if (!flit.is_tail) return;
+  assert(have == pkt->num_flits && "per-VC packet stream not contiguous");
+  (void)have;
+  eject_have_[vc] = 0;
   packets_received_.add();
   packet_latency_.sample(
       static_cast<double>(kernel_.now() - pkt->injected_at));

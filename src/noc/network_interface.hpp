@@ -7,15 +7,24 @@
 // local input port, subject to VC availability and credits. One packet per
 // virtual network may be in flight from the NI at a time, so response
 // traffic is never blocked behind request traffic at the injection point.
+//
+// Hot-path notes: packets come from the mesh-wide PacketPool (one free-list
+// pop per send instead of a heap allocation per packet), and ejection-side
+// reassembly is a per-VC flit counter instead of a hash map — wormhole
+// routing holds an output VC until the tail flit passes, so the flits of a
+// packet arrive contiguously on their VC and the tail is always the
+// completing flit. send() reports to an optional ActiveSet so the mesh can
+// skip NIs with nothing to inject.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "noc/active_set.hpp"
 #include "noc/flit.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/router.hpp"
 #include "sim/config.hpp"
 #include "sim/kernel.hpp"
@@ -28,12 +37,18 @@ class NetworkInterface {
   using DeliveryHandler = std::function<void(Packet)>;
 
   NetworkInterface(sim::Kernel& kernel, const NocConfig& cfg, NodeId id,
-                   Router& router, sim::StatsRegistry& stats);
+                   Router& router, PacketPool& pool,
+                   sim::StatsRegistry& stats);
 
   NetworkInterface(const NetworkInterface&) = delete;
   NetworkInterface& operator=(const NetworkInterface&) = delete;
 
   void set_delivery_handler(DeliveryHandler h) { deliver_ = std::move(h); }
+
+  /// Registers the mesh's NI active set; send() adds this NI so the mesh
+  /// tick visits it while it has work. Null (the default) for standalone
+  /// NIs in unit tests, which are ticked unconditionally.
+  void set_active_set(ActiveSet* set) noexcept { active_set_ = set; }
 
   /// Queues a packet for injection. The flit count is 1 head flit plus
   /// ceil(data_bytes / flit_bytes) body flits (data_bytes == 0 for control
@@ -60,8 +75,8 @@ class NetworkInterface {
   };
   /// Per-vnet injection state: queued packets plus the one being serialized.
   struct VnetLane {
-    std::deque<std::shared_ptr<Packet>> queue;
-    std::shared_ptr<Packet> inflight;
+    std::deque<PacketRef> queue;
+    PacketRef inflight;
     std::uint32_t vc = 0;
     std::uint32_t sent = 0;
   };
@@ -73,14 +88,17 @@ class NetworkInterface {
   const NocConfig cfg_;
   NodeId id_;
   Router& router_;
+  PacketPool& pool_;
   DeliveryHandler deliver_;
+  ActiveSet* active_set_ = nullptr;
 
   std::vector<VnetLane> lanes_;     // one per vnet
   std::uint32_t rr_vnet_ = 0;       // round-robin over vnets for injection
   std::vector<VcCredit> local_vc_;  // credits toward router local input port
 
-  // Ejection reassembly: packet id -> flits received so far.
-  std::unordered_map<std::uint64_t, std::uint32_t> reassembly_;
+  /// Ejection reassembly: flits received for the packet currently arriving
+  /// on each VC (wormhole keeps per-VC packet streams contiguous).
+  std::vector<std::uint32_t> eject_have_;  // [vc]
 
   std::uint64_t next_packet_seq_ = 0;
   sim::Counter& packets_sent_;

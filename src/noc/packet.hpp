@@ -1,0 +1,38 @@
+// Packet representation for the on-chip network.
+//
+// The NoC is payload-agnostic: upper protocol layers derive their message
+// types from PacketPayload and the network moves them as wormhole-routed
+// flit trains. A control message fits in one flit; a 64-byte data-carrying
+// message needs 1 head + 4 body flits at the 16-byte channel width of
+// Table II.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hpp"
+
+namespace puno::noc {
+
+/// Base class for anything carried through the network.
+class PacketPayload {
+ public:
+  virtual ~PacketPayload() = default;
+};
+
+/// Virtual network a packet travels on. Separating request, forward and
+/// response traffic onto disjoint VC sets breaks protocol-level deadlock
+/// cycles (request→forward→response dependency chain).
+enum class VNet : std::uint8_t { kRequest = 0, kForward = 1, kResponse = 2 };
+
+struct Packet {
+  std::uint64_t id = 0;            ///< Unique per-network packet id.
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  VNet vnet = VNet::kRequest;
+  std::uint32_t num_flits = 1;     ///< Head + body flits.
+  Cycle injected_at = 0;
+  std::shared_ptr<const PacketPayload> payload;
+};
+
+}  // namespace puno::noc

@@ -13,14 +13,28 @@
 // Every successful switch traversal increments the mesh-wide
 // "flit router traversals" counter — the exact network-traffic metric of
 // the paper's Figure 11.
+//
+// Hot-path notes: input VCs buffer flits in fixed-capacity rings (no deque,
+// no steady-state allocation), packets ride pooled PacketRef handles, and
+// the router reports its 0→1 buffered transition to an optional ActiveSet so
+// the mesh can skip quiescent routers entirely. The VA and SA scans iterate
+// candidate bitmasks instead of every (port, vc) slot: va_mask_ holds input
+// VCs with buffered flits awaiting VC allocation, sa_mask_[op] the allocated
+// input VCs routed to output port op. Bit position == the scan index the
+// full loop used, and bits are visited in the same (ascending / round-robin)
+// order, so the masks only skip iterations the full scan would have
+// `continue`d — rr_next evolution and arbitration outcomes stay
+// bit-identical. Configs whose (port, vc) space exceeds 64 fall back to the
+// full scans.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "noc/active_set.hpp"
 #include "noc/flit.hpp"
+#include "noc/flit_ring.hpp"
 #include "noc/routing.hpp"
 #include "sim/config.hpp"
 #include "sim/kernel.hpp"
@@ -49,6 +63,11 @@ class Router {
 
   /// Wires an input port's credit-return path back to its upstream sender.
   void connect_input(Port p, CreditSink credit_return);
+
+  /// Registers the mesh's router active set; receive_flit adds this router
+  /// on its 0→1 buffered transition. Null (the default) for standalone
+  /// routers in unit tests, which are ticked unconditionally.
+  void set_active_set(ActiveSet* set) noexcept { active_set_ = set; }
 
   /// Delivers a flit into input buffer (p, vc). Called by the upstream link.
   /// The caller must have reserved a credit; overflow is a protocol bug and
@@ -84,7 +103,7 @@ class Router {
 
  private:
   struct InputVc {
-    std::deque<Flit> buffer;
+    FlitRing buffer;
     bool active = false;        ///< Holds an in-flight packet (post-VA).
     Port out_port = Port::kLocal;
     std::uint32_t out_vc = 0;
@@ -109,6 +128,11 @@ class Router {
   /// Tries VC allocation for the head flit at the front of (p, vc).
   bool try_allocate_vc(Port p, std::uint32_t vc, const Packet& pkt);
 
+  /// Switch-allocation attempt for scan candidate `idx` competing for
+  /// output port `op`; on success performs the traversal and returns true.
+  bool try_switch(std::uint32_t op, std::uint32_t idx, Cycle now,
+                  bool* input_port_used);
+
   sim::Kernel& kernel_;
   const NocConfig cfg_;
   NodeId id_;
@@ -117,12 +141,27 @@ class Router {
   /// kernel's event queue, so buffer occupancy alone cannot see them; the
   /// mesh needs this for a correct idle() check).
   std::uint64_t& inflight_flits_;
+  ActiveSet* active_set_ = nullptr;
 
   std::vector<InputVc> inputs_;            // [port][vc]
   std::vector<OutputPort> outputs_;        // [port]
   std::vector<CreditSink> credit_return_;  // [port]
   std::uint64_t buffered_flits_ = 0;
   std::uint64_t local_traversals_ = 0;
+  /// True when kNumPorts * total_vcs <= 64 and the mask-based scans apply
+  /// (every shipped config; exotic ones use the full scans).
+  bool use_masks_ = false;
+  /// Scan-index bit per input VC that holds flits but no output VC yet.
+  /// A set bit does not imply the head is ready — that is re-checked.
+  std::uint64_t va_mask_ = 0;
+  /// Scan-index bit per allocated (post-VA) input VC, keyed by the output
+  /// port the packet is routed to. A set bit does not imply a flit is
+  /// buffered or ready — both are re-checked in scan order.
+  std::uint64_t sa_mask_[kNumPorts] = {};
+  /// Scan index -> (input port, input vc), precomputed to keep the integer
+  /// divisions out of the scan loops.
+  std::vector<Port> cand_port_;
+  std::vector<std::uint32_t> cand_vc_;
 };
 
 }  // namespace puno::noc

@@ -74,6 +74,7 @@ std::string params_repr(const metrics::ExperimentParams& p) {
   put(os, "noc.pipeline_stages", std::uint64_t{c.noc.pipeline_stages});
   put(os, "noc.link_latency", std::uint64_t{c.noc.link_latency});
   put(os, "noc.flit_bytes", std::uint64_t{c.noc.flit_bytes});
+  put(os, "noc.always_tick", c.noc.always_tick);
   put(os, "cache.block_bytes", std::uint64_t{c.cache.block_bytes});
   put(os, "cache.l1_size_bytes", std::uint64_t{c.cache.l1_size_bytes});
   put(os, "cache.l1_assoc", std::uint64_t{c.cache.l1_assoc});

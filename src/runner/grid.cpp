@@ -111,6 +111,7 @@ template <typename Sub>
       {"noc.link_latency",
        set_u32(&SystemConfig::noc, &NocConfig::link_latency)},
       {"noc.flit_bytes", set_u32(&SystemConfig::noc, &NocConfig::flit_bytes)},
+      {"noc.always_tick", set_bool(&SystemConfig::noc, &NocConfig::always_tick)},
       {"cache.l1_size_bytes",
        set_u32(&SystemConfig::cache, &CacheConfig::l1_size_bytes)},
       {"cache.l1_assoc", set_u32(&SystemConfig::cache, &CacheConfig::l1_assoc)},

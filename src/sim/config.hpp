@@ -49,6 +49,11 @@ struct NocConfig {
   std::uint32_t pipeline_stages = 4; ///< 4-stage router (Table II).
   std::uint32_t link_latency = 1;    ///< Cycles per inter-router hop.
   std::uint32_t flit_bytes = 16;     ///< Channel width; 64B line = 4 body flits.
+  /// Validation knob: tick every router/NI every cycle (the pre-active-set
+  /// reference schedule) instead of only the registered active set. Produces
+  /// bit-identical results by construction; the equivalence tests flip it to
+  /// prove exactly that. Off by default — the active-set path is the fast one.
+  bool always_tick = false;
 
   [[nodiscard]] std::uint32_t total_vcs() const noexcept {
     return num_vnets * vcs_per_vnet;

@@ -6,15 +6,28 @@
 // (memory access completion, backoff expiry) is scheduled as one-shot events.
 // Everything runs single-threaded and deterministically: within one cycle,
 // tickables run in registration order and events in scheduling order.
+//
+// The scheduler is a calendar queue: events due within the next kWindow
+// cycles land in a per-cycle bucket of a circular array (append = O(1), no
+// comparisons), and only far-future events (notification backoff expiry,
+// rollover timeouts) fall back to a binary heap. Nearly every event in a
+// simulation is a small constant delay — link traversals, pipeline and cache
+// latencies — so the hot path never touches the heap. Event callables are
+// sim::EventFn (smallfn.hpp), which stores typical captures inline instead
+// of heap-allocating like std::function. Both structures preserve the exact
+// (due-cycle, scheduling-order) event ordering of the original single heap,
+// so simulations are bit-identical to the pre-calendar-queue kernel.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/profile.hpp"
+#include "sim/smallfn.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -35,11 +48,22 @@ class Tickable {
 /// Single-clock-domain simulation kernel.
 class Kernel {
  public:
-  Kernel() = default;
+  /// Calendar-queue horizon: events with delay < kWindow use the bucket
+  /// ring, the rest the far-future heap. Covers every constant simulation
+  /// latency (links, pipelines, caches, DRAM at 200) with room to spare.
+  static constexpr Cycle kWindow = 256;
+
+  Kernel() : buckets_(kWindow), bucket_unsorted_(kWindow, 0) {}
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// Keeps `r` alive until the kernel itself is destroyed — *after* all
+  /// pending events. Components whose scheduled events capture handles into
+  /// component-owned arenas (the NoC packet pool) register the arena here so
+  /// that events still queued when the component dies destruct safely.
+  void retain(std::shared_ptr<void> r) { retained_.push_back(std::move(r)); }
 
   /// Registers a per-cycle component. Order of registration fixes the order
   /// of evaluation within a cycle (and therefore determinism). The name is
@@ -57,9 +81,23 @@ class Kernel {
   /// after all tickables). Events at the same cycle run in scheduling order;
   /// a zero-delay event scheduled from inside another event handler still
   /// runs this cycle, after all previously-scheduled same-cycle events.
-  void schedule(Cycle delay, std::function<void()> fn) {
-    events_.push_back(Event{now_ + delay, next_seq_++, std::move(fn)});
-    std::push_heap(events_.begin(), events_.end(), EventLater{});
+  void schedule(Cycle delay, EventFn fn) {
+    const Cycle when = now_ + delay;
+    ++pending_;
+    if (delay >= kWindow) {
+      far_.push_back(Event{when, next_seq_++, std::move(fn)});
+      std::push_heap(far_.begin(), far_.end(), EventLater{});
+      return;
+    }
+    // A zero-delay event scheduled after this cycle's events already drained
+    // (i.e. from a post-cycle hook) runs next cycle. It keeps `when = now`,
+    // which sorts it ahead of genuine next-cycle events — exactly the order
+    // the single-heap kernel produced — so the target bucket needs a sort.
+    Cycle slot_cycle = when;
+    if (delay == 0 && post_drain_) slot_cycle = now_ + 1;
+    const std::size_t idx = static_cast<std::size_t>(slot_cycle) & kMask;
+    if (slot_cycle != when) bucket_unsorted_[idx] = 1;
+    buckets_[idx].push_back(Event{when, next_seq_++, std::move(fn)});
   }
 
   /// Registers an observer invoked at the end of every cycle, after all
@@ -89,6 +127,7 @@ class Kernel {
     drain_due_events();
     for (const auto& hook : post_cycle_hooks_) hook(now_);
     ++now_;
+    post_drain_ = false;
   }
 
   /// Runs until `done()` returns true or `max_cycles` elapse.
@@ -109,7 +148,7 @@ class Kernel {
   }
 
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return events_.size();
+    return pending_;
   }
 
   /// Global stats registry for this simulation instance.
@@ -142,10 +181,13 @@ class Kernel {
   [[nodiscard]] ProfileSink* profiler() const noexcept { return profiler_; }
 
  private:
+  static constexpr std::size_t kMask = kWindow - 1;
+  static_assert((kWindow & kMask) == 0, "kWindow must be a power of two");
+
   struct Event {
     Cycle when;
     std::uint64_t seq;  // tie-break: FIFO among same-cycle events
-    std::function<void()> fn;
+    EventFn fn;
   };
   /// Heap comparator: the front of the heap is the earliest (when, seq).
   struct EventLater {
@@ -153,20 +195,45 @@ class Kernel {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
+  /// Drain-order comparator: earliest (when, seq) first.
+  struct EventEarlier {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+  };
 
   /// Runs all events due this cycle. Returns the number of handlers run.
   std::uint64_t drain_due_events() {
+    const std::size_t idx = static_cast<std::size_t>(now_) & kMask;
+    std::vector<Event>& slot = buckets_[idx];
+    bool unsorted = bucket_unsorted_[idx] != 0;
+    bucket_unsorted_[idx] = 0;
+    // Far-future events maturing this cycle join the bucket. They pop from
+    // the heap in (when, seq) order but interleave with bucket entries by
+    // seq, so the merged bucket needs the sort below.
+    if (!far_.empty() && far_.front().when <= now_) {
+      do {
+        std::pop_heap(far_.begin(), far_.end(), EventLater{});
+        slot.push_back(std::move(far_.back()));
+        far_.pop_back();
+      } while (!far_.empty() && far_.front().when <= now_);
+      unsorted = true;
+    }
+    if (unsorted) std::sort(slot.begin(), slot.end(), EventEarlier{});
+
+    // Handlers may schedule zero-delay events, which append to this same
+    // bucket (always with the highest seq so far, keeping it ordered);
+    // index-based iteration picks them up, and moving the event out first
+    // keeps it safe across any push_back reallocation.
     std::uint64_t ran = 0;
-    while (!events_.empty() && events_.front().when <= now_) {
-      // Move the event fully out of the heap before running it, so the
-      // handler can schedule further events (including zero-delay ones for
-      // this same cycle) without touching live heap storage.
-      std::pop_heap(events_.begin(), events_.end(), EventLater{});
-      Event ev = std::move(events_.back());
-      events_.pop_back();
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      Event ev = std::move(slot[i]);
       ev.fn();
       ++ran;
     }
+    pending_ -= ran;
+    slot.clear();  // capacity is retained for the bucket's next lap
+    post_drain_ = true;
     return ran;
   }
 
@@ -191,14 +258,23 @@ class Kernel {
       profiler_->hook_cost(i, host_ticks() - t0);
     }
     ++now_;
+    post_drain_ = false;
   }
 #endif
 
+  // Destroyed last (declared first): pending events in the structures below
+  // may hold handles into retained arenas.
+  std::vector<std::shared_ptr<void>> retained_;
+
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;   ///< Events queued across buckets + heap.
+  bool post_drain_ = false;   ///< This cycle's events already ran (hooks).
   std::vector<Tickable*> tickables_;
   std::vector<std::string> tickable_names_;  ///< Parallel to tickables_.
-  std::vector<Event> events_;  ///< Binary heap ordered by EventLater.
+  std::vector<std::vector<Event>> buckets_;  ///< Calendar ring [cycle % W].
+  std::vector<std::uint8_t> bucket_unsorted_;  ///< Needs sort before drain.
+  std::vector<Event> far_;  ///< Binary heap (EventLater) for delay >= W.
   std::vector<std::function<void(Cycle)>> post_cycle_hooks_;
   std::vector<std::string> hook_names_;  ///< Parallel to post_cycle_hooks_.
   StatsRegistry stats_;

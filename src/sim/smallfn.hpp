@@ -1,0 +1,138 @@
+// Small-buffer-optimized move-only callable for the kernel's event queue.
+//
+// Every scheduled event used to round-trip through std::function, whose
+// inline buffer (16 bytes on libstdc++) is too small for the typical capture
+// of a simulation event (a `this` pointer plus a couple of ids plus a
+// payload handle), so nearly every Kernel::schedule() call heap-allocated.
+// SmallFn widens the inline buffer so those captures are stored in place;
+// only callables larger than the buffer fall back to the heap. It is
+// move-only (events run once and are destroyed), which also lets it hold
+// move-only captures that std::function rejects.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace puno::sim {
+
+/// Move-only `void()` callable with `Capacity` bytes of inline storage.
+/// Callables that fit (size and alignment) are stored in place; larger ones
+/// are heap-allocated behind a pointer kept in the same buffer.
+template <std::size_t Capacity = 48>
+class SmallFn {
+ public:
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule() call site.
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// True when the held callable lives in the inline buffer (test hook for
+  /// the no-allocation contract).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+  /// The inline capacity, for static_asserts at hot call sites.
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs the callable from `src` into `dst`, destroying the
+    /// source — the single primitive move ctor/assign need.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t)
+           && std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) {
+        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*s);
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+      /*inline_storage=*/false,
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+/// The kernel's event callable: large enough for a `this` pointer, a few
+/// ids and a payload handle without touching the heap.
+using EventFn = SmallFn<48>;
+
+}  // namespace puno::sim

@@ -1,0 +1,80 @@
+// ActiveSet unit tests: membership, ascending-id iteration order across
+// word boundaries, and prune-during-iteration semantics.
+#include "noc/active_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace puno::noc {
+namespace {
+
+TEST(ActiveSetTest, StartsEmpty) {
+  ActiveSet s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(99));
+}
+
+TEST(ActiveSetTest, AddRemoveContains) {
+  ActiveSet s(130);  // three 64-bit words
+  for (const NodeId id : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    s.add(id);
+    EXPECT_TRUE(s.contains(id));
+  }
+  EXPECT_EQ(s.count(), 6u);
+  s.add(64);  // re-add is idempotent
+  EXPECT_EQ(s.count(), 6u);
+  s.remove(64);
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_EQ(s.count(), 5u);
+  s.remove(64);  // re-remove is idempotent
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(ActiveSetTest, IteratesInAscendingIdOrderAcrossWords) {
+  ActiveSet s(200);
+  const std::vector<NodeId> ids{3, 0, 150, 63, 64, 199, 65};
+  for (const NodeId id : ids) s.add(id);
+  std::vector<NodeId> visited;
+  s.for_each_prune([&visited](NodeId id) {
+    visited.push_back(id);
+    return true;
+  });
+  EXPECT_EQ(visited, (std::vector<NodeId>{0, 3, 63, 64, 65, 150, 199}));
+  EXPECT_EQ(s.count(), 7u);  // all kept
+}
+
+TEST(ActiveSetTest, PruneRemovesMembersWhoseFnReturnsFalse) {
+  ActiveSet s(128);
+  for (NodeId id = 0; id < 128; ++id) s.add(id);
+  s.for_each_prune([](NodeId id) { return id % 3 == 0; });
+  EXPECT_EQ(s.count(), 43u);  // ceil(128 / 3)
+  for (NodeId id = 0; id < 128; ++id) {
+    EXPECT_EQ(s.contains(id), id % 3 == 0) << "id " << id;
+  }
+}
+
+TEST(ActiveSetTest, MemberAddedAheadOfScanIsVisitedSameSweep) {
+  ActiveSet s(128);
+  s.add(10);
+  std::vector<NodeId> visited;
+  s.for_each_prune([&s, &visited](NodeId id) {
+    visited.push_back(id);
+    if (id == 10) s.add(100);  // ahead of the scan: must be picked up
+    return false;              // drop everyone after visiting
+  });
+  EXPECT_EQ(visited, (std::vector<NodeId>{10, 100}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ActiveSetTest, ResizeClearsMembership) {
+  ActiveSet s(64);
+  s.add(5);
+  s.resize(64);
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace puno::noc

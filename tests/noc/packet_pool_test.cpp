@@ -1,0 +1,106 @@
+// PacketPool / PacketRef unit tests: refcount semantics, free-list
+// recycling, and the steady-state no-growth contract.
+#include "noc/packet_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace puno::noc {
+namespace {
+
+TEST(PacketPoolTest, AllocateHandsOutFreshPacket) {
+  PacketPool pool;
+  PacketRef p = pool.allocate();
+  ASSERT_TRUE(static_cast<bool>(p));
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_EQ(p->num_flits, 1u);  // Packet's default
+  p->id = 42;
+  EXPECT_EQ((*p).id, 42u);
+}
+
+TEST(PacketPoolTest, LastHandleReturnsSlotToPool) {
+  PacketPool pool;
+  {
+    PacketRef p = pool.allocate();
+    PacketRef copy = p;
+    EXPECT_EQ(pool.live(), 1u);  // two handles, one packet
+  }
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPoolTest, CopyAndMoveSemantics) {
+  PacketPool pool;
+  PacketRef a = pool.allocate();
+  a->id = 7;
+  PacketRef b = a;            // copy: both observe the same packet
+  EXPECT_EQ(b->id, 7u);
+  PacketRef c = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c->id, 7u);
+  b.reset();
+  EXPECT_EQ(pool.live(), 1u);  // c still holds it
+  c.reset();
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPoolTest, CopyAssignOverPreviousHandleReleasesIt) {
+  PacketPool pool;
+  PacketRef a = pool.allocate();
+  PacketRef b = pool.allocate();
+  EXPECT_EQ(pool.live(), 2u);
+  b = a;  // b's original packet must go back to the free list
+  EXPECT_EQ(pool.live(), 1u);
+  PacketRef* self = &b;
+  b = *self;  // self-assign is a no-op
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_TRUE(static_cast<bool>(b));
+}
+
+TEST(PacketPoolTest, RecyclesSlotsWithoutGrowing) {
+  PacketPool pool;
+  (void)pool.allocate();  // force the first chunk
+  const std::size_t cap = pool.capacity();
+  EXPECT_GT(cap, 0u);
+  // Steady-state churn far beyond one chunk's worth must not grow the arena
+  // as long as live() stays within it.
+  for (int i = 0; i < 1000; ++i) {
+    PacketRef p = pool.allocate();
+    p->id = static_cast<std::uint64_t>(i);
+  }
+  EXPECT_EQ(pool.capacity(), cap);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPoolTest, GrowsWhenLivePacketsExceedAChunk) {
+  PacketPool pool;
+  std::vector<PacketRef> held;
+  for (int i = 0; i < 200; ++i) held.push_back(pool.allocate());
+  EXPECT_EQ(pool.live(), 200u);
+  EXPECT_GE(pool.capacity(), 200u);
+  // Each held packet is distinct.
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    held[i]->id = i;
+  }
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i]->id, i);
+  }
+  held.clear();
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPoolTest, ReallocatedSlotIsReinitialized) {
+  PacketPool pool;
+  {
+    PacketRef p = pool.allocate();
+    p->id = 99;
+    p->num_flits = 5;
+  }
+  PacketRef q = pool.allocate();  // same slot, recycled
+  EXPECT_EQ(q->id, 0u);
+  EXPECT_EQ(q->num_flits, 1u);  // back to the Packet default
+}
+
+}  // namespace
+}  // namespace puno::noc

@@ -40,9 +40,9 @@ class RouterTest : public ::testing::Test {
     }
   }
 
-  std::shared_ptr<Packet> make_packet(NodeId dst, std::uint32_t flits,
-                                      VNet vnet = VNet::kRequest) {
-    auto pkt = std::make_shared<Packet>();
+  PacketRef make_packet(NodeId dst, std::uint32_t flits,
+                        VNet vnet = VNet::kRequest) {
+    PacketRef pkt = pool_.allocate();
     pkt->id = next_id_++;
     pkt->src = 0;
     pkt->dst = dst;
@@ -51,7 +51,7 @@ class RouterTest : public ::testing::Test {
     return pkt;
   }
 
-  void inject(Port p, std::uint32_t vc, const std::shared_ptr<Packet>& pkt) {
+  void inject(Port p, std::uint32_t vc, const PacketRef& pkt) {
     for (std::uint32_t i = 0; i < pkt->num_flits; ++i) {
       Flit f;
       f.packet = pkt;
@@ -68,6 +68,9 @@ class RouterTest : public ::testing::Test {
     }
   }
 
+  // The pool must outlive the kernel: undrained link events hold PacketRefs
+  // whose destruction returns slots to the pool.
+  PacketPool pool_;
   sim::Kernel kernel_;
   NocConfig cfg_;
   std::uint64_t inflight_ = 0;

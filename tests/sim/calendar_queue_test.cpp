@@ -1,0 +1,131 @@
+// Calendar-queue scheduler tests: same-cycle FIFO, the far-future heap
+// (delay >= Kernel::kWindow), window-boundary crossings, and the
+// hook-scheduled zero-delay remap. These pin down the orderings the
+// calendar queue must reproduce bit-identically from the old single-heap
+// kernel; the pre-existing kernel_test.cpp zero-delay regressions from PR 1
+// cover the in-event rescheduling cases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace puno::sim {
+namespace {
+
+TEST(CalendarQueueTest, SameCycleEventsRunInSchedulingOrder) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    k.schedule(3, [&order, i] { order.push_back(i); });
+  }
+  k.run_for(4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(CalendarQueueTest, FarFutureEventsUseHeapAndStillFire) {
+  Kernel k;
+  std::vector<int> order;
+  // All three are >= kWindow, so all take the far-future heap path;
+  // scheduled out of due order to exercise the heap property.
+  k.schedule(Kernel::kWindow + 100, [&order] { order.push_back(2); });
+  k.schedule(Kernel::kWindow, [&order] { order.push_back(0); });
+  k.schedule(Kernel::kWindow + 10, [&order] { order.push_back(1); });
+  EXPECT_EQ(k.pending_events(), 3u);
+  k.run_for(Kernel::kWindow + 101);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(k.pending_events(), 0u);
+}
+
+TEST(CalendarQueueTest, MaturedFarEventsInterleaveWithBucketBySeq) {
+  Kernel k;
+  std::vector<int> order;
+  // Due the same cycle, alternating far-heap and bucket scheduling. FIFO
+  // among same-cycle events must hold across both structures: drain order
+  // is scheduling order, not "bucket first, heap second".
+  const Cycle due = Kernel::kWindow;
+  k.schedule(due, [&order] { order.push_back(0); });      // far (delay == W)
+  k.run_for(1);                                           // now = 1
+  k.schedule(due - 1, [&order] { order.push_back(1); });  // bucket
+  k.schedule(due + 5, [&order] { order.push_back(3); });  // far, later cycle
+  k.schedule(due - 1, [&order] { order.push_back(2); });  // bucket
+  k.run_for(due + 10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CalendarQueueTest, BoundaryDelaysAroundTheWindow) {
+  Kernel k;
+  std::vector<Cycle> fired_at;
+  for (const Cycle d : {Kernel::kWindow - 1, Kernel::kWindow,
+                        Kernel::kWindow + 1}) {
+    k.schedule(d, [&k, &fired_at] { fired_at.push_back(k.now()); });
+  }
+  k.run_for(Kernel::kWindow + 2);
+  EXPECT_EQ(fired_at, (std::vector<Cycle>{Kernel::kWindow - 1, Kernel::kWindow,
+                                          Kernel::kWindow + 1}));
+}
+
+TEST(CalendarQueueTest, RingReusesBucketsAcrossLaps) {
+  Kernel k;
+  // Delay 7 from the same phase of each lap lands in the same bucket index
+  // every kWindow cycles; each lap must only see its own events.
+  std::vector<Cycle> fired_at;
+  for (int lap = 0; lap < 5; ++lap) {
+    k.schedule(7, [&k, &fired_at] { fired_at.push_back(k.now()); });
+    k.schedule(7, [&k, &fired_at] { fired_at.push_back(k.now()); });
+    k.run_for(Kernel::kWindow);
+  }
+  ASSERT_EQ(fired_at.size(), 10u);
+  for (int lap = 0; lap < 5; ++lap) {
+    const Cycle want = static_cast<Cycle>(lap) * Kernel::kWindow + 7;
+    EXPECT_EQ(fired_at[2 * lap], want);
+    EXPECT_EQ(fired_at[2 * lap + 1], want);
+  }
+  EXPECT_EQ(k.pending_events(), 0u);
+}
+
+TEST(CalendarQueueTest, EventScheduledFromEventSameCycleRunsSameCycle) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(2, [&k, &order] {
+    order.push_back(0);
+    k.schedule(0, [&order] { order.push_back(2); });
+  });
+  k.schedule(2, [&order] { order.push_back(1); });
+  k.run_for(3);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CalendarQueueTest, HookScheduledZeroDelayRunsNextCycleFirst) {
+  Kernel k;
+  std::vector<std::pair<int, Cycle>> log;
+  bool armed = false;
+  k.add_post_cycle_hook([&](Cycle now) {
+    if (now == 0 && !armed) {
+      armed = true;
+      // Scheduled after this cycle's drain: must run next cycle, but ahead
+      // of events genuinely scheduled for next cycle (it keeps when = now).
+      k.schedule(0, [&k, &log] { log.emplace_back(0, k.now()); });
+    }
+  });
+  k.schedule(1, [&k, &log] { log.emplace_back(1, k.now()); });
+  k.run_for(2);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair<int, Cycle>{0, 1}));
+  EXPECT_EQ(log[1], (std::pair<int, Cycle>{1, 1}));
+}
+
+TEST(CalendarQueueTest, PendingEventsTracksBucketsAndHeap) {
+  Kernel k;
+  k.schedule(1, [] {});
+  k.schedule(Kernel::kWindow + 3, [] {});
+  EXPECT_EQ(k.pending_events(), 2u);
+  k.run_for(2);
+  EXPECT_EQ(k.pending_events(), 1u);
+  k.run_for(Kernel::kWindow + 2);
+  EXPECT_EQ(k.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace puno::sim

@@ -1,0 +1,130 @@
+// SmallFn unit tests: inline vs heap storage, move semantics (including
+// move-only captures std::function cannot hold), and destruction counts.
+#include "sim/smallfn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace puno::sim {
+namespace {
+
+/// Capture that counts how many live copies/moves of itself exist, to verify
+/// SmallFn destroys the callable exactly once on every path.
+struct LiveCounted {
+  explicit LiveCounted(int* live) : live_(live) { ++*live_; }
+  LiveCounted(const LiveCounted& o) noexcept : live_(o.live_) { ++*live_; }
+  LiveCounted(LiveCounted&& o) noexcept : live_(o.live_) { ++*live_; }
+  ~LiveCounted() { --*live_; }
+  LiveCounted& operator=(const LiveCounted&) = delete;
+  LiveCounted& operator=(LiveCounted&&) = delete;
+  int* live_;
+};
+
+TEST(SmallFnTest, DefaultConstructedIsEmpty) {
+  SmallFn<48> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+}
+
+TEST(SmallFnTest, SmallCaptureStoredInline) {
+  int hits = 0;
+  SmallFn<48> fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFnTest, TypicalEventCaptureFitsInline) {
+  // The shape schedule() call sites use: a this-pointer, a couple of ids
+  // and a payload handle. This must never regress to a heap allocation.
+  int sink = 0;
+  int* self = &sink;
+  std::uint64_t id = 7;
+  std::uint32_t vc = 3;
+  auto handle = std::make_shared<int>(9);
+  SmallFn<48> fn([self, id, vc, handle] {
+    *self = static_cast<int>(id + vc + static_cast<std::uint64_t>(*handle));
+  });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(sink, 19);
+}
+
+TEST(SmallFnTest, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > 48-byte buffer
+  big[0] = 41;
+  int out = 0;
+  SmallFn<48> fn([big, &out] { out = static_cast<int>(big[0]) + 1; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(SmallFnTest, MoveConstructTransfersCallable) {
+  int hits = 0;
+  SmallFn<48> a([&hits] { ++hits; });
+  SmallFn<48> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFnTest, MoveAssignDestroysPreviousCallable) {
+  int live = 0;
+  int hits = 0;
+  SmallFn<48> a([c = LiveCounted(&live)] { (void)c; });
+  EXPECT_EQ(live, 1);
+  SmallFn<48> b([&hits] { ++hits; });
+  a = std::move(b);
+  EXPECT_EQ(live, 0) << "move-assign must destroy the displaced callable";
+  a();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFnTest, HoldsMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(5);
+  SmallFn<48> fn([p = std::move(owned)] { ++*p; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  SmallFn<48> moved(std::move(fn));
+  moved();  // no observable output; the point is that it compiles and runs
+}
+
+TEST(SmallFnTest, DestroysInlineCaptureExactlyOnce) {
+  int live = 0;
+  {
+    SmallFn<48> fn([c = LiveCounted(&live)] { (void)c; });
+    EXPECT_TRUE(fn.is_inline());
+    EXPECT_EQ(live, 1);
+    SmallFn<48> moved(std::move(fn));
+    EXPECT_EQ(live, 1) << "relocate must destroy the source copy";
+    moved();
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(SmallFnTest, DestroysHeapCaptureExactlyOnce) {
+  int live = 0;
+  std::array<std::uint64_t, 16> pad{};
+  {
+    SmallFn<48> fn([c = LiveCounted(&live), pad] { (void)c; (void)pad; });
+    EXPECT_FALSE(fn.is_inline());
+    EXPECT_EQ(live, 1);
+    SmallFn<48> moved(std::move(fn));
+    EXPECT_EQ(live, 1);  // heap relocate just moves the pointer
+    moved();
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace puno::sim

@@ -1,0 +1,175 @@
+// perf_check: compares two bench_baseline JSON files and fails on host-perf
+// regressions.
+//
+// Reads the baseline (checked-in BENCH_*.json) and the current run, matches
+// rows by (workload, scheme, seed), and compares the *aggregate* cycles_per_s
+// over the shared rows. Aggregating before comparing keeps single-row wall
+// clock noise from tripping the gate; the threshold (default 30%) absorbs
+// host-to-host variance between the machine that recorded the baseline and
+// the CI runner.
+//
+//   usage: perf_check BASELINE.json CURRENT.json [--max-regression 0.30]
+//
+// Exit codes: 0 = within threshold, 1 = regression, 2 = usage/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include "sim/jsonio.hpp"
+
+namespace {
+
+namespace jio = puno::sim::jsonio;
+
+using RowKey = std::tuple<std::string, std::string, std::uint64_t>;
+
+/// One bench run row: (workload, scheme, seed) -> cycles_per_s.
+struct BenchFile {
+  std::map<RowKey, double> rows;
+};
+
+bool parse_run(std::string_view& s, BenchFile& out) {
+  if (!jio::consume(s, '{')) return false;
+  std::string workload;
+  std::string scheme;
+  std::uint64_t seed = 0;
+  double cps = 0.0;
+  for (;;) {
+    std::string key;
+    if (!jio::parse_string(s, key) || !jio::consume(s, ':')) return false;
+    if (key == "workload") {
+      if (!jio::parse_string(s, workload)) return false;
+    } else if (key == "scheme") {
+      if (!jio::parse_string(s, scheme)) return false;
+    } else if (key == "seed") {
+      if (!jio::parse_u64(s, seed)) return false;
+    } else if (key == "cycles_per_s") {
+      if (!jio::parse_double(s, cps)) return false;
+    } else {
+      if (!jio::skip_value(s)) return false;  // components, cycles, ...
+    }
+    if (jio::consume(s, ',')) continue;
+    break;
+  }
+  if (!jio::consume(s, '}')) return false;
+  out.rows[RowKey{workload, scheme, seed}] = cps;
+  return true;
+}
+
+bool parse_bench(const std::string& path, BenchFile& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_check: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::string_view s = text;
+  if (!jio::consume(s, '{')) return false;
+  for (;;) {
+    std::string key;
+    if (!jio::parse_string(s, key) || !jio::consume(s, ':')) return false;
+    if (key == "runs") {
+      if (!jio::consume(s, '[')) return false;
+      jio::skip_ws(s);
+      if (!jio::consume(s, ']')) {
+        for (;;) {
+          if (!parse_run(s, out)) return false;
+          if (jio::consume(s, ',')) continue;
+          if (!jio::consume(s, ']')) return false;
+          break;
+        }
+      }
+    } else {
+      if (!jio::skip_value(s)) return false;  // schema, ticks_per_second
+    }
+    if (jio::consume(s, ',')) continue;
+    break;
+  }
+  return jio::consume(s, '}');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string cur_path;
+  double max_regression = 0.30;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-regression") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perf_check: missing value for %s\n",
+                     arg.c_str());
+        return 2;
+      }
+      max_regression = std::atof(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: perf_check BASELINE.json CURRENT.json"
+          " [--max-regression 0.30]\n");
+      return 0;
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (cur_path.empty()) {
+      cur_path = arg;
+    } else {
+      std::fprintf(stderr, "perf_check: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (cur_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: perf_check BASELINE.json CURRENT.json"
+                 " [--max-regression 0.30]\n");
+    return 2;
+  }
+
+  BenchFile base;
+  BenchFile cur;
+  if (!parse_bench(base_path, base) || !parse_bench(cur_path, cur)) {
+    std::fprintf(stderr, "perf_check: malformed bench JSON\n");
+    return 2;
+  }
+
+  double base_sum = 0.0;
+  double cur_sum = 0.0;
+  std::size_t shared = 0;
+  for (const auto& [key, base_cps] : base.rows) {
+    const auto it = cur.rows.find(key);
+    if (it == cur.rows.end()) continue;
+    ++shared;
+    base_sum += base_cps;
+    cur_sum += it->second;
+    std::printf("%-12s %-9s seed %llu: %10.0f -> %10.0f cycles/s (%.2fx)\n",
+                std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+                static_cast<unsigned long long>(std::get<2>(key)), base_cps,
+                it->second, base_cps > 0 ? it->second / base_cps : 0.0);
+  }
+  if (shared == 0) {
+    std::fprintf(stderr, "perf_check: no shared (workload, scheme, seed)"
+                 " rows between '%s' and '%s'\n",
+                 base_path.c_str(), cur_path.c_str());
+    return 2;
+  }
+  const double ratio = base_sum > 0.0 ? cur_sum / base_sum : 0.0;
+  std::printf("aggregate over %zu shared rows: %.0f -> %.0f cycles/s"
+              " (%.2fx, floor %.2fx)\n",
+              shared, base_sum, cur_sum, ratio, 1.0 - max_regression);
+  if (ratio < 1.0 - max_regression) {
+    std::fprintf(stderr,
+                 "perf_check: FAIL — aggregate cycles_per_s regressed to"
+                 " %.2fx of baseline (allowed floor %.2fx)\n",
+                 ratio, 1.0 - max_regression);
+    return 1;
+  }
+  std::printf("perf_check: OK\n");
+  return 0;
+}
