@@ -35,7 +35,8 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
       "  --workloads LIST  csv of benchmarks, or \"all\" (default: all)\n"
-      "  --schemes LIST    csv of baseline|backoff|rmw|puno, or \"all\"\n"
+      "  --schemes LIST    csv of baseline|backoff|rmw|puno|reqwins|limited,\n"
+      "                    or \"all\" (every registered scheme)\n"
       "                    (default: all)\n"
       "  --seeds SPEC      \"1,2,5\" or \"1..8\" (default: 1)\n"
       "  --scale X         committed-txn quota multiplier (default: 1.0)\n"
@@ -54,8 +55,9 @@ void usage(const char* argv0) {
       "  --manifest FILE   write the per-job JSONL manifest\n"
       "  --trace[=FILTER]  record an event trace per job (docs/TRACING.md);\n"
       "                    traced jobs bypass the result cache\n"
-      "  --trace-dir DIR   where per-job trace JSON lands (default:\n"
-      "                    ./traces); manifest rows record each path\n"
+      "  --trace-dir DIR   where per-job trace JSON + abort-attribution\n"
+      "                    reports land (default: ./traces); manifest rows\n"
+      "                    record each path\n"
       "  --telemetry[=N]   sample live gauges every N cycles per job\n"
       "                    (default 1000; docs/TELEMETRY.md); sampled jobs\n"
       "                    bypass the result cache\n"
@@ -207,6 +209,10 @@ int main(int argc, char** argv) {
       }
       spec.params.trace.path =
           (std::filesystem::path(trace_dir) / (name + ".trace.json"))
+              .string();
+      // Abort attribution rides along: who aborted whom, per scheme.
+      spec.params.trace.report_path =
+          (std::filesystem::path(trace_dir) / (name + ".aborts.txt"))
               .string();
     }
   }

@@ -3,8 +3,9 @@
 //   ./punofuzz --seeds 64 --scheme both --invariants all
 //
 // Runs randomized synthetic workloads on randomized machine shapes, each
-// derived entirely from its seed, with the invariant checker attached and
-// (with --scheme both) the baseline-vs-PUNO differential oracle. Every
+// derived entirely from its seed, with the invariant checker attached and —
+// whenever the scheme list includes baseline plus at least one other scheme
+// — the per-scheme-vs-baseline commit-count differential oracle. Every
 // failure prints a one-command repro line. Exit status: 0 clean, 1 any
 // invariant violation / liveness failure / differential mismatch.
 #include <cstdio>
@@ -22,9 +23,11 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --seeds N         number of seeds to run (default: 16)\n"
       "  --seed-start N    first seed (default: 1)\n"
-      "  --scheme NAME     baseline|backoff|rmw|puno|both|all\n"
-      "                    (default: both = baseline + puno, enabling the\n"
-      "                    differential oracle; all adds backoff)\n"
+      "  --scheme LIST     comma list of baseline|backoff|rmw|puno|reqwins|\n"
+      "                    limited, or both (= baseline,puno, the default)\n"
+      "                    or all (every registered scheme); any list with\n"
+      "                    baseline + another scheme enables the\n"
+      "                    differential oracle\n"
       "  --max-cycles N    per-run cycle cap (default: 2000000)\n"
       "  --stride N        check every N cycles (default: 16; failures are\n"
       "                    re-run at stride 1 automatically)\n"
@@ -67,18 +70,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed-start") {
       opts.seed_start = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--scheme") {
-      const std::string s = next();
-      if (s == "baseline") opts.schemes = {Scheme::kBaseline};
-      else if (s == "backoff") opts.schemes = {Scheme::kRandomBackoff};
-      else if (s == "rmw") opts.schemes = {Scheme::kRmwPred};
-      else if (s == "puno") opts.schemes = {Scheme::kPuno};
-      else if (s == "both") opts.schemes = {Scheme::kBaseline, Scheme::kPuno};
-      else if (s == "all") {
-        opts.schemes = {Scheme::kBaseline, Scheme::kRandomBackoff,
-                        Scheme::kPuno};
+      const std::string list = next();
+      if (list == "both") {
+        opts.schemes = {Scheme::kBaseline, Scheme::kPuno};
+      } else if (list == "all") {
+        opts.schemes.assign(std::begin(kAllSchemes), std::end(kAllSchemes));
       } else {
-        std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
-        return 2;
+        opts.schemes.clear();
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+          const std::size_t comma = list.find(',', pos);
+          const std::string tok =
+              list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos);
+          const auto s = scheme_from_string(tok);
+          if (!s) {
+            std::fprintf(stderr, "unknown scheme '%s'\n", tok.c_str());
+            return 2;
+          }
+          opts.schemes.push_back(*s);
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
       }
     } else if (arg == "--max-cycles") {
       opts.max_cycles = std::strtoull(next(), nullptr, 10);

@@ -50,7 +50,8 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --workload NAME   bayes|intruder|labyrinth|yada|genome|kmeans|\n"
       "                    ssca2|vacation (default: intruder)\n"
-      "  --scheme NAME     baseline|backoff|rmw|puno (default: baseline)\n"
+      "  --scheme NAME     baseline|backoff|rmw|puno|reqwins|limited\n"
+      "                    (default: baseline)\n"
       "  --seed N          RNG seed (default: 1)\n"
       "  --scale X         committed-txn quota multiplier (default: 1.0)\n"
       "  --no-unicast      disable PUNO's predictive unicast\n"

@@ -66,7 +66,7 @@ Cmp::Cmp(const SystemConfig& cfg, workloads::Workload& workload) : cfg_(cfg) {
     }
     dirs_.push_back(
         std::make_unique<coherence::Directory>(kernel_, cfg_, i, send));
-    if (cfg_.scheme == Scheme::kPuno) {
+    if (txns_[i]->conflict_manager().wants_directory_assist()) {
       assists_.push_back(
           std::make_unique<core::PunoDirectory>(kernel_, cfg_, i));
       dirs_[i]->set_assist(assists_.back().get());

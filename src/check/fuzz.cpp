@@ -24,11 +24,14 @@ constexpr std::uint64_t kConfigStream = 0xC0F1'65EED;
 }  // namespace
 
 const char* scheme_flag(Scheme s) noexcept {
+  // CLI spellings straight from the scheme table, so the fuzzer's repro
+  // lines cover every registered scheme automatically.
   switch (s) {
-    case Scheme::kBaseline: return "baseline";
-    case Scheme::kRandomBackoff: return "backoff";
-    case Scheme::kRmwPred: return "rmw";
-    case Scheme::kPuno: return "puno";
+#define PUNO_SCHEME_FLAG(name, canonical, alias) \
+  case Scheme::name:                             \
+    return alias;
+    PUNO_SCHEME_LIST(PUNO_SCHEME_FLAG)
+#undef PUNO_SCHEME_FLAG
   }
   return "?";
 }
@@ -131,9 +134,9 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     const workloads::SyntheticSpec spec = make_fuzz_spec(seed);
 
     bool have_baseline = false;
-    bool have_puno = false;
     RunOutcome baseline_out;
-    RunOutcome puno_out;
+    // Every non-baseline outcome, kept for the differential oracle below.
+    std::vector<std::pair<Scheme, RunOutcome>> others;
 
     for (const Scheme scheme : opts.schemes) {
       const SystemConfig cfg = make_fuzz_config(seed, scheme);
@@ -180,23 +183,28 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         report.baseline_falsely_aborted += out.falsely_aborted;
         baseline_out = std::move(out);
         have_baseline = true;
-      } else if (scheme == Scheme::kPuno) {
-        report.puno_falsely_aborted += out.falsely_aborted;
-        puno_out = std::move(out);
-        have_puno = true;
+      } else {
+        if (scheme == Scheme::kPuno) {
+          report.puno_falsely_aborted += out.falsely_aborted;
+        }
+        others.emplace_back(scheme, std::move(out));
       }
     }
 
-    if (opts.differential && have_baseline && have_puno &&
-        baseline_out.completed && puno_out.completed &&
-        baseline_out.commits != puno_out.commits) {
-      ++report.differential_failures;
-      report.repro_lines.push_back(repro_line(seed, Scheme::kPuno));
-      if (opts.log != nullptr) {
-        *opts.log << "FAIL seed " << seed
-                  << ": baseline and PUNO committed different per-node "
-                     "counts\n  repro: "
-                  << report.repro_lines.back() << "\n";
+    // Differential oracle: contention management must not change *what*
+    // commits, only when — every scheme that drains the workload must show
+    // baseline's per-node commit counts.
+    if (opts.differential && have_baseline && baseline_out.completed) {
+      for (const auto& [scheme, out] : others) {
+        if (!out.completed || out.commits == baseline_out.commits) continue;
+        ++report.differential_failures;
+        report.repro_lines.push_back(repro_line(seed, scheme));
+        if (opts.log != nullptr) {
+          *opts.log << "FAIL seed " << seed << ": baseline and "
+                    << to_string(scheme)
+                    << " committed different per-node counts\n  repro: "
+                    << report.repro_lines.back() << "\n";
+        }
       }
     }
   }

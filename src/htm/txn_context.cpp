@@ -33,7 +33,10 @@ TxnContext::TxnContext(sim::Kernel& kernel, const SystemConfig& cfg,
       notified_backoffs_(kernel.stats().counter("htm.notified_backoffs")),
       commit_hints_sent_(kernel.stats().counter("htm.commit_hints_sent")),
       txn_len_cycles_(kernel.stats().histogram("htm.txn_len_cycles", 256)),
-      backoff_cycles_(kernel.stats().histogram("htm.backoff_cycles", 256)) {}
+      backoff_cycles_(kernel.stats().histogram("htm.backoff_cycles", 256)),
+      mgr_(make_conflict_manager(kernel, cfg, node)) {
+  mgr_->bind(*this);
+}
 
 void TxnContext::remember_waiter(NodeId requester, BlockAddr addr) {
   if (!cfg_.puno.enable_commit_hint || send_hint_ == nullptr) return;
@@ -65,11 +68,13 @@ void TxnContext::begin(StaticTxId id) {
   aborted_ = false;
   static_id_ = id;
   attempt_begin_ = kernel_.now();
-  if (!retry) {
-    // Fresh instance: unique, monotonically increasing timestamp (smaller =
-    // older = higher priority). Retries keep the old timestamp so the
-    // transaction ages into the highest priority (time-base policy [11]).
-    ts_ = kernel_.now() * cfg_.num_nodes + node_;
+  if (retry) {
+    // A retried instance keeps (or, under a fallback scheme, re-tags) its
+    // timestamp so the transaction ages into the highest priority
+    // (time-base policy [11]).
+    ts_ = mgr_->retry_timestamp(ts_);
+  } else {
+    ts_ = mgr_->fresh_timestamp(kernel_.now());
     attempt_aborts_ = 0;
   }
   PUNO_TRACE(sim::TraceCat::kHtm, kernel_.now(), "node ", node_, " TX_BEGIN ",
@@ -98,6 +103,7 @@ void TxnContext::commit() {
   good_cycles_.add(len);
   commits_.add();
   txn_len_cycles_.sample(len);
+  mgr_->on_commit();
 
   // Negative RMW training: loads whose block was never stored in this
   // transaction were plain reads.
@@ -128,6 +134,7 @@ void TxnContext::abort(AbortCause cause) {
     case AbortCause::kOverflow: aborts_overflow_.add(); break;
   }
   discarded_cycles_.add(kernel_.now() - attempt_begin_);
+  mgr_->on_abort(cause);
 
   // Fast abort recovery (FASTM-style): pre-transaction state is restored
   // from the hardware buffer; architecturally the sets drop instantly. The
@@ -143,21 +150,17 @@ void TxnContext::abort(AbortCause cause) {
              static_id_, " cause ", static_cast<int>(cause));
 }
 
-Cycle TxnContext::restart_backoff() {
-  if (cfg_.scheme != Scheme::kRandomBackoff) return 0;
-  // Randomized linear backoff [Scherer & Scott]: the contention window grows
-  // linearly with the number of aborts this instance has suffered.
-  const std::uint64_t slots =
-      std::min<std::uint64_t>(attempt_aborts_, cfg_.htm.backoff_max_slots);
-  if (slots == 0) return 0;
-  const Cycle wait = rng_.next_below(slots + 1) * cfg_.htm.backoff_slot;
-  if (wait > 0) backoff_cycles_.sample(wait);
-  return wait;
-}
+Cycle TxnContext::restart_backoff() { return mgr_->restart_backoff(); }
 
 void TxnContext::on_access(Addr addr, bool write, std::uint64_t pc) {
   if (!in_txn_ || aborted_) return;
   const BlockAddr block = cfg_.block_of(addr);
+  if (!mgr_->admit_access(block, write)) {
+    // Architectural set capacity exceeded (LimitedSet): abort through the
+    // same path as an L1 set-conflict eviction.
+    on_overflow_eviction(block);
+    return;
+  }
   if (write) {
     write_set_.insert(block);
     read_set_.insert(block);  // a writer is implicitly a reader
@@ -172,7 +175,7 @@ void TxnContext::on_access(Addr addr, bool write, std::uint64_t pc) {
 }
 
 bool TxnContext::should_load_exclusive(std::uint64_t pc) const {
-  return cfg_.scheme == Scheme::kRmwPred && rmw_.predict_exclusive(pc);
+  return mgr_->load_exclusive(pc);
 }
 
 coherence::ConflictVerdict TxnContext::on_remote_request(BlockAddr addr,
@@ -205,10 +208,11 @@ coherence::ConflictVerdict TxnContext::on_remote_request(BlockAddr addr,
     return {coherence::ConflictDecision::kGrant, 0, false};
   }
 
-  if (ts < ts_) {
-    // Requester is older: it wins. Under a (correct) unicast we would have
-    // been predicted to win — this is a misprediction; NACK conservatively
-    // without aborting.
+  if (mgr_->resolve(addr, write, ts) ==
+      coherence::ConflictDecision::kGrantAfterAbort) {
+    // The scheme ruled for the requester (legacy policy: it is older). Under
+    // a (correct) unicast we would have been predicted to win — this is a
+    // misprediction; NACK conservatively without aborting.
     if (u_bit) {
       PUNO_TEV(kernel_, trace::Cat::kConflict,
                (trace::TraceEvent{.cycle = kernel_.now(),
@@ -235,13 +239,11 @@ coherence::ConflictVerdict TxnContext::on_remote_request(BlockAddr addr,
     return {coherence::ConflictDecision::kGrantAfterAbort, 0, false};
   }
 
-  // We are older: NACK. Under PUNO, attach the estimated remaining running
-  // time so the requester can back off instead of polling (Section III.D).
+  // The local transaction keeps the line: NACK. Under PUNO, attach the
+  // estimated remaining running time so the requester can back off instead
+  // of polling (Section III.D).
   remember_waiter(requester, addr);
-  const Cycle note =
-      cfg_.scheme == Scheme::kPuno && cfg_.puno.enable_notification
-          ? estimate_remaining()
-          : 0;
+  const Cycle note = mgr_->nack_notification();
   PUNO_TEV(kernel_, trace::Cat::kConflict,
            (trace::TraceEvent{.cycle = kernel_.now(),
                               .addr = addr,
@@ -283,24 +285,8 @@ void TxnContext::on_overflow_eviction(BlockAddr addr) {
   abort(AbortCause::kOverflow);
 }
 
-Cycle TxnContext::retry_backoff(Cycle notification, std::uint32_t /*retries*/) {
-  if (cfg_.scheme == Scheme::kPuno && notification > 0) {
-    // Back off until the nacker is expected to finish, minus the round trip
-    // (twice the average cache-to-cache latency, Section III.D).
-    const Cycle rtt = 2 * avg_c2c_latency_;
-    if (notification > rtt) {
-      notified_backoffs_.add();
-      Cycle wait = notification - rtt;
-      if (cfg_.puno.max_notified_backoff > 0 &&
-          wait > cfg_.puno.max_notified_backoff) {
-        wait = cfg_.puno.max_notified_backoff;
-      }
-      backoff_cycles_.sample(wait);
-      return wait;
-    }
-  }
-  if (cfg_.htm.fixed_backoff > 0) backoff_cycles_.sample(cfg_.htm.fixed_backoff);
-  return cfg_.htm.fixed_backoff;
+Cycle TxnContext::retry_backoff(Cycle notification, std::uint32_t retries) {
+  return mgr_->retry_backoff(notification, retries);
 }
 
 void TxnContext::on_getx_outcome(BlockAddr addr, bool success,

@@ -11,10 +11,9 @@
 //   * the conflict rule of Section II.B: an incoming request that touches
 //     the local sets is NACKed if the local transaction is older, otherwise
 //     the local transaction aborts itself and grants;
-//   * scheme-dependent contention management: fixed 20-cycle retry backoff
-//     (baseline), randomized linear backoff on restart [Scherer & Scott],
-//     the RMW predictor [Bobba et al.], or PUNO's notification-guided
-//     backoff (Section III.D).
+//   * scheme-dependent contention management, delegated to the node's
+//     ConflictManager (src/htm/conflict_manager.hpp): resolution, backoff,
+//     timestamp and admission policy all come from the scheme registry.
 //
 // It also owns the false-abort accounting that Figures 2 and 3 report: a
 // transactional GETX that collected at least one NACK plus at least one
@@ -29,6 +28,7 @@
 #include <vector>
 
 #include "coherence/hooks.hpp"
+#include "htm/conflict_manager.hpp"
 #include "htm/rmw_predictor.hpp"
 #include "htm/txlb.hpp"
 #include "sim/config.hpp"
@@ -95,6 +95,11 @@ class TxnContext final : public coherence::TxnHooks {
   /// RMW predictor consultation: should the load at `pc` fetch exclusive?
   [[nodiscard]] bool should_load_exclusive(std::uint64_t pc) const;
 
+  /// The scheme policy object driving this context (from the registry).
+  [[nodiscard]] const ConflictManager& conflict_manager() const noexcept {
+    return *mgr_;
+  }
+
   // --- coherence::TxnHooks ---
   [[nodiscard]] coherence::ConflictVerdict on_remote_request(
       BlockAddr addr, bool write, Timestamp ts, NodeId requester,
@@ -130,6 +135,10 @@ class TxnContext final : public coherence::TxnHooks {
   }
 
  private:
+  /// Scheme policies read/mutate transaction state only through the
+  /// ConflictManager accessor surface.
+  friend class ConflictManager;
+
   void abort(AbortCause cause);
   /// Remembers a requester this transaction just nacked (commit-hint
   /// extension), bounded by commit_hint_entries.
@@ -182,6 +191,11 @@ class TxnContext final : public coherence::TxnHooks {
   /// back by the simulation, so they cannot perturb behaviour.
   sim::Histogram& txn_len_cycles_;
   sim::Histogram& backoff_cycles_;
+
+  /// Last member: scheme-specific counters (registered by some manager
+  /// constructors) land in the registry after the standard ones above, which
+  /// keeps the stats CSV of the four pre-framework schemes byte-identical.
+  std::unique_ptr<ConflictManager> mgr_;
 };
 
 }  // namespace puno::htm

@@ -91,6 +91,12 @@ std::string params_repr(const metrics::ExperimentParams& p) {
   put(os, "htm.abort_recovery_latency",
       std::uint64_t{c.htm.abort_recovery_latency});
   put(os, "htm.rmw_entries", std::uint64_t{c.htm.rmw_entries});
+  put(os, "htm.requester_wins_max_retries",
+      std::uint64_t{c.htm.requester_wins_max_retries});
+  put(os, "htm.limited_read_entries",
+      std::uint64_t{c.htm.limited_read_entries});
+  put(os, "htm.limited_write_entries",
+      std::uint64_t{c.htm.limited_write_entries});
   put(os, "puno.pbuffer_entries", std::uint64_t{c.puno.pbuffer_entries});
   put(os, "puno.txlb_entries", std::uint64_t{c.puno.txlb_entries});
   put(os, "puno.min_timeout", std::uint64_t{c.puno.min_timeout});

@@ -133,6 +133,12 @@ template <typename Sub>
       {"htm.abort_recovery_latency",
        set_u32(&SystemConfig::htm, &HtmConfig::abort_recovery_latency)},
       {"htm.rmw_entries", set_u32(&SystemConfig::htm, &HtmConfig::rmw_entries)},
+      {"htm.requester_wins_max_retries",
+       set_u32(&SystemConfig::htm, &HtmConfig::requester_wins_max_retries)},
+      {"htm.limited_read_entries",
+       set_u32(&SystemConfig::htm, &HtmConfig::limited_read_entries)},
+      {"htm.limited_write_entries",
+       set_u32(&SystemConfig::htm, &HtmConfig::limited_write_entries)},
       {"puno.pbuffer_entries",
        set_u32(&SystemConfig::puno, &PunoConfig::pbuffer_entries)},
       {"puno.txlb_entries",
@@ -222,8 +228,7 @@ std::vector<std::uint64_t> parse_seed_list(std::string_view spec) {
 
 std::vector<Scheme> parse_scheme_list(std::string_view spec) {
   if (spec == "all") {
-    return {Scheme::kBaseline, Scheme::kRandomBackoff, Scheme::kRmwPred,
-            Scheme::kPuno};
+    return {std::begin(kAllSchemes), std::end(kAllSchemes)};
   }
   std::vector<Scheme> schemes;
   for (const std::string& piece : split_list(spec)) {

@@ -10,32 +10,64 @@
 
 namespace puno {
 
-/// Which contention-management mechanism the HTM runs (Section IV.A).
+// clang-format off
+/// X-macro table of contention-management schemes: X(enumerator, canonical
+/// display name, short CLI spelling). The paper's four mechanisms
+/// (Section IV.A) plus two extension schemes behind the same ConflictManager
+/// interface. One table generates the enum, kAllSchemes, to_string and
+/// scheme_from_string so the spellings can never drift apart.
+#define PUNO_SCHEME_LIST(X)                                                   \
+  /* Eager HTM, fixed 20-cycle retry backoff. */                              \
+  X(kBaseline, "Baseline", "baseline")                                        \
+  /* Randomized linear backoff on abort [Scherer&Scott]. */                   \
+  X(kRandomBackoff, "Backoff", "backoff")                                     \
+  /* Read-modify-write predictor [Bobba et al.]. */                           \
+  X(kRmwPred, "RMW-Pred", "rmw")                                              \
+  /* Predictive Unicast and Notification (this paper). */                     \
+  X(kPuno, "PUNO", "puno")                                                    \
+  /* TSX-style requester-wins, serialized fallback after bounded retries. */  \
+  X(kRequesterWins, "RequesterWins", "reqwins")                               \
+  /* FORTH-style capacity-bounded sets; overflow aborts and serializes. */    \
+  X(kLimitedSet, "LimitedSet", "limited")
+// clang-format on
+
+/// Which contention-management mechanism the HTM runs (the ConflictManager
+/// the registry builds for each node; see src/htm/conflict_manager.hpp).
 enum class Scheme : std::uint8_t {
-  kBaseline,       ///< Eager HTM, fixed 20-cycle retry backoff.
-  kRandomBackoff,  ///< Randomized linear backoff on abort [Scherer&Scott].
-  kRmwPred,        ///< Read-modify-write predictor [Bobba et al.].
-  kPuno,           ///< Predictive Unicast and Notification (this paper).
+#define PUNO_SCHEME_ENUM(name, canonical, alias) name,
+  PUNO_SCHEME_LIST(PUNO_SCHEME_ENUM)
+#undef PUNO_SCHEME_ENUM
+};
+
+/// Every scheme, in enum order — what "--schemes all" expands to.
+inline constexpr Scheme kAllSchemes[] = {
+#define PUNO_SCHEME_VALUE(name, canonical, alias) Scheme::name,
+    PUNO_SCHEME_LIST(PUNO_SCHEME_VALUE)
+#undef PUNO_SCHEME_VALUE
 };
 
 [[nodiscard]] constexpr const char* to_string(Scheme s) noexcept {
   switch (s) {
-    case Scheme::kBaseline: return "Baseline";
-    case Scheme::kRandomBackoff: return "Backoff";
-    case Scheme::kRmwPred: return "RMW-Pred";
-    case Scheme::kPuno: return "PUNO";
+#define PUNO_SCHEME_TO_STRING(name, canonical, alias) \
+  case Scheme::name:                                  \
+    return canonical;
+    PUNO_SCHEME_LIST(PUNO_SCHEME_TO_STRING)
+#undef PUNO_SCHEME_TO_STRING
   }
   return "?";
 }
 
 /// Inverse of to_string, also accepting the short lower-case CLI spellings
-/// ("baseline", "backoff", "rmw", "puno"). Returns nullopt for anything else.
+/// ("baseline", "backoff", ..., "reqwins", "limited") and the legacy
+/// "rmw-pred". Round-trips: scheme_from_string(to_string(s)) == s for every
+/// enum value. Returns nullopt for anything else.
 [[nodiscard]] constexpr std::optional<Scheme> scheme_from_string(
     std::string_view s) noexcept {
-  if (s == "Baseline" || s == "baseline") return Scheme::kBaseline;
-  if (s == "Backoff" || s == "backoff") return Scheme::kRandomBackoff;
-  if (s == "RMW-Pred" || s == "rmw-pred" || s == "rmw") return Scheme::kRmwPred;
-  if (s == "PUNO" || s == "puno") return Scheme::kPuno;
+#define PUNO_SCHEME_FROM_STRING(name, canonical, alias) \
+  if (s == canonical || s == alias) return Scheme::name;
+  PUNO_SCHEME_LIST(PUNO_SCHEME_FROM_STRING)
+#undef PUNO_SCHEME_FROM_STRING
+  if (s == "rmw-pred") return Scheme::kRmwPred;  // legacy spelling
   return std::nullopt;
 }
 
@@ -87,6 +119,15 @@ struct HtmConfig {
   std::uint32_t abort_recovery_latency = 10;
   /// RMW predictor capacity: up to 256 load instructions per node.
   std::uint32_t rmw_entries = 256;
+  /// RequesterWins: conflict aborts one attempt tolerates before its retry
+  /// takes the serialized fallback path (TSX spirit: a few speculative
+  /// tries, then a lock-like irrevocable run).
+  std::uint32_t requester_wins_max_retries = 4;
+  /// LimitedSet: architectural read/write set capacities in blocks. A
+  /// speculative attempt that would exceed either aborts with kOverflow and
+  /// retries serialized with unbounded sets.
+  std::uint32_t limited_read_entries = 48;
+  std::uint32_t limited_write_entries = 24;
 };
 
 struct PunoConfig {

@@ -26,7 +26,7 @@ class InvariantTest : public ::testing::TestWithParam<Param> {
     opts.seed = seed;
     opts.attach_checker = true;
     // Coarse stride: the oracle sweeps every machine structure, and this
-    // suite runs 32 (workload, scheme) combinations.
+    // suite runs 48 (workload, scheme) combinations.
     opts.checker.stride = 256;
     return opts;
   }
@@ -97,8 +97,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values("bayes", "intruder", "labyrinth", "yada", "genome",
                           "kmeans", "ssca2", "vacation"),
-        ::testing::Values(Scheme::kBaseline, Scheme::kRandomBackoff,
-                          Scheme::kRmwPred, Scheme::kPuno)),
+        ::testing::ValuesIn(kAllSchemes)),
     param_name);
 
 }  // namespace

@@ -77,9 +77,7 @@ TEST_P(ProgressTest, CommitCountGrowsMonotonically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, ProgressTest,
-                         ::testing::Values(Scheme::kBaseline,
-                                           Scheme::kRandomBackoff,
-                                           Scheme::kRmwPred, Scheme::kPuno),
+                         ::testing::ValuesIn(kAllSchemes),
                          [](const auto& info) {
                            std::string n = to_string(info.param);
                            for (char& c : n) {

@@ -96,6 +96,15 @@ TEST(CacheKey, DistinguishesSystemConfigFields) {
   p.base_config.htm.fixed_backoff += 1;
   EXPECT_NE(cache_key(base), cache_key(p));
   p = base;
+  p.base_config.htm.requester_wins_max_retries += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.htm.limited_read_entries += 8;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.htm.limited_write_entries += 8;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
   p.base_config.puno.timeout_fraction = 0.25;
   EXPECT_NE(cache_key(base), cache_key(p));
   p = base;

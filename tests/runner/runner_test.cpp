@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <iterator>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -309,11 +311,18 @@ TEST(Grid, SeedListParsing) {
 }
 
 TEST(Grid, SchemeListParsing) {
-  EXPECT_EQ(parse_scheme_list("all").size(), 4u);
-  const auto two = parse_scheme_list("baseline,puno");
+  // "all" tracks the scheme registry: every value in kAllSchemes, in order.
+  const auto all = parse_scheme_list("all");
+  ASSERT_EQ(all.size(), std::size(kAllSchemes));
+  EXPECT_TRUE(std::equal(all.begin(), all.end(), std::begin(kAllSchemes)));
+  const auto two = parse_scheme_list("baseline,reqwins");
   ASSERT_EQ(two.size(), 2u);
   EXPECT_EQ(two[0], Scheme::kBaseline);
-  EXPECT_EQ(two[1], Scheme::kPuno);
+  EXPECT_EQ(two[1], Scheme::kRequesterWins);
+  const auto legacy = parse_scheme_list("baseline,puno");
+  ASSERT_EQ(legacy.size(), 2u);
+  EXPECT_EQ(legacy[0], Scheme::kBaseline);
+  EXPECT_EQ(legacy[1], Scheme::kPuno);
   EXPECT_THROW(parse_scheme_list("hope"), std::invalid_argument);
 }
 

@@ -55,6 +55,29 @@ TEST(Scheme, Names) {
   EXPECT_STREQ(to_string(Scheme::kRandomBackoff), "Backoff");
   EXPECT_STREQ(to_string(Scheme::kRmwPred), "RMW-Pred");
   EXPECT_STREQ(to_string(Scheme::kPuno), "PUNO");
+  EXPECT_STREQ(to_string(Scheme::kRequesterWins), "RequesterWins");
+  EXPECT_STREQ(to_string(Scheme::kLimitedSet), "LimitedSet");
+}
+
+// The X-macro table guarantees to_string and scheme_from_string can never
+// drift apart: every enum value round-trips through its canonical name.
+TEST(Scheme, RoundTripsThroughStringTable) {
+  for (const Scheme s : kAllSchemes) {
+    const auto back = scheme_from_string(to_string(s));
+    ASSERT_TRUE(back.has_value()) << to_string(s);
+    EXPECT_EQ(*back, s) << to_string(s);
+  }
+}
+
+TEST(Scheme, AcceptsCliSpellings) {
+  EXPECT_EQ(scheme_from_string("baseline"), Scheme::kBaseline);
+  EXPECT_EQ(scheme_from_string("backoff"), Scheme::kRandomBackoff);
+  EXPECT_EQ(scheme_from_string("rmw"), Scheme::kRmwPred);
+  EXPECT_EQ(scheme_from_string("rmw-pred"), Scheme::kRmwPred);  // legacy
+  EXPECT_EQ(scheme_from_string("puno"), Scheme::kPuno);
+  EXPECT_EQ(scheme_from_string("reqwins"), Scheme::kRequesterWins);
+  EXPECT_EQ(scheme_from_string("limited"), Scheme::kLimitedSet);
+  EXPECT_EQ(scheme_from_string("nonesuch"), std::nullopt);
 }
 
 }  // namespace
