@@ -28,13 +28,17 @@
 #include "runner/cache.hpp"
 #include "runner/grid.hpp"
 #include "runner/runner.hpp"
+#include "traffic/registry.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --workloads LIST  csv of benchmarks, or \"all\" (default: all)\n"
+      "  --workloads LIST  csv of workload names; \"all\" = the 8 STAMP\n"
+      "                    profiles, \"traffic\" = the open-loop kernels,\n"
+      "                    groups and names compose (default: all)\n"
+      "  --list-workloads  print every registered workload and exit\n"
       "  --schemes LIST    csv of baseline|backoff|rmw|puno|reqwins|limited,\n"
       "                    or \"all\" (every registered scheme)\n"
       "                    (default: all)\n"
@@ -122,6 +126,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-keys") {
       for (const std::string& k : runner::override_keys()) {
         std::printf("%s\n", k.c_str());
+      }
+      return 0;
+    } else if (arg == "--list-workloads") {
+      for (const auto& e : traffic::registry::entries()) {
+        std::printf("%-16s %s\n", e.name.c_str(), e.description.c_str());
       }
       return 0;
     } else if (arg == "--jobs") {

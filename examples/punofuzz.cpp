@@ -23,6 +23,9 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --seeds N         number of seeds to run (default: 16)\n"
       "  --seed-start N    first seed (default: 1)\n"
+      "  --traffic         fuzz the open-loop traffic kernels (map/set/\n"
+      "                    queue/counter with randomized skew, arrivals and\n"
+      "                    placement) instead of synthetic closed-loop specs\n"
       "  --scheme LIST     comma list of baseline|backoff|rmw|puno|reqwins|\n"
       "                    limited, or both (= baseline,puno, the default)\n"
       "                    or all (every registered scheme); any list with\n"
@@ -121,6 +124,8 @@ int main(int argc, char** argv) {
           }
         }
       }
+    } else if (arg == "--traffic") {
+      opts.traffic = true;
     } else if (arg == "--no-differential") {
       opts.differential = false;
     } else if (arg == "--quiet") {

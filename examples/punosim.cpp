@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include <filesystem>
 #include <fstream>
@@ -36,11 +37,14 @@
 #include "arch/cmp.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/stats_io.hpp"
+#include "runner/grid.hpp"
 #include "telemetry/dashboard.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/host_profiler.hpp"
 #include "telemetry/sampler.hpp"
-#include "workloads/stamp.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/registry.hpp"
+#include "traffic/stream_trace.hpp"
 #include "workloads/trace.hpp"
 
 namespace {
@@ -48,16 +52,22 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --workload NAME   bayes|intruder|labyrinth|yada|genome|kmeans|\n"
-      "                    ssca2|vacation (default: intruder)\n"
+      "  --workload NAME   a registered workload: a STAMP profile or an\n"
+      "                    open-loop traffic kernel (--list-workloads;\n"
+      "                    default: intruder)\n"
+      "  --list-workloads  print every registered workload and exit\n"
       "  --scheme NAME     baseline|backoff|rmw|puno|reqwins|limited\n"
       "                    (default: baseline)\n"
       "  --seed N          RNG seed (default: 1)\n"
       "  --scale X         committed-txn quota multiplier (default: 1.0)\n"
+      "  --set KEY=VALUE   override a config knob (same keys as punobatch\n"
+      "                    --list-keys; e.g. traffic.zipf_theta=1.2)\n"
       "  --no-unicast      disable PUNO's predictive unicast\n"
       "  --no-notification disable PUNO's notification\n"
       "  --commit-hint     enable the commit-hint extension\n"
-      "  --replay FILE     replay a recorded workload stream\n"
+      "  --replay FILE     replay a recorded workload stream (in memory)\n"
+      "  --stream-replay F replay a trace incrementally (constant memory;\n"
+      "                    for traces too large to load)\n"
       "  --record-trace F  write the generated stream to F and exit\n"
       "  --csv FILE        append the result as a CSV row\n"
       "  --stats           dump the full statistics registry\n"
@@ -95,7 +105,7 @@ int main(int argc, char** argv) {
   metrics::ExperimentParams params;
   params.workload = "intruder";
   bool dump_stats = false;
-  std::string replay_path, record_path, csv_path;
+  std::string replay_path, stream_replay_path, record_path, csv_path;
   bool trace_on = false, verify_trace = false, want_abort_report = false;
   std::string trace_filter, trace_out, abort_report_path;
   std::size_t trace_capacity = trace::TraceRecorder::kDefaultCapacity;
@@ -115,6 +125,21 @@ int main(int argc, char** argv) {
     };
     if (arg == "--workload") {
       params.workload = next();
+    } else if (arg == "--list-workloads") {
+      for (const auto& e : traffic::registry::entries()) {
+        std::printf("%-16s %s\n", e.name.c_str(), e.description.c_str());
+      }
+      return 0;
+    } else if (arg == "--set") {
+      const std::string kv = next();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos ||
+          !runner::apply_override(params.base_config, kv.substr(0, eq),
+                                  kv.substr(eq + 1))) {
+        std::fprintf(stderr, "bad --set '%s' (see punobatch --list-keys)\n",
+                     kv.c_str());
+        return 2;
+      }
     } else if (arg == "--scheme") {
       const std::string s = next();
       if (const auto scheme = scheme_from_string(s)) {
@@ -135,6 +160,8 @@ int main(int argc, char** argv) {
       params.base_config.puno.enable_commit_hint = true;
     } else if (arg == "--replay") {
       replay_path = next();
+    } else if (arg == "--stream-replay") {
+      stream_replay_path = next();
     } else if (arg == "--trace") {
       trace_on = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -209,9 +236,20 @@ int main(int argc, char** argv) {
   cfg.scheme = params.scheme;
   cfg.seed = params.seed;
 
+  const auto make_workload = [&]() -> std::unique_ptr<workloads::Workload> {
+    try {
+      return traffic::registry::make(params.workload, cfg, params.scale);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s (--list-workloads shows the registry)\n",
+                   e.what());
+      std::exit(2);
+    }
+  };
+
   if (!record_path.empty()) {
-    auto source = workloads::stamp::make(params.workload, cfg.num_nodes,
-                                         params.seed, params.scale);
+    // Unattached open-loop workloads run in drain mode here: every arrival
+    // in order, no queueing — exactly what a portable trace should contain.
+    auto source = make_workload();
     std::ofstream out(record_path);
     if (!out) {
       std::fprintf(stderr, "cannot write '%s'\n", record_path.c_str());
@@ -223,15 +261,25 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<workloads::Workload> workload;
-  if (!replay_path.empty()) {
-    workload = std::make_unique<workloads::TraceWorkload>(
-        workloads::TraceWorkload::load(replay_path));
-    params.workload = workload->name() + " (replay)";
-  } else {
-    workload = workloads::stamp::make(params.workload, cfg.num_nodes,
-                                      params.seed, params.scale);
+  try {
+    if (!replay_path.empty()) {
+      workload = std::make_unique<workloads::TraceWorkload>(
+          workloads::TraceWorkload::load(replay_path));
+      params.workload = workload->name() + " (replay)";
+    } else if (!stream_replay_path.empty()) {
+      workload = std::make_unique<traffic::StreamTraceWorkload>(
+          stream_replay_path, static_cast<NodeId>(cfg.num_nodes));
+      params.workload = workload->name() + " (stream-replay)";
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
+  if (!workload) workload = make_workload();
   arch::Cmp cmp(cfg, *workload);
+  if (auto* open = dynamic_cast<traffic::OpenLoopWorkload*>(workload.get())) {
+    open->attach(cmp.kernel());
+  }
 
   std::optional<trace::TraceRecorder> recorder;
   if (trace_on) {
@@ -255,7 +303,18 @@ int main(int argc, char** argv) {
   telemetry::HostProfiler profiler;
   if (profile_on) cmp.kernel().set_profiler(&profiler);
 
-  const bool completed = cmp.run(params.max_cycles);
+  bool completed = false;
+  try {
+    completed = cmp.run(params.max_cycles);
+  } catch (const std::runtime_error& e) {
+    // The streaming replay parses lazily, so a malformed line deep in the
+    // trace surfaces here; anything else is a real simulator failure.
+    if (std::string_view(e.what()).substr(0, 17) == "trace parse error") {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    throw;
+  }
   if (profile_on) cmp.kernel().set_profiler(nullptr);
 
   auto r = metrics::RunResult::from_stats(cmp.kernel().stats());
@@ -280,6 +339,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.router_traversals));
   std::printf("dir blocked/TxGETX   %.1f cycles\n", r.dir_blocked_mean);
   std::printf("G/D ratio            %.3f\n", r.gd_ratio());
+  if (r.offered_txns > 0) {
+    std::printf("offered arrivals     %llu (%llu dropped, %.1f%%)\n",
+                static_cast<unsigned long long>(r.offered_txns),
+                static_cast<unsigned long long>(r.dropped_txns),
+                r.drop_rate() * 100.0);
+    std::printf("queue delay          p50=%llu p90=%llu p99=%llu cycles\n",
+                static_cast<unsigned long long>(r.queue_delay_p50),
+                static_cast<unsigned long long>(r.queue_delay_p90),
+                static_cast<unsigned long long>(r.queue_delay_p99));
+  }
   if (params.scheme == Scheme::kPuno) {
     std::printf("unicasts             %llu (hit rate %.1f%%)\n",
                 static_cast<unsigned long long>(r.unicast_forwards),

@@ -8,14 +8,17 @@
 #include "check/invariant_checker.hpp"
 #include "metrics/stats_io.hpp"
 #include "sim/rng.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/registry.hpp"
 
 namespace puno::check {
 
 namespace {
 
-/// Decorrelated rng streams for the two halves of a fuzz case.
+/// Decorrelated rng streams for the halves of a fuzz case.
 constexpr std::uint64_t kSpecStream = 0xF022'5EED;
 constexpr std::uint64_t kConfigStream = 0xC0F1'65EED;
+constexpr std::uint64_t kTrafficStream = 0x70AF'F1C5;
 
 [[nodiscard]] double uniform(sim::Rng& rng, double lo, double hi) {
   return lo + (hi - lo) * rng.next_double();
@@ -93,11 +96,52 @@ SystemConfig make_fuzz_config(std::uint64_t seed, Scheme scheme) {
   return cfg;
 }
 
-RunOutcome run_one(const SystemConfig& cfg,
-                   const workloads::SyntheticSpec& spec,
+std::string fuzz_traffic_kernel(std::uint64_t seed) {
+  sim::Rng rng(seed, kTrafficStream);
+  const auto kind =
+      static_cast<traffic::KernelKind>(rng.next_range(0, 3));
+  return std::string("traffic-") + traffic::to_string(kind);
+}
+
+SystemConfig make_fuzz_traffic_config(std::uint64_t seed, Scheme scheme) {
+  SystemConfig cfg = make_fuzz_config(seed, scheme);
+  sim::Rng rng(seed, kTrafficStream);
+  rng.next_range(0, 3);  // keep in lockstep with fuzz_traffic_kernel
+  TrafficConfig& t = cfg.traffic;
+  t.arrivals_per_node = static_cast<std::uint32_t>(rng.next_range(8, 32));
+  t.keys = rng.next_range(256, 4096);
+  if (rng.next_bool(0.3)) {
+    // Hot-set mode: a handful of keys soak up most accesses.
+    t.hot_keys = static_cast<std::uint32_t>(rng.next_range(4, 32));
+    t.hot_frac = uniform(rng, 0.6, 0.95);
+  } else {
+    t.zipf_theta = uniform(rng, 0.0, 1.2);
+  }
+  t.phase_cycles = rng.next_bool(0.5) ? 0 : rng.next_range(5'000, 20'000);
+  t.arrival = static_cast<ArrivalKind>(rng.next_range(0, 2));
+  t.rate_per_kcycle = static_cast<std::uint32_t>(rng.next_range(10, 60));
+  t.burst_period = rng.next_range(5'000, 50'000);
+  t.diurnal_period = rng.next_range(20'000, 100'000);
+  t.placement = static_cast<PlacementMode>(rng.next_range(0, 2));
+  t.keys_per_block = static_cast<std::uint32_t>(rng.next_range(1, 8));
+  t.update_frac = uniform(rng, 0.0, 1.0);
+  t.counter_blocks = static_cast<std::uint32_t>(rng.next_range(2, 16));
+  t.op_think_min = static_cast<std::uint32_t>(rng.next_range(1, 3));
+  t.op_think_max =
+      t.op_think_min + static_cast<std::uint32_t>(rng.next_range(0, 4));
+  // No load shedding under fuzz: a drop consumes an arrival without a
+  // commit, so per-node commit counts would diverge across schemes and the
+  // differential oracle would misfire.
+  t.queue_capacity = t.arrivals_per_node;
+  return cfg;
+}
+
+RunOutcome run_one(const SystemConfig& cfg, workloads::Workload& workload,
                    const CheckerConfig& checker_cfg, Cycle max_cycles) {
-  workloads::SyntheticWorkload workload(spec, cfg.num_nodes, cfg.seed);
   arch::Cmp cmp(cfg, workload);
+  if (auto* open = dynamic_cast<traffic::OpenLoopWorkload*>(&workload)) {
+    open->attach(cmp.kernel());
+  }
   const auto checker = InvariantChecker::attach(cmp, checker_cfg);
 
   RunOutcome out;
@@ -120,10 +164,18 @@ RunOutcome run_one(const SystemConfig& cfg,
   return out;
 }
 
-std::string repro_line(std::uint64_t seed, Scheme scheme) {
+RunOutcome run_one(const SystemConfig& cfg,
+                   const workloads::SyntheticSpec& spec,
+                   const CheckerConfig& checker_cfg, Cycle max_cycles) {
+  workloads::SyntheticWorkload workload(spec, cfg.num_nodes, cfg.seed);
+  return run_one(cfg, workload, checker_cfg, max_cycles);
+}
+
+std::string repro_line(std::uint64_t seed, Scheme scheme, bool traffic) {
   std::ostringstream os;
-  os << "punofuzz --seed-start " << seed << " --seeds 1 --scheme "
-     << scheme_flag(scheme) << " --stride 1 --invariants all";
+  os << "punofuzz " << (traffic ? "--traffic " : "") << "--seed-start "
+     << seed << " --seeds 1 --scheme " << scheme_flag(scheme)
+     << " --stride 1 --invariants all";
   return os.str();
 }
 
@@ -131,7 +183,19 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
   FuzzReport report;
   for (std::uint32_t k = 0; k < opts.num_seeds; ++k) {
     const std::uint64_t seed = opts.seed_start + k;
-    const workloads::SyntheticSpec spec = make_fuzz_spec(seed);
+    const workloads::SyntheticSpec spec =
+        opts.traffic ? workloads::SyntheticSpec{} : make_fuzz_spec(seed);
+    const std::string kernel_name =
+        opts.traffic ? fuzz_traffic_kernel(seed) : std::string();
+
+    // One fresh workload per simulation — both workload families carry
+    // per-run mutable state (rng cursors, queues).
+    const auto run_case = [&](const SystemConfig& cfg,
+                              const CheckerConfig& checker, Cycle cap) {
+      if (!opts.traffic) return run_one(cfg, spec, checker, cap);
+      const auto workload = traffic::registry::make(kernel_name, cfg);
+      return run_one(cfg, *workload, checker, cap);
+    };
 
     bool have_baseline = false;
     RunOutcome baseline_out;
@@ -139,8 +203,10 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     std::vector<std::pair<Scheme, RunOutcome>> others;
 
     for (const Scheme scheme : opts.schemes) {
-      const SystemConfig cfg = make_fuzz_config(seed, scheme);
-      RunOutcome out = run_one(cfg, spec, opts.checker, opts.max_cycles);
+      const SystemConfig cfg = opts.traffic
+                                   ? make_fuzz_traffic_config(seed, scheme)
+                                   : make_fuzz_config(seed, scheme);
+      RunOutcome out = run_case(cfg, opts.checker, opts.max_cycles);
       ++report.runs;
 
       if (!out.violations.empty() && opts.checker.stride > 1) {
@@ -149,7 +215,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         CheckerConfig fine = opts.checker;
         fine.stride = 1;
         const Cycle cap = out.violations.front().cycle + 1;
-        RunOutcome shrunk = run_one(cfg, spec, fine, cap);
+        RunOutcome shrunk = run_case(cfg, fine, cap);
         if (!shrunk.violations.empty()) {
           out.violations = std::move(shrunk.violations);
         }
@@ -157,7 +223,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
 
       if (!out.violations.empty()) {
         ++report.violation_runs;
-        report.repro_lines.push_back(repro_line(seed, scheme));
+        report.repro_lines.push_back(repro_line(seed, scheme, opts.traffic));
         if (opts.log != nullptr) {
           *opts.log << "FAIL seed " << seed << " scheme "
                     << to_string(scheme) << ": "
@@ -166,7 +232,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         }
       } else if (!out.completed) {
         ++report.incomplete_runs;
-        report.repro_lines.push_back(repro_line(seed, scheme));
+        report.repro_lines.push_back(repro_line(seed, scheme, opts.traffic));
         if (opts.log != nullptr) {
           *opts.log << "FAIL seed " << seed << " scheme "
                     << to_string(scheme) << ": did not drain within "
@@ -198,7 +264,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       for (const auto& [scheme, out] : others) {
         if (!out.completed || out.commits == baseline_out.commits) continue;
         ++report.differential_failures;
-        report.repro_lines.push_back(repro_line(seed, scheme));
+        report.repro_lines.push_back(repro_line(seed, scheme, opts.traffic));
         if (opts.log != nullptr) {
           *opts.log << "FAIL seed " << seed << ": baseline and "
                     << to_string(scheme)

@@ -25,6 +25,12 @@ namespace puno::check {
 struct FuzzOptions {
   std::uint64_t seed_start = 1;
   std::uint32_t num_seeds = 16;
+  /// Fuzz the open-loop traffic kernels instead of synthetic closed-loop
+  /// specs: each seed draws a kernel (map/set/queue/counter) plus a
+  /// randomized TrafficConfig with queue_capacity pinned to the arrival
+  /// quota, so nothing is ever dropped and the per-node commit counts stay
+  /// scheme-independent — the differential oracle remains valid.
+  bool traffic = false;
   /// Schemes run per seed; with both kBaseline and kPuno present the
   /// differential oracle applies.
   std::vector<Scheme> schemes = {Scheme::kBaseline, Scheme::kPuno};
@@ -77,7 +83,25 @@ struct FuzzReport {
 /// which is what makes the differential oracle meaningful.
 [[nodiscard]] SystemConfig make_fuzz_config(std::uint64_t seed, Scheme scheme);
 
-/// Runs one simulation with the invariant checker attached.
+/// Registry name of the traffic kernel fuzzed for `seed`
+/// (e.g. "traffic-queue").
+[[nodiscard]] std::string fuzz_traffic_kernel(std::uint64_t seed);
+
+/// make_fuzz_config plus a randomized TrafficConfig (skew, arrival process,
+/// placement, kernel shape) drawn from `seed`. queue_capacity is pinned to
+/// the arrival quota so no request is ever shed: a dropped request would
+/// make commit counts scheme-dependent and break the differential oracle.
+[[nodiscard]] SystemConfig make_fuzz_traffic_config(std::uint64_t seed,
+                                                    Scheme scheme);
+
+/// Runs one simulation of `workload` with the invariant checker attached
+/// (open-loop traffic workloads are attached to the kernel automatically).
+[[nodiscard]] RunOutcome run_one(const SystemConfig& cfg,
+                                 workloads::Workload& workload,
+                                 const CheckerConfig& checker,
+                                 Cycle max_cycles);
+
+/// Convenience overload: builds the SyntheticWorkload for `spec` first.
 [[nodiscard]] RunOutcome run_one(const SystemConfig& cfg,
                                  const workloads::SyntheticSpec& spec,
                                  const CheckerConfig& checker,
@@ -85,7 +109,8 @@ struct FuzzReport {
 
 /// The punofuzz command line that replays a failing (seed, scheme) at
 /// stride 1 with every invariant enabled.
-[[nodiscard]] std::string repro_line(std::uint64_t seed, Scheme scheme);
+[[nodiscard]] std::string repro_line(std::uint64_t seed, Scheme scheme,
+                                     bool traffic = false);
 
 /// Command-line spelling of a scheme ("baseline", "backoff", "rmw", "puno").
 [[nodiscard]] const char* scheme_flag(Scheme s) noexcept;

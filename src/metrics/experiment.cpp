@@ -10,7 +10,8 @@
 #include "telemetry/sampler.hpp"
 #include "trace/abort_attribution.hpp"
 #include "trace/chrome_export.hpp"
-#include "workloads/stamp.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/registry.hpp"
 
 namespace puno::metrics {
 
@@ -24,9 +25,14 @@ RunResult run_experiment(const ExperimentParams& params,
   cfg.scheme = params.scheme;
   cfg.seed = params.seed;
 
-  auto workload = workloads::stamp::make(params.workload, cfg.num_nodes,
-                                         params.seed, params.scale);
+  auto workload = traffic::registry::make(params.workload, cfg, params.scale);
   arch::Cmp cmp(cfg, *workload);
+
+  // Open-loop traffic workloads read simulated time (and bind their
+  // traffic.* stats) through the kernel; closed-loop workloads need nothing.
+  if (auto* open = dynamic_cast<traffic::OpenLoopWorkload*>(workload.get())) {
+    open->attach(cmp.kernel());
+  }
 
   // Attach the recorder before the first cycle so txn begins are never
   // missed. The recorder lives on this frame; detach before it dies.

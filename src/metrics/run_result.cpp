@@ -40,6 +40,17 @@ RunResult RunResult::from_stats(const sim::StatsRegistry& stats) {
       it != stats.scalars().end()) {
     r.retries_per_contended_acquire = it->second.mean();
   }
+  // Open-loop traffic stats exist only when an OpenLoopWorkload attached;
+  // find-based lookups leave closed-loop results (and registries) untouched.
+  r.offered_txns = counter_of(stats, "traffic.offered");
+  r.dropped_txns = counter_of(stats, "traffic.dropped");
+  if (const auto it = stats.histograms().find("traffic.queue_delay");
+      it != stats.histograms().end()) {
+    r.queue_delay_p50 = it->second.percentile(0.50);
+    r.queue_delay_p90 = it->second.percentile(0.90);
+    r.queue_delay_p99 = it->second.percentile(0.99);
+  }
+
   if (const auto it = stats.histograms().find("htm.false_abort_multiplicity");
       it != stats.histograms().end()) {
     const sim::Histogram& h = it->second;

@@ -73,6 +73,16 @@ struct RunResult {
   std::uint64_t telemetry_samples = 0;  ///< Windows retained at export.
   std::uint64_t telemetry_dropped = 0;  ///< Windows lost to the series cap.
 
+  // Open-loop traffic outcomes (docs/TRAFFIC.md), derived from the
+  // traffic.* stats the engine binds at attach(). All zero for closed-loop
+  // workloads (the stats don't exist there), and the JSONL keys only appear
+  // when offered_txns > 0 — closed-loop rows stay byte-identical.
+  std::uint64_t offered_txns = 0;      ///< Arrivals generated (admit + drop).
+  std::uint64_t dropped_txns = 0;      ///< Arrivals shed at a full queue.
+  std::uint64_t queue_delay_p50 = 0;   ///< Queue-delay percentiles (cycles),
+  std::uint64_t queue_delay_p90 = 0;   ///< from the traffic.queue_delay
+  std::uint64_t queue_delay_p99 = 0;   ///< histogram (cap = overflow bucket).
+
   [[nodiscard]] double abort_rate() const {
     const double total = static_cast<double>(commits + aborts);
     return total == 0.0 ? 0.0 : static_cast<double>(aborts) / total;
@@ -91,6 +101,14 @@ struct RunResult {
                ? 0.0
                : static_cast<double>(false_abort_events) /
                      static_cast<double>(tx_getx_issued);
+  }
+  /// Fraction of offered open-loop arrivals shed at a full queue (0 for
+  /// closed-loop workloads — nothing is ever offered, let alone dropped).
+  [[nodiscard]] double drop_rate() const {
+    return offered_txns == 0
+               ? 0.0
+               : static_cast<double>(dropped_txns) /
+                     static_cast<double>(offered_txns);
   }
   /// Unicast prediction hit rate (fraction of unicasts not flagged MP).
   [[nodiscard]] double prediction_hit_rate() const {

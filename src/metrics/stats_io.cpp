@@ -36,7 +36,9 @@ std::string result_csv_header() {
          "falsely_aborted_txns,false_abort_fraction,router_traversals,"
          "dir_blocked_mean,good_cycles,discarded_cycles,gd_ratio,"
          "unicast_forwards,mp_feedbacks,prediction_hit_rate,"
-         "notified_backoffs,commit_hints_sent,hint_wakeups";
+         "notified_backoffs,commit_hints_sent,hint_wakeups,"
+         "offered_txns,dropped_txns,drop_rate,"
+         "queue_delay_p50,queue_delay_p90,queue_delay_p99";
 }
 
 void write_result_csv(const RunResult& r, std::ostream& out) {
@@ -51,7 +53,10 @@ void write_result_csv(const RunResult& r, std::ostream& out) {
       << r.good_cycles << ',' << r.discarded_cycles << ',' << r.gd_ratio()
       << ',' << r.unicast_forwards << ',' << r.mp_feedbacks << ','
       << r.prediction_hit_rate() << ',' << r.notified_backoffs << ','
-      << r.commit_hints_sent << ',' << r.hint_wakeups << '\n';
+      << r.commit_hints_sent << ',' << r.hint_wakeups << ','
+      << r.offered_txns << ',' << r.dropped_txns << ',' << r.drop_rate()
+      << ',' << r.queue_delay_p50 << ',' << r.queue_delay_p90 << ','
+      << r.queue_delay_p99 << '\n';
 }
 
 void write_results_csv(const std::vector<RunResult>& results,
@@ -138,6 +143,11 @@ using sim::jsonio::write_double;
   if (key == "telemetry_dropped") {
     return parse_u64(s, r.telemetry_dropped);
   }
+  if (key == "offered_txns") return parse_u64(s, r.offered_txns);
+  if (key == "dropped_txns") return parse_u64(s, r.dropped_txns);
+  if (key == "queue_delay_p50") return parse_u64(s, r.queue_delay_p50);
+  if (key == "queue_delay_p90") return parse_u64(s, r.queue_delay_p90);
+  if (key == "queue_delay_p99") return parse_u64(s, r.queue_delay_p99);
   return sim::jsonio::skip_value(s);  // unknown key: ignore for forward compat
 }
 
@@ -189,6 +199,15 @@ void write_result_jsonl(const RunResult& r, std::ostream& out) {
     out << ",\"telemetry_path\":\"" << json_escape(r.telemetry_path)
         << "\",\"telemetry_samples\":" << r.telemetry_samples
         << ",\"telemetry_dropped\":" << r.telemetry_dropped;
+  }
+  // Open-loop traffic fields only appear when arrivals were offered, so
+  // closed-loop rows keep the historical schema byte-for-byte.
+  if (r.offered_txns > 0) {
+    out << ",\"offered_txns\":" << r.offered_txns
+        << ",\"dropped_txns\":" << r.dropped_txns
+        << ",\"queue_delay_p50\":" << r.queue_delay_p50
+        << ",\"queue_delay_p90\":" << r.queue_delay_p90
+        << ",\"queue_delay_p99\":" << r.queue_delay_p99;
   }
   out << "}\n";
 }

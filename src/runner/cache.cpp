@@ -112,6 +112,29 @@ std::string params_repr(const metrics::ExperimentParams& p) {
       std::uint64_t{c.puno.commit_hint_entries});
   put(os, "puno.unicast_min_sharers",
       std::uint64_t{c.puno.unicast_min_sharers});
+  put(os, "traffic.arrivals_per_node",
+      std::uint64_t{c.traffic.arrivals_per_node});
+  put(os, "traffic.keys", c.traffic.keys);
+  put(os, "traffic.zipf_theta", c.traffic.zipf_theta);
+  put(os, "traffic.hot_keys", std::uint64_t{c.traffic.hot_keys});
+  put(os, "traffic.hot_frac", c.traffic.hot_frac);
+  put(os, "traffic.phase_cycles", c.traffic.phase_cycles);
+  os << " traffic.arrival=" << to_string(c.traffic.arrival);
+  put(os, "traffic.rate_per_kcycle",
+      std::uint64_t{c.traffic.rate_per_kcycle});
+  put(os, "traffic.burst_on_frac", c.traffic.burst_on_frac);
+  put(os, "traffic.burst_boost", c.traffic.burst_boost);
+  put(os, "traffic.burst_period", c.traffic.burst_period);
+  put(os, "traffic.diurnal_amplitude", c.traffic.diurnal_amplitude);
+  put(os, "traffic.diurnal_period", c.traffic.diurnal_period);
+  put(os, "traffic.queue_capacity", std::uint64_t{c.traffic.queue_capacity});
+  os << " traffic.placement=" << to_string(c.traffic.placement);
+  put(os, "traffic.keys_per_block", std::uint64_t{c.traffic.keys_per_block});
+  put(os, "traffic.update_frac", c.traffic.update_frac);
+  put(os, "traffic.counter_blocks",
+      std::uint64_t{c.traffic.counter_blocks});
+  put(os, "traffic.op_think_min", std::uint64_t{c.traffic.op_think_min});
+  put(os, "traffic.op_think_max", std::uint64_t{c.traffic.op_think_max});
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "traffic/registry.hpp"
 #include "workloads/stamp.hpp"
 
 namespace puno::runner {
@@ -168,6 +169,55 @@ template <typename Sub>
        set_u32(&SystemConfig::puno, &PunoConfig::commit_hint_entries)},
       {"puno.unicast_min_sharers",
        set_u32(&SystemConfig::puno, &PunoConfig::unicast_min_sharers)},
+      {"traffic.arrivals_per_node",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::arrivals_per_node)},
+      {"traffic.keys", set_u64(&SystemConfig::traffic, &TrafficConfig::keys)},
+      {"traffic.zipf_theta",
+       set_f64(&SystemConfig::traffic, &TrafficConfig::zipf_theta)},
+      {"traffic.hot_keys",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::hot_keys)},
+      {"traffic.hot_frac",
+       set_f64(&SystemConfig::traffic, &TrafficConfig::hot_frac)},
+      {"traffic.phase_cycles",
+       set_u64(&SystemConfig::traffic, &TrafficConfig::phase_cycles)},
+      {"traffic.arrival",
+       [](SystemConfig& c, std::string_view v) {
+         const auto k = arrival_kind_from_string(v);
+         if (!k) return false;
+         c.traffic.arrival = *k;
+         return true;
+       }},
+      {"traffic.rate_per_kcycle",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::rate_per_kcycle)},
+      {"traffic.burst_on_frac",
+       set_f64(&SystemConfig::traffic, &TrafficConfig::burst_on_frac)},
+      {"traffic.burst_boost",
+       set_f64(&SystemConfig::traffic, &TrafficConfig::burst_boost)},
+      {"traffic.burst_period",
+       set_u64(&SystemConfig::traffic, &TrafficConfig::burst_period)},
+      {"traffic.diurnal_amplitude",
+       set_f64(&SystemConfig::traffic, &TrafficConfig::diurnal_amplitude)},
+      {"traffic.diurnal_period",
+       set_u64(&SystemConfig::traffic, &TrafficConfig::diurnal_period)},
+      {"traffic.queue_capacity",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::queue_capacity)},
+      {"traffic.placement",
+       [](SystemConfig& c, std::string_view v) {
+         const auto m2 = placement_mode_from_string(v);
+         if (!m2) return false;
+         c.traffic.placement = *m2;
+         return true;
+       }},
+      {"traffic.keys_per_block",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::keys_per_block)},
+      {"traffic.update_frac",
+       set_f64(&SystemConfig::traffic, &TrafficConfig::update_frac)},
+      {"traffic.counter_blocks",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::counter_blocks)},
+      {"traffic.op_think_min",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::op_think_min)},
+      {"traffic.op_think_max",
+       set_u32(&SystemConfig::traffic, &TrafficConfig::op_think_max)},
   };
   return m;
 }
@@ -244,12 +294,24 @@ std::vector<Scheme> parse_scheme_list(std::string_view spec) {
 }
 
 std::vector<std::string> parse_workload_list(std::string_view spec) {
-  const auto& known = workloads::stamp::benchmark_names();
-  if (spec == "all") return known;
-  std::vector<std::string> names = split_list(spec);
-  for (const std::string& n : names) {
-    if (std::find(known.begin(), known.end(), n) == known.end()) {
-      throw std::invalid_argument("unknown workload '" + n + "'");
+  // "all" keeps its historical meaning (the 8 closed-loop STAMP profiles);
+  // "traffic" expands to the open-loop kernels; any registry name works
+  // explicitly. The two groups compose: "all,traffic" runs everything.
+  std::vector<std::string> names;
+  const auto known = traffic::registry::names();
+  for (const std::string& piece : split_list(spec)) {
+    if (piece == "all") {
+      const auto& stamp = workloads::stamp::benchmark_names();
+      names.insert(names.end(), stamp.begin(), stamp.end());
+    } else if (piece == "traffic") {
+      for (const auto& e : traffic::registry::entries()) {
+        if (e.open_loop) names.push_back(e.name);
+      }
+    } else if (std::find(known.begin(), known.end(), piece) != known.end()) {
+      names.push_back(piece);
+    } else {
+      throw std::invalid_argument("unknown workload '" + piece +
+                                  "' (see --list-workloads)");
     }
   }
   if (names.empty()) {
@@ -260,9 +322,8 @@ std::vector<std::string> parse_workload_list(std::string_view spec) {
 }
 
 std::vector<JobSpec> expand_grid(const GridSpec& grid) {
-  const auto& known = workloads::stamp::benchmark_names();
   for (const std::string& w : grid.workloads) {
-    if (std::find(known.begin(), known.end(), w) == known.end()) {
+    if (!traffic::registry::known(w)) {
       throw std::invalid_argument("unknown workload '" + w + "'");
     }
   }

@@ -60,7 +60,9 @@ struct GridSpec {
 /// Throws std::invalid_argument on an unknown scheme name.
 [[nodiscard]] std::vector<Scheme> parse_scheme_list(std::string_view spec);
 
-/// Parses "all" or a csv of STAMP benchmark names.
+/// Parses a csv of workload names from the registry. "all" expands to the 8
+/// STAMP profiles (the historical meaning), "traffic" to the open-loop
+/// traffic kernels; groups and names compose ("all,traffic" = everything).
 /// Throws std::invalid_argument on an unknown benchmark name.
 [[nodiscard]] std::vector<std::string> parse_workload_list(
     std::string_view spec);

@@ -130,6 +130,119 @@ struct HtmConfig {
   std::uint32_t limited_write_entries = 24;
 };
 
+/// Arrival process driven by the open-loop traffic engine (src/traffic).
+/// Spellings are the CLI/grid values of "traffic.arrival".
+enum class ArrivalKind : std::uint8_t {
+  kPoisson = 0,  ///< Memoryless: exponential inter-arrival times.
+  kOnOff = 1,    ///< Markov-style on/off bursts over a square-wave schedule.
+  kDiurnal = 2,  ///< Sinusoidal rate modulation (compressed day/night).
+};
+
+[[nodiscard]] constexpr const char* to_string(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kOnOff: return "onoff";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<ArrivalKind> arrival_kind_from_string(
+    std::string_view s) noexcept {
+  if (s == "poisson") return ArrivalKind::kPoisson;
+  if (s == "onoff") return ArrivalKind::kOnOff;
+  if (s == "diurnal") return ArrivalKind::kDiurnal;
+  return std::nullopt;
+}
+
+/// How the traffic engine maps logical keys onto cache blocks — the
+/// memory-placement adversary (cache-line co-location / false sharing).
+/// Spellings are the CLI/grid values of "traffic.placement".
+enum class PlacementMode : std::uint8_t {
+  kSpread = 0,   ///< One key per block: co-location forbidden.
+  kPack = 1,     ///< keys_per_block *adjacent* keys share a block.
+  kShuffle = 2,  ///< keys_per_block *unrelated* keys share a block (a
+                 ///< deterministic permutation packs arbitrary keys
+                 ///< together, like an adversarial allocator).
+};
+
+[[nodiscard]] constexpr const char* to_string(PlacementMode m) noexcept {
+  switch (m) {
+    case PlacementMode::kSpread: return "spread";
+    case PlacementMode::kPack: return "pack";
+    case PlacementMode::kShuffle: return "shuffle";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<PlacementMode>
+placement_mode_from_string(std::string_view s) noexcept {
+  if (s == "spread") return PlacementMode::kSpread;
+  if (s == "pack") return PlacementMode::kPack;
+  if (s == "shuffle") return PlacementMode::kShuffle;
+  return std::nullopt;
+}
+
+/// Knobs of the open-loop production-traffic engine (docs/TRAFFIC.md).
+/// Only the traffic-kernel workloads ("traffic-*") read these; the STAMP
+/// profiles ignore them. Every field flows through the grid setters
+/// ("traffic.*" keys) and the content-addressed result-cache key.
+struct TrafficConfig {
+  // --- workload volume -------------------------------------------------
+  /// Open-loop arrival quota per core (ExperimentParams::scale multiplies
+  /// it). The run ends when every core has drained its admitted arrivals.
+  std::uint32_t arrivals_per_node = 512;
+
+  // --- keyspace and skew ----------------------------------------------
+  /// Logical keys in the structure under test (can far exceed cache sizes).
+  std::uint64_t keys = 65536;
+  /// Zipfian skew parameter theta (0 = uniform, 0.99 = YCSB default,
+  /// >1 = extreme hot-key concentration). Ignored when hot_keys > 0.
+  double zipf_theta = 0.99;
+  /// When > 0, use a hot-set sampler instead of Zipf: hot_frac of accesses
+  /// land uniformly in a hot set of this many keys.
+  std::uint32_t hot_keys = 0;
+  double hot_frac = 0.9;
+  /// Hot-set migration period in cycles of *arrival time* (0 = static).
+  /// Every period the skewed region rotates to a different key range, the
+  /// phase-shifting contention a cache warmed on the old hot set mispredicts.
+  std::uint64_t phase_cycles = 0;
+
+  // --- arrival process -------------------------------------------------
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  /// Mean offered load per core, arrivals per 1000 cycles. (Integer so the
+  /// grid sweeps cleanly; 20 = one arrival per 50 cycles per core.)
+  std::uint32_t rate_per_kcycle = 20;
+  /// On/off bursts: fraction of each burst_period spent "on", and the rate
+  /// multiplier while on ("off" rate is scaled down to keep the mean).
+  double burst_on_frac = 0.2;
+  double burst_boost = 8.0;
+  std::uint64_t burst_period = 50'000;
+  /// Diurnal: sinusoidal modulation amplitude in [0,1) over diurnal_period.
+  double diurnal_amplitude = 0.8;
+  std::uint64_t diurnal_period = 200'000;
+
+  // --- open-loop queueing ----------------------------------------------
+  /// Bounded per-core arrival queue; arrivals past capacity are dropped
+  /// (counted as traffic.dropped — the load-shedding signal).
+  std::uint32_t queue_capacity = 64;
+
+  // --- placement adversary ---------------------------------------------
+  PlacementMode placement = PlacementMode::kSpread;
+  /// Logical keys co-located per cache block under pack/shuffle (>= 2
+  /// manufactures false sharing the conflict detector cannot distinguish).
+  std::uint32_t keys_per_block = 4;
+
+  // --- kernel shape ----------------------------------------------------
+  /// Fraction of map/set operations that update (write) vs look up.
+  double update_frac = 0.5;
+  /// Distinct counter blocks for the counter kernel (small = hotter).
+  std::uint32_t counter_blocks = 8;
+  /// Per-op compute think time bounds (cycles).
+  std::uint32_t op_think_min = 1;
+  std::uint32_t op_think_max = 4;
+};
+
 struct PunoConfig {
   std::uint32_t pbuffer_entries = 16;  ///< One per node (Table II).
   std::uint32_t txlb_entries = 32;     ///< Static transactions per node.
@@ -173,6 +286,7 @@ struct SystemConfig {
   CacheConfig cache;
   HtmConfig htm;
   PunoConfig puno;
+  TrafficConfig traffic;
   Scheme scheme = Scheme::kBaseline;
   std::uint64_t seed = 1;
 

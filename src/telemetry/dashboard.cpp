@@ -171,6 +171,35 @@ void write_dashboard_html(const DashboardMeta& meta,
        "#946b2d", "");
   out << "</div>\n";
 
+  // --- open-loop traffic (only for runs that actually offered load) ---
+  bool any_offered = false;
+  for (const TelemetrySample& s : samples) any_offered |= s.offered > 0;
+  if (any_offered) {
+    out << "<h2>Traffic</h2><div class=\"grid\">\n";
+    card(out, "offered arrivals / kcycle",
+         pluck(samples,
+               [](const auto& s) { return 1e3 * rate(s.offered, s.window); }),
+         "#4878cf", "");
+    card(out, "admitted arrivals / kcycle",
+         pluck(samples,
+               [](const auto& s) {
+                 return 1e3 * rate(s.admitted, s.window);
+               }),
+         "#2a9d4e", "");
+    card(out, "shed arrivals / kcycle",
+         pluck(samples,
+               [](const auto& s) { return 1e3 * rate(s.shed, s.window); }),
+         "#d0342c", "");
+    card(out, "drop rate (window)",
+         pluck(samples,
+               [](const auto& s) {
+                 const double o = static_cast<double>(s.offered);
+                 return o == 0 ? 0.0 : static_cast<double>(s.shed) / o;
+               }),
+         "#e8871e", "");
+    out << "</div>\n";
+  }
+
   // --- directory ---
   out << "<h2>Directory</h2><div class=\"grid\">\n";
   card(out, "entries mid-service (blocked)",

@@ -52,6 +52,9 @@ void write_u64_array(std::ostream& out, const std::vector<std::uint64_t>& v) {
   if (key == "mp_feedbacks") return parse_u64(s, r.mp_feedbacks);
   if (key == "pbuffer_usable") return parse_u64(s, r.pbuffer_usable);
   if (key == "txlb_entries") return parse_u64(s, r.txlb_entries);
+  if (key == "offered") return parse_u64(s, r.offered);
+  if (key == "admitted") return parse_u64(s, r.admitted);
+  if (key == "shed") return parse_u64(s, r.shed);
   if (key == "flits_sent") return parse_u64(s, r.flits_sent);
   if (key == "flits_ejected") return parse_u64(s, r.flits_ejected);
   if (key == "traversals") return parse_u64(s, r.traversals);
@@ -83,6 +86,8 @@ void write_sample_jsonl(const TelemetrySample& s, std::ostream& out) {
       << ",\"mp_feedbacks\":" << s.mp_feedbacks
       << ",\"pbuffer_usable\":" << s.pbuffer_usable
       << ",\"txlb_entries\":" << s.txlb_entries
+      << ",\"offered\":" << s.offered << ",\"admitted\":" << s.admitted
+      << ",\"shed\":" << s.shed
       << ",\"flits_sent\":" << s.flits_sent
       << ",\"flits_ejected\":" << s.flits_ejected
       << ",\"traversals\":" << s.traversals
@@ -149,8 +154,8 @@ std::string telemetry_csv_header(std::size_t num_nodes) {
       "cycle,window,cores_in_txn,cores_aborting,read_set_blocks,"
       "write_set_blocks,commits,aborts,false_aborts,notified_backoffs,nacks,"
       "dir_busy,dir_entries,txgetx_services,unicasts,multicasts,mp_feedbacks,"
-      "pbuffer_usable,txlb_entries,flits_sent,flits_ejected,traversals,"
-      "noc_buffered,noc_inflight";
+      "pbuffer_usable,txlb_entries,offered,admitted,shed,"
+      "flits_sent,flits_ejected,traversals,noc_buffered,noc_inflight";
   for (std::size_t i = 0; i < num_nodes; ++i) {
     h += ",core" + std::to_string(i);
   }
@@ -171,7 +176,8 @@ void write_telemetry_csv(const std::vector<TelemetrySample>& samples,
         << ',' << s.dir_busy << ',' << s.dir_entries << ','
         << s.txgetx_services << ',' << s.unicasts << ',' << s.multicasts
         << ',' << s.mp_feedbacks << ',' << s.pbuffer_usable << ','
-        << s.txlb_entries << ',' << s.flits_sent << ',' << s.flits_ejected
+        << s.txlb_entries << ',' << s.offered << ',' << s.admitted << ','
+        << s.shed << ',' << s.flits_sent << ',' << s.flits_ejected
         << ',' << s.traversals << ',' << s.noc_buffered << ','
         << s.noc_inflight;
     for (std::size_t i = 0; i < num_nodes; ++i) {

@@ -17,6 +17,16 @@ std::uint64_t read(sim::StatsRegistry& stats, const char* name) {
   return stats.counter(name).value();
 }
 
+/// Like read(), but never creates the counter. The traffic.* counters are
+/// registered lazily by OpenLoopWorkload::attach() precisely so closed-loop
+/// runs' stats dumps stay byte-identical; the sampler must not undo that.
+std::uint64_t read_if_present(const sim::StatsRegistry& stats,
+                              const char* name) {
+  const auto& counters = stats.counters();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value();
+}
+
 }  // namespace
 
 TelemetrySampler::TelemetrySampler(arch::Cmp& cmp, Cycle interval,
@@ -84,6 +94,9 @@ void TelemetrySampler::take_sample(Cycle cycles_completed) {
   cur.unicasts = read(stats, "puno.unicast_predictions");
   cur.multicasts = read(stats, "puno.multicast_fallbacks");
   cur.mp_feedbacks = read(stats, "dir.mp_feedbacks");
+  cur.offered = read_if_present(stats, "traffic.offered");
+  cur.admitted = read_if_present(stats, "traffic.admitted");
+  cur.shed = read_if_present(stats, "traffic.dropped");
   cur.flits_sent = read(stats, "noc.flits_sent");
   cur.flits_ejected = read(stats, "noc.flits_ejected");
   cur.traversals = read(stats, "noc.router_traversals");
@@ -97,6 +110,9 @@ void TelemetrySampler::take_sample(Cycle cycles_completed) {
   s.unicasts = cur.unicasts - prev_.unicasts;
   s.multicasts = cur.multicasts - prev_.multicasts;
   s.mp_feedbacks = cur.mp_feedbacks - prev_.mp_feedbacks;
+  s.offered = cur.offered - prev_.offered;
+  s.admitted = cur.admitted - prev_.admitted;
+  s.shed = cur.shed - prev_.shed;
   s.flits_sent = cur.flits_sent - prev_.flits_sent;
   s.flits_ejected = cur.flits_ejected - prev_.flits_ejected;
   s.traversals = cur.traversals - prev_.traversals;

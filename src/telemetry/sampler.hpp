@@ -57,6 +57,9 @@ class TelemetrySampler {
     std::uint64_t unicasts = 0;
     std::uint64_t multicasts = 0;
     std::uint64_t mp_feedbacks = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
     std::uint64_t flits_sent = 0;
     std::uint64_t flits_ejected = 0;
     std::uint64_t traversals = 0;

@@ -54,6 +54,11 @@ struct TelemetrySample {
                                      ///< threshold, summed over assists.
   std::uint64_t txlb_entries = 0;    ///< Live TxLB entries, summed over cores.
 
+  // --- open-loop traffic (deltas; all zero for closed-loop workloads) ---
+  std::uint64_t offered = 0;   ///< traffic.offered delta (arrivals).
+  std::uint64_t admitted = 0;  ///< traffic.admitted delta.
+  std::uint64_t shed = 0;      ///< traffic.dropped delta (load shedding).
+
   // --- NoC (deltas + gauges) ---
   std::uint64_t flits_sent = 0;     ///< noc.flits_sent delta.
   std::uint64_t flits_ejected = 0;  ///< noc.flits_ejected delta.

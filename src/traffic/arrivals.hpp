@@ -1,0 +1,113 @@
+// Open-loop arrival processes: when do requests reach a core, independent
+// of when the core can serve them.
+//
+// Every process is built on a Poisson stream at the configured *peak* rate,
+// thinned by a deterministic time-varying acceptance probability (Lewis &
+// Shedler's thinning method). This yields exact nonhomogeneous-Poisson
+// arrivals for the on/off and diurnal schedules while keeping every draw a
+// plain Rng call — seed-deterministic, one independent stream per core.
+//
+//   poisson  constant rate r
+//   onoff    square wave: "on" for on_frac of each period at rate
+//            r * boost, "off" at a floor rate chosen so the mean stays r
+//   diurnal  r * (1 + A sin(2 pi t / period)), a compressed day/night cycle
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace puno::traffic {
+
+/// Generates one core's monotonically non-decreasing arrival times, lazily.
+class ArrivalSchedule {
+ public:
+  /// `stream_seed`/`stream_id` seed this core's private Rng.
+  ArrivalSchedule(const TrafficConfig& cfg, std::uint64_t seed,
+                  std::uint64_t stream_id)
+      : cfg_(cfg), rng_(seed, stream_id) {
+    mean_rate_ = static_cast<double>(cfg.rate_per_kcycle) / 1000.0;
+    if (mean_rate_ <= 0.0) mean_rate_ = 1e-6;
+    switch (cfg.arrival) {
+      case ArrivalKind::kPoisson:
+        peak_rate_ = mean_rate_;
+        break;
+      case ArrivalKind::kOnOff: {
+        const double boost = std::max(1.0, cfg.burst_boost);
+        peak_rate_ = mean_rate_ * boost;
+        const double on = std::min(std::max(cfg.burst_on_frac, 0.0), 1.0);
+        // Solve on*boost + (1-on)*floor = 1 for the off-rate multiplier;
+        // clamp at 0 when the burst already carries more than the mean.
+        off_mult_ = on >= 1.0
+                        ? 1.0
+                        : std::max(0.0, (1.0 - on * boost) / (1.0 - on));
+        on_frac_ = on;
+        break;
+      }
+      case ArrivalKind::kDiurnal: {
+        const double amp = std::min(std::max(cfg.diurnal_amplitude, 0.0),
+                                    0.999);
+        amplitude_ = amp;
+        peak_rate_ = mean_rate_ * (1.0 + amp);
+        break;
+      }
+    }
+  }
+
+  /// The next arrival time at or after the previous one. Strictly advances
+  /// by at least one cycle per arrival so a bounded queue drains in finite
+  /// simulated time.
+  [[nodiscard]] std::uint64_t next() {
+    for (;;) {
+      // Exponential inter-arrival at the peak rate (candidate event).
+      const double u = rng_.next_double();
+      const double gap = -std::log(1.0 - u) / peak_rate_;
+      const auto step = static_cast<std::uint64_t>(
+          std::max(1.0, std::ceil(gap)));
+      t_ += step;
+      // Thinning: accept with prob rate(t)/peak.
+      const double accept = rate_multiplier(t_) * mean_rate_ / peak_rate_;
+      if (accept >= 1.0 || rng_.next_bool(accept)) return t_;
+    }
+  }
+
+  /// Instantaneous rate multiplier m(t) (mean rate x m(t) = rate at t).
+  [[nodiscard]] double rate_multiplier(std::uint64_t t) const {
+    switch (cfg_.arrival) {
+      case ArrivalKind::kPoisson:
+        return 1.0;
+      case ArrivalKind::kOnOff: {
+        const std::uint64_t period =
+            cfg_.burst_period == 0 ? 1 : cfg_.burst_period;
+        const double pos = static_cast<double>(t % period) /
+                           static_cast<double>(period);
+        return pos < on_frac_ ? std::max(1.0, cfg_.burst_boost) : off_mult_;
+      }
+      case ArrivalKind::kDiurnal: {
+        const std::uint64_t period =
+            cfg_.diurnal_period == 0 ? 1 : cfg_.diurnal_period;
+        const double phase = 2.0 * M_PI * static_cast<double>(t % period) /
+                             static_cast<double>(period);
+        return 1.0 + amplitude_ * std::sin(phase);
+      }
+    }
+    return 1.0;
+  }
+
+  [[nodiscard]] double mean_rate() const noexcept { return mean_rate_; }
+
+ private:
+  TrafficConfig cfg_;
+  sim::Rng rng_;
+  std::uint64_t t_ = 0;  ///< Time of the last generated arrival.
+  double mean_rate_ = 0.0;
+  double peak_rate_ = 0.0;
+  double on_frac_ = 0.0;
+  double off_mult_ = 1.0;
+  double amplitude_ = 0.0;
+};
+
+}  // namespace puno::traffic

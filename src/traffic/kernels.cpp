@@ -1,0 +1,161 @@
+#include "traffic/kernels.hpp"
+
+namespace puno::traffic {
+
+namespace {
+
+// Anchor-region layout (block indices inside Placement::anchor_addr space).
+constexpr std::uint64_t kQueueHeadAnchor = 0;
+constexpr std::uint64_t kQueueTailAnchor = 1;
+constexpr std::uint64_t kCounterAnchorBase = 16;   // counter_blocks cells
+constexpr std::uint64_t kBucketAnchorBase = 64;    // bucket directory
+constexpr std::uint64_t kBucketCount = 512;
+
+// Static transaction sites (TxLB keys); one per (kernel, operation) pair.
+constexpr StaticTxId kSiteMapGet = 1;
+constexpr StaticTxId kSiteMapPut = 2;
+constexpr StaticTxId kSiteSetContains = 3;
+constexpr StaticTxId kSiteSetUpdate = 4;
+constexpr StaticTxId kSiteQueueEnq = 5;
+constexpr StaticTxId kSiteQueueDeq = 6;
+constexpr StaticTxId kSiteCounterInc = 7;
+
+[[nodiscard]] constexpr std::uint64_t pc_base(StaticTxId site) noexcept {
+  return (static_cast<std::uint64_t>(site) + 1) << 16;
+}
+
+[[nodiscard]] std::uint64_t bucket_of(std::uint64_t key) noexcept {
+  // splitmix64 finalizer decorrelates adjacent keys across buckets.
+  std::uint64_t x = key;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x % kBucketCount;
+}
+
+}  // namespace
+
+const char* to_string(KernelKind k) noexcept {
+  switch (k) {
+    case KernelKind::kMap: return "map";
+    case KernelKind::kSet: return "set";
+    case KernelKind::kQueue: return "queue";
+    case KernelKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+std::optional<KernelKind> kernel_kind_from_string(
+    std::string_view s) noexcept {
+  if (s == "map") return KernelKind::kMap;
+  if (s == "set") return KernelKind::kSet;
+  if (s == "queue") return KernelKind::kQueue;
+  if (s == "counter") return KernelKind::kCounter;
+  return std::nullopt;
+}
+
+KernelGen::KernelGen(KernelKind kind, const TrafficConfig& cfg,
+                     std::uint32_t block_bytes)
+    : kind_(kind), cfg_(cfg), placement_(cfg, block_bytes) {}
+
+std::uint32_t KernelGen::think(sim::Rng& rng) const {
+  const std::uint32_t lo = cfg_.op_think_min;
+  const std::uint32_t hi =
+      cfg_.op_think_max < lo ? lo : cfg_.op_think_max;
+  return static_cast<std::uint32_t>(rng.next_range(lo, hi));
+}
+
+void KernelGen::push_op(workloads::TxnDesc& d, bool is_store, Addr addr,
+                        std::uint64_t pc, sim::Rng& rng) const {
+  workloads::TxOp op;
+  op.is_store = is_store;
+  op.addr = addr;
+  op.pc = pc;
+  op.pre_think = think(rng);
+  d.ops.push_back(op);
+}
+
+workloads::TxnDesc KernelGen::make(std::uint64_t key,
+                                   std::uint64_t arrival_cycle,
+                                   sim::Rng& rng) const {
+  workloads::TxnDesc d;
+  const Addr key_block = placement_.key_addr(key);
+
+  switch (kind_) {
+    case KernelKind::kMap: {
+      const Addr bucket =
+          placement_.anchor_addr(kBucketAnchorBase + bucket_of(key));
+      if (rng.next_bool(cfg_.update_frac)) {
+        d.static_id = kSiteMapPut;
+        const std::uint64_t pcs = pc_base(kSiteMapPut);
+        push_op(d, false, bucket, pcs + 0, rng);     // walk bucket head
+        push_op(d, false, key_block, pcs + 1, rng);  // find entry
+        push_op(d, true, key_block, pcs + 2, rng);   // RMW value in place
+        // One in eight puts rewires the bucket head (insert/rehash), the
+        // directory-write that serializes every reader of the bucket.
+        if (rng.next_bool(0.125)) {
+          push_op(d, true, bucket, pcs + 3, rng);
+        }
+      } else {
+        d.static_id = kSiteMapGet;
+        const std::uint64_t pcs = pc_base(kSiteMapGet);
+        push_op(d, false, bucket, pcs + 0, rng);
+        push_op(d, false, key_block, pcs + 1, rng);
+      }
+      break;
+    }
+    case KernelKind::kSet: {
+      if (rng.next_bool(cfg_.update_frac)) {
+        d.static_id = kSiteSetUpdate;
+        const std::uint64_t pcs = pc_base(kSiteSetUpdate);
+        push_op(d, false, key_block, pcs + 0, rng);  // membership probe
+        push_op(d, true, key_block, pcs + 1, rng);   // flip membership bit
+      } else {
+        d.static_id = kSiteSetContains;
+        const std::uint64_t pcs = pc_base(kSiteSetContains);
+        push_op(d, false, key_block, pcs + 0, rng);
+      }
+      break;
+    }
+    case KernelKind::kQueue: {
+      // The payload slot is the sampled key's block; head/tail anchors are
+      // the globally shared hot cells every core RMWs.
+      if (rng.next_bool(cfg_.update_frac)) {
+        d.static_id = kSiteQueueEnq;
+        const std::uint64_t pcs = pc_base(kSiteQueueEnq);
+        const Addr tail = placement_.anchor_addr(kQueueTailAnchor);
+        push_op(d, false, tail, pcs + 0, rng);       // load tail index
+        push_op(d, true, key_block, pcs + 1, rng);   // store payload
+        push_op(d, true, tail, pcs + 2, rng);        // bump tail (RMW)
+      } else {
+        d.static_id = kSiteQueueDeq;
+        const std::uint64_t pcs = pc_base(kSiteQueueDeq);
+        const Addr head = placement_.anchor_addr(kQueueHeadAnchor);
+        push_op(d, false, head, pcs + 0, rng);       // load head index
+        push_op(d, false, key_block, pcs + 1, rng);  // read payload
+        push_op(d, true, head, pcs + 2, rng);        // bump head (RMW)
+      }
+      break;
+    }
+    case KernelKind::kCounter: {
+      d.static_id = kSiteCounterInc;
+      const std::uint64_t pcs = pc_base(kSiteCounterInc);
+      const std::uint32_t cells =
+          cfg_.counter_blocks == 0 ? 1 : cfg_.counter_blocks;
+      // Skew the shard choice with the key sampler's key so hot keys map
+      // to hot counters (a sharded global statistic, not uniform striping).
+      const Addr cell =
+          placement_.anchor_addr(kCounterAnchorBase + key % cells);
+      push_op(d, false, cell, pcs + 0, rng);
+      push_op(d, true, cell, pcs + 1, rng);
+      break;
+    }
+  }
+
+  (void)arrival_cycle;  // keys are already phase-shifted by the sampler
+  return d;
+}
+
+}  // namespace puno::traffic

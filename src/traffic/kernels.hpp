@@ -1,0 +1,73 @@
+// Transactional data-structure kernels: the per-request transaction bodies
+// the open-loop engine replays (Proust-style design space: map, set, queue,
+// counter, with a tunable lookup/update mix).
+//
+// Each kernel turns one sampled key into a TxnDesc whose access pattern
+// mirrors the real structure's sharing behaviour:
+//
+//   map      bucket-directory read + key-block access; updates RMW the key
+//            block and occasionally rewire the bucket head
+//   set      membership probe on the key block; updates RMW it
+//   queue    MPMC queue: enqueue/dequeue RMW the shared tail/head anchor
+//            and touch a payload slot — queue-head contention incarnate
+//   counter  sharded hot counters: pure RMW on a tiny anchor set
+//
+// Static transaction ids and PCs are stable per (kernel, operation) site so
+// PC-indexed hardware (RMW predictor, TxLB) sees the same code locations
+// across dynamic instances, as with the STAMP profiles.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "traffic/placement.hpp"
+#include "traffic/sampler.hpp"
+#include "workloads/workload.hpp"
+
+namespace puno::traffic {
+
+enum class KernelKind : std::uint8_t {
+  kMap = 0,
+  kSet = 1,
+  kQueue = 2,
+  kCounter = 3,
+};
+
+/// Registry names are "traffic-" + this spelling.
+[[nodiscard]] const char* to_string(KernelKind k) noexcept;
+[[nodiscard]] std::optional<KernelKind> kernel_kind_from_string(
+    std::string_view s) noexcept;
+
+/// Stateless descriptor factory; all randomness comes from the caller's
+/// per-node Rng, all placement from the shared (deterministic) adversary.
+class KernelGen {
+ public:
+  KernelGen(KernelKind kind, const TrafficConfig& cfg,
+            std::uint32_t block_bytes);
+
+  /// Builds the transaction for a request on `key` arriving at
+  /// `arrival_cycle`. pre/post think are left 0 — the open-loop driver owns
+  /// inter-transaction timing.
+  [[nodiscard]] workloads::TxnDesc make(std::uint64_t key,
+                                        std::uint64_t arrival_cycle,
+                                        sim::Rng& rng) const;
+
+  [[nodiscard]] KernelKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return placement_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t think(sim::Rng& rng) const;
+  void push_op(workloads::TxnDesc& d, bool is_store, Addr addr,
+               std::uint64_t pc, sim::Rng& rng) const;
+
+  KernelKind kind_;
+  TrafficConfig cfg_;
+  Placement placement_;
+};
+
+}  // namespace puno::traffic

@@ -1,0 +1,124 @@
+// Memory-placement adversary: maps logical keys onto cache blocks.
+//
+// The HTM's conflict detector works at block granularity, so *where the
+// allocator puts keys* decides whether two logically independent
+// transactions conflict. This is the knob the TSX malloc-placement study
+// turns: co-locating unrelated hot objects on one line manufactures
+// transactional false sharing no software layer above can see.
+//
+//   spread   one key per block — co-location forbidden (the friendly
+//            allocator; conflicts are all logically real)
+//   pack     keys_per_block adjacent keys share a block (arrays/pools)
+//   shuffle  keys_per_block *unrelated* keys share a block: a
+//            deterministic keyspace permutation packs arbitrary keys
+//            together, the adversarial-allocator worst case
+//
+// The key region sits above a small reserved anchor region (queue heads,
+// counter cells) so kernels and keys never alias by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace puno::traffic {
+
+/// Blocks reserved at the bottom of the address space for kernel anchor
+/// structures (queue head/tail, counter cells, bucket directory base).
+inline constexpr std::uint64_t kAnchorRegionBlocks = 1024;
+
+class Placement {
+ public:
+  Placement(const TrafficConfig& cfg, std::uint32_t block_bytes)
+      : mode_(cfg.placement),
+        keys_(cfg.keys == 0 ? 1 : cfg.keys),
+        per_block_(cfg.keys_per_block == 0 ? 1 : cfg.keys_per_block),
+        block_bytes_(block_bytes) {
+    // Feistel domain: smallest even-bit-width power of two >= keys_.
+    std::uint32_t bits = 2;
+    while ((std::uint64_t{1} << bits) < keys_ && bits < 62) bits += 2;
+    half_bits_ = bits / 2;
+    half_mask_ = (std::uint64_t{1} << half_bits_) - 1;
+  }
+
+  /// The address of logical key `key` (block-aligned; the simulator's
+  /// conflict detection never looks below block granularity).
+  [[nodiscard]] Addr key_addr(std::uint64_t key) const {
+    std::uint64_t block;
+    switch (mode_) {
+      case PlacementMode::kSpread:
+        block = key;
+        break;
+      case PlacementMode::kPack:
+        block = key / per_block_;
+        break;
+      case PlacementMode::kShuffle:
+        block = permute(key) / per_block_;
+        break;
+      default:
+        block = key;
+        break;
+    }
+    return (kAnchorRegionBlocks + block) * block_bytes_;
+  }
+
+  /// Anchor cell `i` (kernel-owned structure heads, below the key region).
+  [[nodiscard]] Addr anchor_addr(std::uint64_t i) const {
+    return (i % kAnchorRegionBlocks) * block_bytes_;
+  }
+
+  /// Distinct blocks the key region occupies under this placement.
+  [[nodiscard]] std::uint64_t key_blocks() const {
+    if (mode_ == PlacementMode::kSpread) return keys_;
+    return (keys_ + per_block_ - 1) / per_block_;
+  }
+
+  [[nodiscard]] PlacementMode mode() const noexcept { return mode_; }
+
+  /// Deterministic bijection over [0, keys_): a 4-round fixed-key Feistel
+  /// network on the smallest power-of-two domain covering the keyspace,
+  /// cycle-walked back into [0, keys_) (expected < 2 walks since the
+  /// domain is < 4x the keyspace). Same key always lands on the same
+  /// block, so the adversary is reproducible across runs and schemes.
+  [[nodiscard]] std::uint64_t permute(std::uint64_t key) const {
+    std::uint64_t x = key;
+    do {
+      x = feistel(x);
+    } while (x >= keys_);
+    return x;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t feistel(std::uint64_t x) const {
+    std::uint64_t left = x >> half_bits_;
+    std::uint64_t right = x & half_mask_;
+    for (int round = 0; round < 4; ++round) {
+      const std::uint64_t f =
+          round_fn(right + (static_cast<std::uint64_t>(round) << 32));
+      const std::uint64_t next = left ^ (f & half_mask_);
+      left = right;
+      right = next;
+    }
+    return (left << half_bits_) | right;
+  }
+
+  /// splitmix64 finalizer as the Feistel round function.
+  [[nodiscard]] static std::uint64_t round_fn(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  PlacementMode mode_;
+  std::uint64_t keys_;
+  std::uint64_t per_block_;
+  std::uint64_t block_bytes_;
+  std::uint32_t half_bits_ = 1;
+  std::uint64_t half_mask_ = 1;
+};
+
+}  // namespace puno::traffic

@@ -1,0 +1,142 @@
+// Skewed key sampling for the production-traffic engine.
+//
+// Two families cover the service-traffic design space:
+//
+//  - ZipfianSampler: rank-frequency skew over an arbitrarily large keyspace
+//    (the YCSB/Gray et al. rejection-free construction). theta = 0 is
+//    uniform, 0.99 the YCSB default, > 1 concentrates most accesses on a
+//    handful of keys — the hot-key regime where block-granular conflict
+//    detection starts aborting logically independent transactions.
+//  - HotSetSampler: an explicit hot set of H keys absorbing a fixed
+//    fraction of accesses, the classic "working set + long tail" model.
+//
+// Both are wrapped by KeySampler, which adds phase shift: the sampler's
+// *preference order* is rotated across the keyspace every phase_cycles of
+// arrival time, so the hot keys migrate mid-run (diurnal contention drift).
+// Every draw comes from a caller-owned sim::Rng, so streams are
+// seed-deterministic and per-node decorrelated.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace puno::traffic {
+
+/// Zipf(theta) over [0, n): P(rank k) ∝ 1 / (k+1)^theta. Uses the
+/// Gray et al. closed-form inverse (as in YCSB's ZipfianGenerator): O(n)
+/// zeta precomputation at construction, O(1) per draw, no rejection loop.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(std::uint64_t n, double theta)
+      : n_(n == 0 ? 1 : n), theta_(theta) {
+    // The closed-form inverse has a pole at theta == 1; nudge off it (the
+    // distribution is continuous in theta, so this is invisible in draws).
+    if (theta_ > 0.999999 && theta_ < 1.000001) theta_ = 0.999999;
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Draws a rank in [0, n); rank 0 is the hottest key.
+  [[nodiscard]] std::uint64_t next(sim::Rng& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto k = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  [[nodiscard]] static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+/// Hot-set skew: with probability hot_frac draw uniformly from the first
+/// `hot` keys, otherwise uniformly from the remaining n - hot.
+class HotSetSampler {
+ public:
+  HotSetSampler(std::uint64_t n, std::uint64_t hot, double hot_frac)
+      : n_(n == 0 ? 1 : n),
+        hot_(hot == 0 ? 1 : (hot >= n_ ? n_ : hot)),
+        hot_frac_(hot_frac) {}
+
+  [[nodiscard]] std::uint64_t next(sim::Rng& rng) const {
+    if (hot_ >= n_ || rng.next_bool(hot_frac_)) {
+      return rng.next_below(hot_);
+    }
+    return hot_ + rng.next_below(n_ - hot_);
+  }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t hot_;
+  double hot_frac_;
+};
+
+/// The engine-facing sampler: Zipf or hot-set skew (per TrafficConfig) with
+/// a phase rotation on top. The underlying sampler produces a *rank* (hot
+/// keys first); the rotation maps ranks onto actual keys with an offset
+/// that advances every cfg.phase_cycles of arrival time, so which keys are
+/// hot changes mid-run while the skew *shape* stays fixed.
+class KeySampler {
+ public:
+  explicit KeySampler(const TrafficConfig& cfg)
+      : keys_(cfg.keys == 0 ? 1 : cfg.keys),
+        phase_cycles_(cfg.phase_cycles),
+        use_hot_set_(cfg.hot_keys > 0),
+        zipf_(keys_, cfg.hot_keys > 0 ? 0.0 : cfg.zipf_theta),
+        hot_(keys_, cfg.hot_keys, cfg.hot_frac) {}
+
+  /// Draws the key accessed by a transaction arriving at `arrival_cycle`.
+  [[nodiscard]] std::uint64_t next(std::uint64_t arrival_cycle,
+                                   sim::Rng& rng) const {
+    const std::uint64_t rank =
+        use_hot_set_ ? hot_.next(rng) : zipf_.next(rng);
+    return rotate(rank, phase(arrival_cycle));
+  }
+
+  /// Phase index for an arrival time (0 when phase shifting is off).
+  [[nodiscard]] std::uint64_t phase(std::uint64_t arrival_cycle) const {
+    return phase_cycles_ == 0 ? 0 : arrival_cycle / phase_cycles_;
+  }
+
+  /// Rank -> key under phase `p`: a keyspace rotation by a per-phase offset
+  /// decorrelated across phases (multiplying by a large odd constant), so
+  /// successive hot sets land in unrelated regions rather than sliding.
+  [[nodiscard]] std::uint64_t rotate(std::uint64_t rank,
+                                     std::uint64_t p) const {
+    if (p == 0) return rank;
+    const std::uint64_t offset = (p * 0x9E3779B97F4A7C15ULL) % keys_;
+    return (rank + offset) % keys_;
+  }
+
+  [[nodiscard]] std::uint64_t keys() const noexcept { return keys_; }
+
+ private:
+  std::uint64_t keys_;
+  std::uint64_t phase_cycles_;
+  bool use_hot_set_;
+  ZipfianSampler zipf_;
+  HotSetSampler hot_;
+};
+
+}  // namespace puno::traffic

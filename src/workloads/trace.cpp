@@ -1,29 +1,13 @@
 #include "workloads/trace.hpp"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+
+#include "workloads/trace_format.hpp"
 
 namespace puno::workloads {
 
-namespace {
-
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("trace parse error at line " +
-                           std::to_string(line) + ": " + what);
-}
-
-/// Parses "key=value" returning value; fails otherwise.
-std::uint64_t parse_kv(const std::string& token, const char* key,
-                       std::size_t line) {
-  const std::string prefix = std::string(key) + "=";
-  if (token.rfind(prefix, 0) != 0) {
-    fail(line, "expected '" + prefix + "...', got '" + token + "'");
-  }
-  return std::stoull(token.substr(prefix.size()));
-}
-
-}  // namespace
+namespace fmt = trace_format;
 
 TraceWorkload TraceWorkload::parse(std::istream& in) {
   TraceWorkload w;
@@ -37,53 +21,44 @@ TraceWorkload TraceWorkload::parse(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++lineno;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::string tok;
-    if (!(ls >> tok)) continue;  // blank/comment line
-
-    if (!header_seen) {
-      if (tok != "trace-v1") fail(lineno, "missing 'trace-v1' header");
-      if (!(ls >> w.name_)) w.name_ = "trace";
-      header_seen = true;
-      continue;
-    }
-
-    if (tok == "txn") {
-      if (in_txn) fail(lineno, "nested 'txn'");
-      std::uint64_t node = 0, sid = 0;
-      std::string pre, post;
-      if (!(ls >> node >> sid >> pre >> post)) fail(lineno, "bad 'txn' line");
-      cur = TxnDesc{};
-      cur.static_id = static_cast<StaticTxId>(sid);
-      cur.pre_think = static_cast<std::uint32_t>(parse_kv(pre, "pre", lineno));
-      cur.post_think =
-          static_cast<std::uint32_t>(parse_kv(post, "post", lineno));
-      cur_node = static_cast<NodeId>(node);
-      in_txn = true;
-    } else if (tok == "r" || tok == "w") {
-      if (!in_txn) fail(lineno, "'" + tok + "' outside a txn block");
-      std::uint64_t addr = 0;
-      std::string pc, think;
-      if (!(ls >> addr >> pc >> think)) fail(lineno, "bad op line");
-      TxOp op;
-      op.is_store = tok == "w";
-      op.addr = addr;
-      op.pc = parse_kv(pc, "pc", lineno);
-      op.pre_think =
-          static_cast<std::uint32_t>(parse_kv(think, "think", lineno));
-      cur.ops.push_back(op);
-    } else if (tok == "end") {
-      if (!in_txn) fail(lineno, "'end' outside a txn block");
-      w.streams_[cur_node].push_back(std::move(cur));
-      in_txn = false;
-    } else {
-      fail(lineno, "unknown directive '" + tok + "'");
+    const fmt::Line parsed = fmt::parse_line(line, lineno);
+    switch (parsed.kind) {
+      case fmt::Line::Kind::kBlank:
+        break;
+      case fmt::Line::Kind::kHeader:
+        if (header_seen) fmt::fail(lineno, "duplicate 'trace-v1' header");
+        w.name_ = parsed.name;
+        header_seen = true;
+        break;
+      case fmt::Line::Kind::kTxn:
+        if (!header_seen) fmt::fail(lineno, "missing 'trace-v1' header");
+        if (in_txn) fmt::fail(lineno, "nested 'txn'");
+        cur = TxnDesc{};
+        cur.static_id = parsed.static_id;
+        cur.pre_think = parsed.pre;
+        cur.post_think = parsed.post;
+        cur_node = parsed.node;
+        in_txn = true;
+        break;
+      case fmt::Line::Kind::kOp:
+        if (!header_seen) fmt::fail(lineno, "missing 'trace-v1' header");
+        if (!in_txn) {
+          fmt::fail(lineno, std::string("'") +
+                                (parsed.op.is_store ? "w" : "r") +
+                                "' outside a txn block");
+        }
+        cur.ops.push_back(parsed.op);
+        break;
+      case fmt::Line::Kind::kEnd:
+        if (!header_seen) fmt::fail(lineno, "missing 'trace-v1' header");
+        if (!in_txn) fmt::fail(lineno, "'end' outside a txn block");
+        w.streams_[cur_node].push_back(std::move(cur));
+        in_txn = false;
+        break;
     }
   }
-  if (in_txn) fail(lineno, "unterminated txn block");
-  if (!header_seen) fail(lineno, "empty trace");
+  if (in_txn) fmt::fail(lineno, "unterminated txn block");
+  if (!header_seen) fmt::fail(lineno, "empty trace");
   return w;
 }
 
@@ -98,6 +73,9 @@ void TraceWorkload::record(Workload& source, std::uint32_t num_nodes,
   out << "trace-v1 " << source.name() << "\n";
   for (NodeId n = 0; n < num_nodes; ++n) {
     std::uint32_t count = 0;
+    // max_per_node == 0 means unlimited: drain until the source's own
+    // next() runs dry for this node. Open-ended sources (infinite
+    // generators) must be bounded by the caller in that case.
     while (auto d = source.next(n)) {
       out << "txn " << n << " " << d->static_id << " pre=" << d->pre_think
           << " post=" << d->post_think << "\n";

@@ -27,13 +27,15 @@ namespace puno::workloads {
 class TraceWorkload final : public Workload {
  public:
   /// Parses a trace from a stream. Throws std::runtime_error on malformed
-  /// input (with a line number).
+  /// input, with the line number and the offending token in the message.
   static TraceWorkload parse(std::istream& in);
   /// Convenience: parse a file.
   static TraceWorkload load(const std::string& path);
 
-  /// Serializes any workload by draining it (up to `max_per_node`
-  /// descriptors per node, as next() is destructive).
+  /// Serializes any workload by draining it (next() is destructive).
+  /// `max_per_node` caps the descriptors written per node; 0 (the default)
+  /// means *unlimited* — drain each node until next() returns nullopt, so
+  /// the caller must bound open-ended sources itself.
   static void record(Workload& source, std::uint32_t num_nodes,
                      std::ostream& out, std::uint32_t max_per_node = 0);
 

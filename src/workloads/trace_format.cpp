@@ -1,0 +1,112 @@
+#include "workloads/trace_format.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace puno::workloads::trace_format {
+
+void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+std::uint64_t parse_kv(const std::string& token, const char* key,
+                       std::size_t line) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    fail(line, "expected '" + prefix + "...', got '" + token + "'");
+  }
+  const std::string value = token.substr(prefix.size());
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used);
+    if (used != value.size()) {
+      fail(line, "trailing garbage in '" + token + "'");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line, "non-numeric value in '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "value out of range in '" + token + "'");
+  }
+}
+
+namespace {
+
+// Bare numeric operand (node, sid, addr). Same validation as parse_kv's
+// value, but the whole token is the number.
+std::uint64_t parse_number(const std::string& token, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(token, &used);
+    if (used != token.size()) {
+      fail(line, "trailing garbage in '" + token + "'");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line, "non-numeric operand '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "value out of range in '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string first_token(const std::string& raw) {
+  std::size_t end = raw.find('#');
+  if (end == std::string::npos) end = raw.size();
+  std::size_t b = 0;
+  while (b < end && (raw[b] == ' ' || raw[b] == '\t')) ++b;
+  std::size_t e = b;
+  while (e < end && raw[e] != ' ' && raw[e] != '\t' && raw[e] != '\r') ++e;
+  return raw.substr(b, e - b);
+}
+
+Line parse_line(const std::string& raw, std::size_t line) {
+  std::string text = raw;
+  const auto hash = text.find('#');
+  if (hash != std::string::npos) text.resize(hash);
+
+  Line out;
+  std::istringstream ls(text);
+  std::string tok;
+  if (!(ls >> tok)) return out;  // kBlank
+
+  if (tok == "trace-v1") {
+    out.kind = Line::Kind::kHeader;
+    if (!(ls >> out.name)) out.name = "trace";
+    return out;
+  }
+  if (tok == "txn") {
+    std::string node, sid, pre, post;
+    if (!(ls >> node >> sid >> pre >> post)) {
+      fail(line, "bad 'txn' line: expected 'txn <node> <id> pre=N post=N'");
+    }
+    out.kind = Line::Kind::kTxn;
+    out.node = static_cast<NodeId>(parse_number(node, line));
+    out.static_id = static_cast<StaticTxId>(parse_number(sid, line));
+    out.pre = static_cast<std::uint32_t>(parse_kv(pre, "pre", line));
+    out.post = static_cast<std::uint32_t>(parse_kv(post, "post", line));
+    return out;
+  }
+  if (tok == "r" || tok == "w") {
+    std::string addr, pc, think;
+    if (!(ls >> addr >> pc >> think)) {
+      fail(line, "bad op line: expected '" + tok + " <addr> pc=N think=N'");
+    }
+    out.kind = Line::Kind::kOp;
+    out.op.is_store = tok == "w";
+    out.op.addr = parse_number(addr, line);
+    out.op.pc = parse_kv(pc, "pc", line);
+    out.op.pre_think =
+        static_cast<std::uint32_t>(parse_kv(think, "think", line));
+    return out;
+  }
+  if (tok == "end") {
+    out.kind = Line::Kind::kEnd;
+    return out;
+  }
+  fail(line, "unknown directive '" + tok + "'");
+}
+
+}  // namespace puno::workloads::trace_format

@@ -116,6 +116,52 @@ TEST(CacheKey, DistinguishesSystemConfigFields) {
   EXPECT_NE(cache_key(base), cache_key(p));
 }
 
+// The traffic engine's knobs all change simulated behaviour for traffic-*
+// workloads, so every TrafficConfig field must be keyed (the schema bump to
+// v6 expired pre-traffic entries).
+TEST(CacheKey, DistinguishesTrafficConfigFields) {
+  const ExperimentParams base;
+  ExperimentParams p = base;
+  p.base_config.traffic.arrivals_per_node += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.zipf_theta = 1.1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.hot_keys = 32;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.phase_cycles = 10'000;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.arrival = ArrivalKind::kOnOff;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.rate_per_kcycle += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.burst_boost = 2.5;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.queue_capacity += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.placement = PlacementMode::kShuffle;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.keys_per_block += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.update_frac = 0.75;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.counter_blocks += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.traffic.op_think_max += 1;
+  EXPECT_NE(cache_key(base), cache_key(p));
+}
+
 TEST(ResultCache, MissOnEmptyDirectory) {
   const ResultCache cache(fresh_dir("puno-cache-miss"));
   EXPECT_FALSE(cache.load(ExperimentParams{}).has_value());

@@ -303,6 +303,83 @@ TEST(Grid, RejectsUnknownWorkloadAndKey) {
   EXPECT_THROW(expand_grid(grid), std::invalid_argument);
 }
 
+TEST(Grid, WorkloadListParsing) {
+  // "all" keeps its historical meaning (the 8 STAMP profiles — the perf
+  // baseline depends on it); "traffic" adds the open-loop kernels and the
+  // groups compose.
+  const auto stamp_names = workloads::stamp::benchmark_names();
+  EXPECT_EQ(parse_workload_list("all"), stamp_names);
+  const auto traffic = parse_workload_list("traffic");
+  ASSERT_EQ(traffic.size(), 4u);
+  for (const std::string& name : traffic) {
+    EXPECT_EQ(name.rfind("traffic-", 0), 0u);
+  }
+  const auto composed = parse_workload_list("all,traffic");
+  EXPECT_EQ(composed.size(), stamp_names.size() + 4);
+  const auto mixed = parse_workload_list("kmeans,traffic-queue");
+  EXPECT_EQ(mixed,
+            (std::vector<std::string>{"kmeans", "traffic-queue"}));
+  EXPECT_THROW(parse_workload_list("traffic-heap"), std::invalid_argument);
+}
+
+TEST(Grid, TrafficOverridesFlowIntoJobSpecs) {
+  GridSpec grid;
+  grid.workloads = {"traffic-queue"};
+  grid.schemes = {Scheme::kBaseline};
+  grid.seeds = {1};
+  OverrideAxis theta;
+  theta.key = "traffic.zipf_theta";
+  theta.values = {"0.5", "1.1"};
+  grid.overrides.push_back(theta);
+  OverrideAxis placement;
+  placement.key = "traffic.placement";
+  placement.values = {"shuffle"};
+  grid.overrides.push_back(placement);
+
+  const std::vector<JobSpec> specs = expand_grid(grid);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_DOUBLE_EQ(specs[0].params.base_config.traffic.zipf_theta, 0.5);
+  EXPECT_DOUBLE_EQ(specs[1].params.base_config.traffic.zipf_theta, 1.1);
+  for (const JobSpec& s : specs) {
+    EXPECT_EQ(s.params.base_config.traffic.placement,
+              PlacementMode::kShuffle);
+  }
+  // Bad enum values are rejected at expansion, not at run time.
+  OverrideAxis bad;
+  bad.key = "traffic.arrival";
+  bad.values = {"sometimes"};
+  grid.overrides.push_back(bad);
+  EXPECT_THROW(expand_grid(grid), std::invalid_argument);
+}
+
+// The open-loop engine inside the parallel runner: per-job workload
+// construction keeps the determinism contract, so jobs=8 stays
+// byte-identical to jobs=1 with traffic workloads in the mix.
+TEST(Runner, TrafficSweepBitIdenticalAcrossJobCounts) {
+  GridSpec grid;
+  grid.workloads = {"traffic-map", "traffic-queue"};
+  grid.schemes = {Scheme::kBaseline, Scheme::kPuno};
+  grid.seeds = {1, 2};
+  grid.scale = 0.1;  // 51 arrivals per core
+  const std::vector<JobSpec> specs = expand_grid(grid);
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 8;
+  const SweepResult a = run_jobs(specs, serial);
+  const SweepResult b = run_jobs(specs, parallel);
+  EXPECT_EQ(a.failed, 0u);
+  EXPECT_EQ(b.failed, 0u);
+  EXPECT_EQ(results_csv(a), results_csv(b));
+  // Traffic rows actually carry the open-loop columns.
+  bool saw_offered = false;
+  for (const JobOutcome& o : a.outcomes) {
+    saw_offered |= o.result.offered_txns > 0;
+  }
+  EXPECT_TRUE(saw_offered);
+}
+
 TEST(Grid, SeedListParsing) {
   EXPECT_EQ(parse_seed_list("1,2,9"), (std::vector<std::uint64_t>{1, 2, 9}));
   EXPECT_EQ(parse_seed_list("3..6"), (std::vector<std::uint64_t>{3, 4, 5, 6}));

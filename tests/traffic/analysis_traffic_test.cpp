@@ -1,0 +1,96 @@
+// workloads::analysis over the open-loop traffic kernels: the static
+// profiler must see the knobs — more Zipfian skew concentrates accesses on
+// fewer blocks, hot sets shrink the effective footprint, and the queue
+// kernel's shared anchors dominate its access distribution.
+#include <gtest/gtest.h>
+
+#include "traffic/engine.hpp"
+#include "workloads/analysis.hpp"
+
+namespace puno::traffic {
+namespace {
+
+constexpr NodeId kNodes = 4;
+constexpr std::uint32_t kBlock = 64;
+
+[[nodiscard]] workloads::WorkloadProfile profile(KernelKind kind,
+                                                 const TrafficConfig& cfg) {
+  // Drain mode: analyze() consumes the stream without a simulator.
+  OpenLoopWorkload wl(kind, cfg, kNodes, 23, kBlock);
+  return workloads::analyze(wl, kNodes);
+}
+
+[[nodiscard]] TrafficConfig base_config() {
+  TrafficConfig cfg;
+  cfg.arrivals_per_node = 400;
+  cfg.keys = 8192;
+  cfg.update_frac = 0.5;
+  return cfg;
+}
+
+TEST(TrafficAnalysis, ZipfSkewConcentratesAccessesMonotonically) {
+  double prev_top16 = -1.0;
+  for (const double theta : {0.0, 0.6, 0.99, 1.3}) {
+    TrafficConfig cfg = base_config();
+    cfg.zipf_theta = theta;
+    const workloads::WorkloadProfile p = profile(KernelKind::kSet, cfg);
+    EXPECT_EQ(p.total_txns, 400u * kNodes);
+    EXPECT_GT(p.top16_access_share, prev_top16)
+        << "theta=" << theta << " must concentrate more than the last";
+    prev_top16 = p.top16_access_share;
+  }
+  // The high-skew end is genuinely hot-key traffic.
+  EXPECT_GT(prev_top16, 0.3);
+}
+
+TEST(TrafficAnalysis, SkewAlsoShrinksTheObservedFootprint) {
+  TrafficConfig uniform = base_config();
+  uniform.zipf_theta = 0.0;
+  TrafficConfig skewed = base_config();
+  skewed.zipf_theta = 1.3;
+  const auto pu = profile(KernelKind::kSet, uniform);
+  const auto ps = profile(KernelKind::kSet, skewed);
+  EXPECT_GT(pu.footprint_blocks, ps.footprint_blocks)
+      << "uniform traffic touches many more distinct blocks";
+}
+
+TEST(TrafficAnalysis, HotSetSamplerConcentratesLikeItsFraction) {
+  TrafficConfig cfg = base_config();
+  cfg.hot_keys = 8;
+  cfg.hot_frac = 0.9;
+  const workloads::WorkloadProfile p = profile(KernelKind::kSet, cfg);
+  // 90% of accesses land on 8 keys -> the top-16 blocks carry at least that.
+  EXPECT_GT(p.top16_access_share, 0.8);
+}
+
+TEST(TrafficAnalysis, QueueKernelIsAnchorDominated) {
+  // Every queue transaction RMWs the shared head or tail cell, so the
+  // hottest block absorbs a large share of accesses and is write-shared by
+  // every node — exactly the structure the PUNO paper targets.
+  const workloads::WorkloadProfile p =
+      profile(KernelKind::kQueue, base_config());
+  EXPECT_GT(p.hottest_block_share, 0.1);
+  EXPECT_GT(p.avg_sharing_degree, 1.0);
+  EXPECT_GT(p.write_shared_fraction, 0.0);
+}
+
+TEST(TrafficAnalysis, PackingShrinksFootprintVersusSpread) {
+  // Uniform sampling so the footprint geometry is clean (Zipf hot keys
+  // dominate and mute the placement effect), and enough volume that the
+  // key-region footprint dwarfs the fixed anchor-block floor shared by
+  // both placements.
+  TrafficConfig spread = base_config();
+  spread.zipf_theta = 0.0;
+  spread.arrivals_per_node = 2000;
+  spread.placement = PlacementMode::kSpread;
+  TrafficConfig packed = spread;
+  packed.placement = PlacementMode::kPack;
+  packed.keys_per_block = 8;
+  const auto ps = profile(KernelKind::kSet, spread);
+  const auto pp = profile(KernelKind::kSet, packed);
+  EXPECT_LT(pp.footprint_blocks * 2, ps.footprint_blocks)
+      << "packing 8 keys per block must shrink the footprint several-fold";
+}
+
+}  // namespace
+}  // namespace puno::traffic

@@ -1,0 +1,133 @@
+#include "traffic/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace puno::traffic {
+namespace {
+
+/// Mean arrivals per kcycle over `count` arrivals.
+[[nodiscard]] double measured_rate(ArrivalSchedule& sched, int count) {
+  std::uint64_t last = 0;
+  for (int i = 0; i < count; ++i) last = sched.next();
+  return 1000.0 * count / static_cast<double>(last);
+}
+
+TEST(ArrivalSchedule, TimesStrictlyIncrease) {
+  TrafficConfig cfg;
+  cfg.rate_per_kcycle = 100;
+  ArrivalSchedule sched(cfg, 1, 0);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t t = sched.next();
+    EXPECT_GT(t, prev);  // at least one cycle apart, so queues drain
+    prev = t;
+  }
+}
+
+TEST(ArrivalSchedule, DeterministicPerStream) {
+  TrafficConfig cfg;
+  cfg.arrival = ArrivalKind::kOnOff;
+  ArrivalSchedule a(cfg, 99, 0xA05);
+  ArrivalSchedule b(cfg, 99, 0xA05);
+  ArrivalSchedule other(cfg, 99, 0xA06);
+  bool diverged = false;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t t = a.next();
+    EXPECT_EQ(t, b.next());
+    diverged |= other.next() != t;
+  }
+  EXPECT_TRUE(diverged) << "per-core streams must be decorrelated";
+}
+
+TEST(ArrivalSchedule, PoissonHitsTheConfiguredMeanRate) {
+  TrafficConfig cfg;
+  cfg.rate_per_kcycle = 50;  // mean gap 20 cycles
+  ArrivalSchedule sched(cfg, 7, 1);
+  // Integer-cycle quantization (each gap is ceil'd and floored at 1) biases
+  // the realized rate slightly low; 15% covers it plus sampling noise.
+  EXPECT_NEAR(measured_rate(sched, 20000), 50.0, 50.0 * 0.15);
+}
+
+TEST(ArrivalSchedule, OnOffPreservesTheMeanRate) {
+  TrafficConfig cfg;
+  cfg.arrival = ArrivalKind::kOnOff;
+  cfg.rate_per_kcycle = 40;
+  cfg.burst_on_frac = 0.2;
+  cfg.burst_boost = 4.0;
+  cfg.burst_period = 10'000;
+  ArrivalSchedule sched(cfg, 21, 1);
+  EXPECT_NEAR(measured_rate(sched, 20000), 40.0, 40.0 * 0.15);
+}
+
+TEST(ArrivalSchedule, OnOffRateMultiplierIsASquareWave) {
+  TrafficConfig cfg;
+  cfg.arrival = ArrivalKind::kOnOff;
+  cfg.burst_on_frac = 0.25;
+  cfg.burst_boost = 3.0;
+  cfg.burst_period = 1000;
+  ArrivalSchedule sched(cfg, 1, 0);
+  EXPECT_DOUBLE_EQ(sched.rate_multiplier(100), 3.0);   // inside the burst
+  const double off = sched.rate_multiplier(600);       // outside
+  EXPECT_LT(off, 1.0);
+  // on*boost + (1-on)*off == 1 keeps the long-run mean at the base rate.
+  EXPECT_NEAR(0.25 * 3.0 + 0.75 * off, 1.0, 1e-9);
+}
+
+TEST(ArrivalSchedule, OnOffOffRateClampsAtZeroWhenBurstExceedsMean) {
+  // on_frac * boost = 0.25 * 8 = 2x the mean: no off-rate can compensate,
+  // so it clamps at 0 and the schedule is silent between bursts.
+  TrafficConfig cfg;
+  cfg.arrival = ArrivalKind::kOnOff;
+  cfg.burst_on_frac = 0.25;
+  cfg.burst_boost = 8.0;
+  cfg.burst_period = 1000;
+  ArrivalSchedule sched(cfg, 1, 0);
+  EXPECT_DOUBLE_EQ(sched.rate_multiplier(100), 8.0);
+  EXPECT_DOUBLE_EQ(sched.rate_multiplier(600), 0.0);
+}
+
+TEST(ArrivalSchedule, DiurnalRateMultiplierOscillates) {
+  TrafficConfig cfg;
+  cfg.arrival = ArrivalKind::kDiurnal;
+  cfg.diurnal_amplitude = 0.8;
+  cfg.diurnal_period = 1000;
+  ArrivalSchedule sched(cfg, 1, 0);
+  EXPECT_NEAR(sched.rate_multiplier(250), 1.8, 1e-6);  // sin peak
+  EXPECT_NEAR(sched.rate_multiplier(750), 0.2, 1e-6);  // sin trough
+  EXPECT_NEAR(sched.rate_multiplier(0), 1.0, 1e-6);
+}
+
+TEST(ArrivalSchedule, BurstsActuallyCluster) {
+  // On/off traffic at the same mean must show burstier gaps than Poisson:
+  // compare the variance of inter-arrival times.
+  TrafficConfig poisson;
+  poisson.rate_per_kcycle = 20;
+  TrafficConfig onoff = poisson;
+  onoff.arrival = ArrivalKind::kOnOff;
+  onoff.burst_on_frac = 0.1;
+  onoff.burst_boost = 10.0;
+  onoff.burst_period = 20'000;
+
+  const auto gap_variance = [](const TrafficConfig& cfg) {
+    ArrivalSchedule sched(cfg, 3, 2);
+    double sum = 0.0, sq = 0.0;
+    std::uint64_t prev = 0;
+    constexpr int kN = 10000;
+    for (int i = 0; i < kN; ++i) {
+      const std::uint64_t t = sched.next();
+      const double gap = static_cast<double>(t - prev);
+      prev = t;
+      sum += gap;
+      sq += gap * gap;
+    }
+    const double mean = sum / kN;
+    return sq / kN - mean * mean;
+  };
+
+  EXPECT_GT(gap_variance(onoff), 2.0 * gap_variance(poisson));
+}
+
+}  // namespace
+}  // namespace puno::traffic

@@ -1,0 +1,145 @@
+#include "traffic/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+#include "traffic/placement.hpp"
+
+namespace puno::traffic {
+namespace {
+
+constexpr std::uint32_t kBlock = 64;
+constexpr Addr kAnchorTop = kAnchorRegionBlocks * kBlock;
+
+[[nodiscard]] TrafficConfig config(double update_frac) {
+  TrafficConfig cfg;
+  cfg.keys = 4096;
+  cfg.update_frac = update_frac;
+  return cfg;
+}
+
+TEST(KernelGen, NameRoundTrip) {
+  for (const KernelKind k : {KernelKind::kMap, KernelKind::kSet,
+                             KernelKind::kQueue, KernelKind::kCounter}) {
+    EXPECT_EQ(kernel_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_FALSE(kernel_kind_from_string("heap").has_value());
+}
+
+TEST(KernelGen, LookupOnlyMixNeverWrites) {
+  // update_frac = 0: map and set degenerate to pure lookups.
+  for (const KernelKind k : {KernelKind::kMap, KernelKind::kSet}) {
+    const KernelGen gen(k, config(0.0), kBlock);
+    sim::Rng rng(1, 1);
+    for (int i = 0; i < 200; ++i) {
+      const workloads::TxnDesc d = gen.make(i % 4096, 0, rng);
+      ASSERT_FALSE(d.ops.empty());
+      for (const workloads::TxOp& op : d.ops) {
+        EXPECT_FALSE(op.is_store);
+      }
+    }
+  }
+}
+
+TEST(KernelGen, UpdateOnlyMixAlwaysWritesTheKeyBlock) {
+  const KernelGen gen(KernelKind::kMap, config(1.0), kBlock);
+  sim::Rng rng(2, 1);
+  for (int i = 0; i < 200; ++i) {
+    const workloads::TxnDesc d = gen.make(i, 0, rng);
+    bool wrote_key_region = false;
+    for (const workloads::TxOp& op : d.ops) {
+      wrote_key_region |= op.is_store && op.addr >= kAnchorTop;
+    }
+    EXPECT_TRUE(wrote_key_region);
+  }
+}
+
+TEST(KernelGen, QueueAlwaysRmwsASharedAnchor) {
+  // Both enqueue and dequeue read-then-write a head/tail anchor cell — the
+  // queue-head contention the paper's intruder/genome profiles exhibit.
+  const KernelGen gen(KernelKind::kQueue, config(0.5), kBlock);
+  sim::Rng rng(3, 1);
+  for (int i = 0; i < 200; ++i) {
+    const workloads::TxnDesc d = gen.make(i, 0, rng);
+    ASSERT_EQ(d.ops.size(), 3u);
+    EXPECT_LT(d.ops.front().addr, kAnchorTop);  // anchor load first
+    EXPECT_FALSE(d.ops.front().is_store);
+    EXPECT_LT(d.ops.back().addr, kAnchorTop);   // anchor store last
+    EXPECT_TRUE(d.ops.back().is_store);
+    EXPECT_EQ(d.ops.front().addr, d.ops.back().addr);
+  }
+}
+
+TEST(KernelGen, CounterConfinesItselfToTheConfiguredShards) {
+  TrafficConfig cfg = config(1.0);
+  cfg.counter_blocks = 4;
+  const KernelGen gen(KernelKind::kCounter, cfg, kBlock);
+  sim::Rng rng(4, 1);
+  std::set<Addr> cells;
+  for (int i = 0; i < 400; ++i) {
+    const workloads::TxnDesc d = gen.make(i, 0, rng);
+    ASSERT_EQ(d.ops.size(), 2u);
+    EXPECT_FALSE(d.ops[0].is_store);
+    EXPECT_TRUE(d.ops[1].is_store);
+    EXPECT_EQ(d.ops[0].addr, d.ops[1].addr);
+    EXPECT_LT(d.ops[0].addr, kAnchorTop);
+    cells.insert(d.ops[0].addr);
+  }
+  EXPECT_EQ(cells.size(), 4u);
+}
+
+TEST(KernelGen, StaticSitesAndPcsAreStable) {
+  // PC-indexed hardware (RMW predictor, TxLB) needs the same code sites
+  // across dynamic instances: every descriptor's pcs derive from its site.
+  const KernelGen gen(KernelKind::kMap, config(0.5), kBlock);
+  sim::Rng rng(5, 1);
+  std::set<StaticTxId> sites;
+  for (int i = 0; i < 300; ++i) {
+    const workloads::TxnDesc d = gen.make(i, 0, rng);
+    ASSERT_NE(d.static_id, 0u);
+    sites.insert(d.static_id);
+    for (const workloads::TxOp& op : d.ops) {
+      EXPECT_EQ(op.pc >> 16,
+                static_cast<std::uint64_t>(d.static_id) + 1);
+    }
+  }
+  EXPECT_EQ(sites.size(), 2u);  // map-get and map-put
+}
+
+TEST(KernelGen, DescriptorsAreDeterministic) {
+  const TrafficConfig cfg = config(0.5);
+  const KernelGen a(KernelKind::kSet, cfg, kBlock);
+  const KernelGen b(KernelKind::kSet, cfg, kBlock);
+  sim::Rng ra(6, 2), rb(6, 2);
+  for (int i = 0; i < 200; ++i) {
+    const workloads::TxnDesc da = a.make(i * 3, 100, ra);
+    const workloads::TxnDesc db = b.make(i * 3, 100, rb);
+    ASSERT_EQ(da.static_id, db.static_id);
+    ASSERT_EQ(da.ops.size(), db.ops.size());
+    for (std::size_t j = 0; j < da.ops.size(); ++j) {
+      EXPECT_EQ(da.ops[j].addr, db.ops[j].addr);
+      EXPECT_EQ(da.ops[j].is_store, db.ops[j].is_store);
+      EXPECT_EQ(da.ops[j].pc, db.ops[j].pc);
+      EXPECT_EQ(da.ops[j].pre_think, db.ops[j].pre_think);
+    }
+  }
+}
+
+TEST(KernelGen, OpThinkRespectsBounds) {
+  TrafficConfig cfg = config(0.5);
+  cfg.op_think_min = 3;
+  cfg.op_think_max = 7;
+  const KernelGen gen(KernelKind::kQueue, cfg, kBlock);
+  sim::Rng rng(8, 1);
+  for (int i = 0; i < 200; ++i) {
+    for (const workloads::TxOp& op : gen.make(i, 0, rng).ops) {
+      EXPECT_GE(op.pre_think, 3u);
+      EXPECT_LE(op.pre_think, 7u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace puno::traffic

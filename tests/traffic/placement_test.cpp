@@ -1,0 +1,111 @@
+#include "traffic/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace puno::traffic {
+namespace {
+
+constexpr std::uint32_t kBlock = 64;
+
+[[nodiscard]] TrafficConfig config(PlacementMode mode, std::uint64_t keys,
+                                   std::uint32_t per_block) {
+  TrafficConfig cfg;
+  cfg.placement = mode;
+  cfg.keys = keys;
+  cfg.keys_per_block = per_block;
+  return cfg;
+}
+
+TEST(Placement, SpreadGivesEveryKeyItsOwnBlock) {
+  const Placement p(config(PlacementMode::kSpread, 500, 4), kBlock);
+  std::set<Addr> blocks;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const Addr a = p.key_addr(k);
+    EXPECT_EQ(a % kBlock, 0u);
+    EXPECT_GE(a, kAnchorRegionBlocks * kBlock) << "keys must sit above the "
+                                                  "anchor region";
+    blocks.insert(a);
+  }
+  EXPECT_EQ(blocks.size(), 500u);
+  EXPECT_EQ(p.key_blocks(), 500u);
+}
+
+TEST(Placement, PackCoLocatesAdjacentKeys) {
+  const Placement p(config(PlacementMode::kPack, 100, 4), kBlock);
+  EXPECT_EQ(p.key_addr(0), p.key_addr(3));
+  EXPECT_NE(p.key_addr(3), p.key_addr(4));
+  EXPECT_EQ(p.key_addr(4), p.key_addr(7));
+  EXPECT_EQ(p.key_blocks(), 25u);
+}
+
+TEST(Placement, ShufflePermutationIsABijection) {
+  const Placement p(config(PlacementMode::kShuffle, 1000, 4), kBlock);
+  std::vector<bool> seen(1000, false);
+  bool moved_any = false;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t img = p.permute(k);
+    ASSERT_LT(img, 1000u);
+    ASSERT_FALSE(seen[img]) << "permute must be injective";
+    seen[img] = true;
+    moved_any |= img != k;
+  }
+  EXPECT_TRUE(moved_any);
+}
+
+TEST(Placement, ShuffleCoLocatesUnrelatedKeys) {
+  // The adversarial property: some block holds keys that are far apart in
+  // the logical keyspace (false sharing no software layer can see).
+  const Placement p(config(PlacementMode::kShuffle, 4096, 4), kBlock);
+  bool found_distant_pair = false;
+  for (std::uint64_t a = 0; a < 256 && !found_distant_pair; ++a) {
+    for (std::uint64_t b = a + 64; b < 4096; b += 97) {
+      if (p.key_addr(a) == p.key_addr(b)) {
+        found_distant_pair = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_distant_pair);
+}
+
+TEST(Placement, ShuffleIsDeterministicAcrossInstances) {
+  const Placement a(config(PlacementMode::kShuffle, 777, 3), kBlock);
+  const Placement b(config(PlacementMode::kShuffle, 777, 3), kBlock);
+  for (std::uint64_t k = 0; k < 777; ++k) {
+    EXPECT_EQ(a.key_addr(k), b.key_addr(k));
+  }
+}
+
+TEST(Placement, AnchorRegionNeverAliasesKeys) {
+  for (const PlacementMode mode :
+       {PlacementMode::kSpread, PlacementMode::kPack,
+        PlacementMode::kShuffle}) {
+    const Placement p(config(mode, 2048, 4), kBlock);
+    Addr max_anchor = 0;
+    for (std::uint64_t i = 0; i < kAnchorRegionBlocks + 10; ++i) {
+      max_anchor = std::max(max_anchor, p.anchor_addr(i));
+    }
+    for (std::uint64_t k = 0; k < 2048; k += 17) {
+      EXPECT_GT(p.key_addr(k), max_anchor);
+    }
+  }
+}
+
+TEST(Placement, TinyAndNonPowerOfTwoKeyspacesWork) {
+  for (const std::uint64_t keys : {1ull, 2ull, 3ull, 5ull, 65ull, 1025ull}) {
+    const Placement p(config(PlacementMode::kShuffle, keys, 2), kBlock);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t k = 0; k < keys; ++k) {
+      const std::uint64_t img = p.permute(k);
+      ASSERT_LT(img, keys);
+      images.insert(img);
+    }
+    EXPECT_EQ(images.size(), keys);
+  }
+}
+
+}  // namespace
+}  // namespace puno::traffic

@@ -1,0 +1,126 @@
+#include "traffic/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace puno::traffic {
+namespace {
+
+constexpr std::uint64_t kKeys = 1024;
+constexpr int kDraws = 20000;
+
+/// Fraction of draws landing on the 16 lowest ranks.
+[[nodiscard]] double top16_share(const ZipfianSampler& z, std::uint64_t seed) {
+  sim::Rng rng(seed, 7);
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.next(rng) < 16) ++hits;
+  }
+  return static_cast<double>(hits) / kDraws;
+}
+
+TEST(ZipfianSampler, SkewGrowsMonotonicallyWithTheta) {
+  // The defining property of the knob: more theta, more concentration.
+  const double s0 = top16_share(ZipfianSampler(kKeys, 0.0), 42);
+  const double s1 = top16_share(ZipfianSampler(kKeys, 0.5), 42);
+  const double s2 = top16_share(ZipfianSampler(kKeys, 0.99), 42);
+  const double s3 = top16_share(ZipfianSampler(kKeys, 1.2), 42);
+  EXPECT_LT(s0, s1);
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s3);
+  // theta = 0 is uniform: top-16 share is about 16/1024.
+  EXPECT_NEAR(s0, 16.0 / kKeys, 0.01);
+  // YCSB-default skew puts a large share on the head of the distribution.
+  EXPECT_GT(s2, 0.3);
+}
+
+TEST(ZipfianSampler, ThetaOnePoleIsSafe) {
+  // theta == 1 hits the closed-form pole; the sampler must nudge off it
+  // instead of dividing by zero.
+  const ZipfianSampler z(kKeys, 1.0);
+  sim::Rng rng(9, 1);
+  std::uint64_t max_rank = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t r = z.next(rng);
+    ASSERT_LT(r, kKeys);
+    max_rank = std::max(max_rank, r);
+  }
+  // Draws still spread beyond the head.
+  EXPECT_GT(max_rank, 16u);
+  EXPECT_GT(top16_share(z, 11), 0.3);
+}
+
+TEST(ZipfianSampler, RankZeroIsHottest) {
+  const ZipfianSampler z(kKeys, 0.99);
+  sim::Rng rng(3, 1);
+  std::vector<int> counts(kKeys, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[z.next(rng)];
+  EXPECT_EQ(std::distance(counts.begin(),
+                          std::max_element(counts.begin(), counts.end())),
+            0);
+}
+
+TEST(ZipfianSampler, DeterministicAcrossInstances) {
+  const ZipfianSampler a(kKeys, 0.8);
+  const ZipfianSampler b(kKeys, 0.8);
+  sim::Rng ra(17, 4), rb(17, 4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(ra), b.next(rb));
+  }
+}
+
+TEST(HotSetSampler, HotFractionIsRespected) {
+  constexpr std::uint64_t kHot = 10;
+  const HotSetSampler h(1000, kHot, 0.9);
+  sim::Rng rng(5, 2);
+  int hot_hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t r = h.next(rng);
+    ASSERT_LT(r, 1000u);
+    if (r < kHot) ++hot_hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_hits) / kDraws, 0.9, 0.02);
+}
+
+TEST(KeySampler, PhaseRotationMovesTheHotSet) {
+  TrafficConfig cfg;
+  cfg.keys = kKeys;
+  cfg.phase_cycles = 100;
+  const KeySampler s(cfg);
+
+  EXPECT_EQ(s.phase(0), 0u);
+  EXPECT_EQ(s.phase(99), 0u);
+  EXPECT_EQ(s.phase(100), 1u);
+  EXPECT_EQ(s.phase(250), 2u);
+
+  // Phase 0 is the identity; later phases shift ranks elsewhere but stay a
+  // bijection (a pure rotation).
+  EXPECT_EQ(s.rotate(7, 0), 7u);
+  EXPECT_NE(s.rotate(7, 1), 7u);
+  std::vector<bool> seen(kKeys, false);
+  for (std::uint64_t rank = 0; rank < kKeys; ++rank) {
+    const std::uint64_t key = s.rotate(rank, 3);
+    ASSERT_LT(key, kKeys);
+    ASSERT_FALSE(seen[key]);
+    seen[key] = true;
+  }
+  // Successive phases land in unrelated regions, not adjacent slides.
+  EXPECT_NE(s.rotate(0, 1), s.rotate(0, 2));
+}
+
+TEST(KeySampler, StaticWhenPhaseCyclesZero) {
+  TrafficConfig cfg;
+  cfg.keys = kKeys;
+  cfg.phase_cycles = 0;
+  const KeySampler s(cfg);
+  EXPECT_EQ(s.phase(1'000'000), 0u);
+  EXPECT_EQ(s.rotate(13, s.phase(1'000'000)), 13u);
+}
+
+}  // namespace
+}  // namespace puno::traffic

@@ -129,6 +129,56 @@ TEST(TraceWorkload, RecordHonoursPerNodeCap) {
   EXPECT_EQ(w.txns_for(1), 3u);
 }
 
+TEST(TraceWorkload, ParseErrorsNameTheLineAndOffendingToken) {
+  const auto message_of = [](const char* text) -> std::string {
+    std::istringstream in(text);
+    try {
+      (void)TraceWorkload::parse(in);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // Non-numeric operand: the token itself must appear in the message.
+  std::string msg =
+      message_of("trace-v1 x\ntxn 0 1 pre=0 post=0\nr banana pc=1 think=0\nend\n");
+  EXPECT_NE(msg.find("banana"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+
+  // Wrong key in a key=value pair.
+  msg = message_of("trace-v1 x\ntxn 0 1 zzz=0 post=0\nend\n");
+  EXPECT_NE(msg.find("zzz=0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+
+  // Unknown directive.
+  msg = message_of("trace-v1 x\nfrobnicate 1 2\n");
+  EXPECT_NE(msg.find("frobnicate"), std::string::npos) << msg;
+
+  // Value with trailing garbage.
+  msg = message_of("trace-v1 x\ntxn 0 1 pre=3x post=0\nend\n");
+  EXPECT_NE(msg.find("pre=3x"), std::string::npos) << msg;
+}
+
+TEST(TraceWorkload, RecordZeroCapDrainsTheSourceCompletely) {
+  // max_per_node = 0 means unlimited: every descriptor the source yields is
+  // written, so the replay matches an uncapped fresh generator node-for-node.
+  auto source = stamp::make("kmeans", 2, 3, 0.05);
+  std::ostringstream rec;
+  TraceWorkload::record(*source, 2, rec, /*max_per_node=*/0);
+
+  auto fresh = stamp::make("kmeans", 2, 3, 0.05);
+  std::size_t expect0 = 0, expect1 = 0;
+  while (fresh->next(0).has_value()) ++expect0;
+  while (fresh->next(1).has_value()) ++expect1;
+  ASSERT_GT(expect0, 0u);
+
+  std::istringstream in(rec.str());
+  TraceWorkload w = TraceWorkload::parse(in);
+  EXPECT_EQ(w.txns_for(0), expect0);
+  EXPECT_EQ(w.txns_for(1), expect1);
+}
+
 TEST(TraceWorkload, CommentsAndBlankLinesIgnored) {
   std::istringstream in(
       "trace-v1 c\n\n# full comment line\ntxn 0 1 pre=1 post=1 # trailing\n"
