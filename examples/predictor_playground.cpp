@@ -4,13 +4,16 @@
 // walk-through step by step on the component API (no full simulation).
 #include <cstdio>
 
+#include <string>
+
 #include "coherence/message.hpp"
+#include "coherence/sharer_set.hpp"
 #include "puno/puno_directory.hpp"
 #include "sim/kernel.hpp"
 
 int main() {
   using namespace puno;
-  using coherence::node_bit;
+  using coherence::SharerSet;
 
   sim::Kernel kernel;
   SystemConfig cfg;
@@ -37,14 +40,17 @@ int main() {
   dir.observe_request(3, /*ts=*/180, 500);
   show("(a) three TxGETS observed: priorities recorded");
 
-  const std::uint64_t sharers = node_bit(1) | node_bit(2) | node_bit(3);
+  SharerSet sharers;
+  sharers.add(1);
+  sharers.add(2);
+  sharers.add(3);
   NodeId ud = dir.recompute_ud(sharers);
   std::printf("  UD pointer -> node %u (highest priority = smallest ts)\n",
               ud);
 
   // (b) A TxGETX from node 2 (ts 250): node 1 (ts 100) out-prioritizes it,
   // so the directory unicasts.
-  NodeId target = dir.predict_unicast(sharers & ~node_bit(2), 2, 250, ud);
+  NodeId target = dir.predict_unicast(sharers.expand_excluding(2), 2, 250, ud);
   std::printf("\n-- (b) TxGETX from node2 (ts=250): %s --\n",
               target == kInvalidNode
                   ? "multicast (no usable older sharer)"
@@ -60,7 +66,7 @@ int main() {
   ud = dir.recompute_ud(sharers);
   std::printf("  UD pointer recomputed -> node %u\n", ud);
 
-  target = dir.predict_unicast(sharers & ~node_bit(2), 2, 250, ud);
+  target = dir.predict_unicast(sharers.expand_excluding(2), 2, 250, ud);
   std::printf("  next TxGETX from node2: %s%s\n",
               target == kInvalidNode ? "multicast" : "unicast to node ",
               target == kInvalidNode ? "" : std::to_string(target).c_str());

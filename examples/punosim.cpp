@@ -50,8 +50,13 @@
 namespace {
 
 void usage(const char* argv0) {
+  // Derive the machine-shape line from the real defaults so the help text
+  // can never go stale when the configuration changes.
+  const puno::SystemConfig defaults{};
   std::printf(
       "usage: %s [options]\n"
+      "simulates a %ux%u mesh of %u tiles by default; resize with\n"
+      "  --set num_nodes=N (or noc.mesh_width/noc.mesh_height), up to %u\n"
       "  --workload NAME   a registered workload: a STAMP profile or an\n"
       "                    open-loop traffic kernel (--list-workloads;\n"
       "                    default: intruder)\n"
@@ -95,7 +100,8 @@ void usage(const char* argv0) {
       "  --profile[=F]     time every component's tick/hook in host terms;\n"
       "                    prints the breakdown, and with F also writes the\n"
       "                    JSON form\n",
-      argv0);
+      argv0, defaults.noc.mesh_width, defaults.noc.rows(),
+      defaults.num_nodes, puno::kMaxNodes);
 }
 
 }  // namespace

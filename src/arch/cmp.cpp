@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace puno::arch {
 
@@ -38,7 +39,9 @@ using coherence::MsgType;
 }  // namespace
 
 Cmp::Cmp(const SystemConfig& cfg, workloads::Workload& workload) : cfg_(cfg) {
-  assert(cfg_.num_nodes == cfg_.noc.mesh_width * cfg_.noc.mesh_width);
+  if (auto err = validate(cfg_); err.has_value()) {
+    throw std::invalid_argument("SystemConfig: " + *err);
+  }
   mesh_ = std::make_unique<noc::Mesh>(kernel_, cfg_.noc);
   kernel_.add_tickable(*mesh_, "noc.mesh");
 

@@ -11,7 +11,6 @@ namespace {
 
 using coherence::Directory;
 using coherence::L1Controller;
-using coherence::node_bit;
 
 [[nodiscard]] const char* dir_state_name(Directory::DirState s) {
   switch (s) {
@@ -114,13 +113,13 @@ void InvariantChecker::check_dir_state(Cycle now) {
       if (e.busy) ++busy_seen;
       switch (e.state) {
         case Directory::DirState::kI:
-          if (e.sharers != 0 || e.owner != kInvalidNode) {
+          if (!e.sharers.empty() || e.owner != kInvalidNode) {
             report(InvariantId::kDirState, now, home, addr,
                    "state I but sharers/owner nonempty");
           }
           break;
         case Directory::DirState::kS:
-          if (e.sharers == 0) {
+          if (e.sharers.empty()) {
             report(InvariantId::kDirState, now, home, addr,
                    "state S with empty sharer list");
           }
@@ -134,7 +133,7 @@ void InvariantChecker::check_dir_state(Cycle now) {
             report(InvariantId::kDirState, now, home, addr,
                    "state EM without a valid owner");
           }
-          if (e.sharers != 0) {
+          if (!e.sharers.empty()) {
             report(InvariantId::kDirState, now, home, addr,
                    "state EM with a nonempty sharer list");
           }
@@ -194,8 +193,11 @@ void InvariantChecker::check_dir_l1(Cycle now) {
         case L1Controller::LineState::kS:
           // Sharer lists are stale-inclusive (silent S evictions), so the
           // list may name non-sharers but must never miss a real one.
+          // An over-approximating representation (coarse regions,
+          // limited-pointer broadcast) still satisfies this by
+          // construction: contains() never misses a real sharer.
           if (e->state == Directory::DirState::kS &&
-              (e->sharers & node_bit(node)) == 0) {
+              !e->sharers.contains(node)) {
             report(InvariantId::kDirL1, now, node, addr,
                    "L1 holds S but home's sharer list misses it");
           } else if (e->state == Directory::DirState::kI) {
@@ -252,7 +254,7 @@ void InvariantChecker::check_ud_pointer(Cycle now) {
                  "UD pointer set on an I entry");
           break;
         case Directory::DirState::kS:
-          if ((e.sharers & node_bit(e.ud)) == 0) {
+          if (!e.sharers.contains(e.ud)) {
             std::ostringstream os;
             os << "UD names node " << e.ud << ", not a current sharer";
             report(InvariantId::kUdPointer, now, home, addr, os.str());

@@ -13,8 +13,9 @@ Directory::Directory(sim::Kernel& kernel, const SystemConfig& cfg, NodeId node,
       cfg_(cfg),
       node_(node),
       send_(std::move(send)),
-      l2_(cfg.cache.l2_size_bytes / cfg.num_nodes, cfg.cache.l2_assoc,
-          cfg.cache.block_bytes),
+      sharer_params_(sharer_params(cfg)),
+      l2_(cfg.cache.l2_size_bytes / cfg.effective_l2_banks(),
+          cfg.cache.l2_assoc, cfg.cache.block_bytes),
       requests_(kernel.stats().counter("dir.requests")),
       tx_getx_services_(kernel.stats().counter("dir.txgetx_services")),
       unicast_forwards_(kernel.stats().counter("dir.unicast_forwards")),
@@ -28,6 +29,12 @@ Directory::Directory(sim::Kernel& kernel, const SystemConfig& cfg, NodeId node,
 const Directory::Entry* Directory::peek(BlockAddr addr) const {
   const auto it = entries_.find(addr);
   return it == entries_.end() ? nullptr : &it->second;
+}
+
+Directory::Entry& Directory::entry_at(BlockAddr addr) {
+  const auto [it, fresh] = entries_.try_emplace(addr);
+  if (fresh) it->second.sharers = SharerSet(sharer_params_);
+  return it->second;
 }
 
 Cycle Directory::data_latency(BlockAddr addr) {
@@ -72,7 +79,7 @@ void Directory::handle_message(const Message& msg) {
     case MsgType::kGetX:
     case MsgType::kPutX: {
       requests_.add();
-      Entry& e = entries_[msg.addr];
+      Entry& e = entry_at(msg.addr);
       if (e.busy) {
         e.pending.push_back(std::move(shared));
         return;
@@ -97,7 +104,7 @@ void Directory::handle_message(const Message& msg) {
 }
 
 void Directory::service(const std::shared_ptr<const Message>& msg) {
-  Entry& e = entries_[msg->addr];
+  Entry& e = entry_at(msg->addr);
   assert(!e.busy);
 
   if (msg->type == MsgType::kPutX) {
@@ -172,13 +179,16 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
       return;
     }
     case DirState::kS: {
-      const std::uint64_t others = e.sharers & ~node_bit(msg.requester);
-      const bool requester_is_sharer =
-          (e.sharers & node_bit(msg.requester)) != 0;
-      if (others == 0) {
+      // Exact invalidation targets, derived by expanding the (possibly
+      // lossy) sharer representation. Over-approximate representations add
+      // spurious targets here; non-holders ack them like the stale-sharer
+      // acks the protocol already tolerates.
+      const SharerSet others = e.sharers.expand_excluding(msg.requester);
+      const bool requester_is_sharer = e.sharers.contains(msg.requester);
+      if (others.empty()) {
         // Upgrade with no other sharers: a pure permission grant.
         e.kind = ServiceKind::kGetXMulticast;
-        e.inv_targets = 0;
+        e.inv_targets.clear();
         send_data(msg.requester, msg.addr, /*exclusive=*/true, 0,
                   /*sole=*/true, /*payload=*/!requester_is_sharer,
                   requester_is_sharer ? 1 : data_latency(msg.addr));
@@ -194,9 +204,10 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
         ud = assist_->predict_unicast(others, msg.requester, msg.ts, e.ud);
       }
       if (ud != kInvalidNode) {
-        assert((others & node_bit(ud)) != 0);
+        assert(others.contains(ud));
         e.kind = ServiceKind::kGetXUnicast;
-        e.inv_targets = node_bit(ud);
+        e.inv_targets.clear();
+        e.inv_targets.add(ud);
         unicast_forwards_.add();
         PUNO_TEV(kernel_, trace::Cat::kDir,
                  (trace::TraceEvent{
@@ -204,7 +215,7 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
                      .addr = msg.addr,
                      .ts = msg.ts,
                      .a = msg.requester,
-                     .b = static_cast<std::uint64_t>(std::popcount(others)),
+                     .b = others.count(),
                      .node = node_,
                      .peer = ud,
                      .kind = trace::EventKind::kGetxUnicast}));
@@ -227,13 +238,13 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
 
       e.kind = ServiceKind::kGetXMulticast;
       e.inv_targets = others;
-      const auto count = static_cast<std::uint32_t>(std::popcount(others));
+      const std::uint32_t count = others.count();
       multicast_invs_.add(count);
       PUNO_TEV(kernel_, trace::Cat::kDir,
                (trace::TraceEvent{.cycle = kernel_.now(),
                                   .addr = msg.addr,
                                   .ts = msg.ts,
-                                  .a = others,
+                                  .a = others.mask64(),
                                   .b = count,
                                   .node = node_,
                                   .peer = msg.requester,
@@ -241,8 +252,7 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
                                   .flags = msg.transactional
                                                ? std::uint8_t{1}
                                                : std::uint8_t{0}}));
-      for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
-        if ((others & node_bit(n)) == 0) continue;
+      others.for_each([&](NodeId n) {
         auto inv = std::make_shared<Message>();
         inv->type = MsgType::kInv;
         inv->addr = msg.addr;
@@ -253,7 +263,7 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
         kernel_.schedule(extra, [this, n, inv = std::move(inv)] {
           send_(n, inv);
         });
-      }
+      });
       send_data(msg.requester, msg.addr, /*exclusive=*/true, count,
                 /*sole=*/false, /*payload=*/!requester_is_sharer,
                 extra + (requester_is_sharer ? 1 : data_latency(msg.addr)));
@@ -261,7 +271,8 @@ void Directory::service_get_x(Entry& e, const Message& msg) {
     }
     case DirState::kEM: {
       e.kind = ServiceKind::kGetXOwned;
-      e.inv_targets = node_bit(e.owner);
+      e.inv_targets.clear();
+      e.inv_targets.add(e.owner);
       auto inv = std::make_shared<Message>();
       inv->type = MsgType::kInv;
       inv->addr = msg.addr;
@@ -323,35 +334,41 @@ void Directory::finish_service(Entry& e, const Message& unblock) {
       // Exclusive (E) grant.
       e.state = DirState::kEM;
       e.owner = req;
-      e.sharers = 0;
+      e.sharers.clear();
       break;
     case ServiceKind::kGetSShared:
       e.state = DirState::kS;
-      e.sharers |= node_bit(req);
+      e.sharers.add(req);
       break;
     case ServiceKind::kGetSOwned:
       if (unblock.success) {
         e.state = DirState::kS;
-        e.sharers = node_bit(e.owner) | node_bit(req);
+        e.sharers.clear();
+        e.sharers.add(e.owner);
+        e.sharers.add(req);
         e.owner = kInvalidNode;
       }
       break;
     case ServiceKind::kGetXIdle:
       e.state = DirState::kEM;
       e.owner = req;
-      e.sharers = 0;
+      e.sharers.clear();
       break;
     case ServiceKind::kGetXMulticast:
       if (unblock.success) {
         e.state = DirState::kEM;
         e.owner = req;
-        e.sharers = 0;
+        e.sharers.clear();
       } else {
         // Keep exactly the sharers that nacked (and the requester's own
         // copy if it was upgrading): the aborted sharers were invalidated.
-        e.sharers = (e.inv_targets & unblock.surviving_sharers) |
-                    (e.sharers & node_bit(req));
-        assert(e.sharers != 0);
+        // The exact survivor set is then re-encoded into the configured
+        // representation.
+        SharerSet kept =
+            SharerSet::intersect(e.inv_targets, unblock.surviving_sharers);
+        if (e.sharers.contains(req)) kept.add(req);
+        e.sharers.assign(kept);
+        assert(!e.sharers.empty());
       }
       break;
     case ServiceKind::kGetXUnicast:
@@ -367,7 +384,7 @@ void Directory::finish_service(Entry& e, const Message& unblock) {
       if (unblock.success) {
         e.state = DirState::kEM;
         e.owner = req;
-        e.sharers = 0;
+        e.sharers.clear();
       }
       break;
   }
@@ -387,10 +404,15 @@ void Directory::finish_service(Entry& e, const Message& unblock) {
 
   // Off the critical path: refresh this entry's UD pointer from the P-Buffer
   if (assist_ != nullptr) {
-    const std::uint64_t mask = e.state == DirState::kS ? e.sharers
-                               : e.state == DirState::kEM ? node_bit(e.owner)
-                                                          : 0;
-    e.ud = assist_->recompute_ud(mask);
+    if (e.state == DirState::kS) {
+      e.ud = assist_->recompute_ud(e.sharers);
+    } else if (e.state == DirState::kEM) {
+      SharerSet owner_only;
+      owner_only.add(e.owner);
+      e.ud = assist_->recompute_ud(owner_only);
+    } else {
+      e.ud = assist_->recompute_ud(SharerSet{});
+    }
   }
 
   e.busy = false;
@@ -400,12 +422,12 @@ void Directory::finish_service(Entry& e, const Message& unblock) {
 }
 
 void Directory::maybe_service_next(BlockAddr addr) {
-  Entry& e = entries_[addr];
+  Entry& e = entry_at(addr);
   if (e.busy || e.pending.empty()) return;
   auto next = std::move(e.pending.front());
   e.pending.pop_front();
   kernel_.schedule(1, [this, next = std::move(next)] {
-    Entry& entry = entries_[next->addr];
+    Entry& entry = entry_at(next->addr);
     if (entry.busy) {
       // A same-cycle race re-busied the line; requeue at the front.
       entry.pending.push_front(next);

@@ -35,6 +35,7 @@
 #include "coherence/cache_array.hpp"
 #include "coherence/hooks.hpp"
 #include "coherence/message.hpp"
+#include "coherence/sharer_set.hpp"
 #include "sim/config.hpp"
 #include "sim/kernel.hpp"
 
@@ -61,7 +62,9 @@ class Directory {
 
   struct Entry {
     DirState state = DirState::kI;
-    std::uint64_t sharers = 0;
+    /// Sharer list in the configured representation (DirectoryConfig::
+    /// sharer_rep) — the only representation-encoded, possibly lossy set.
+    SharerSet sharers;
     NodeId owner = kInvalidNode;
     NodeId ud = kInvalidNode;  ///< PUNO Unicast-Destination pointer.
 
@@ -70,7 +73,10 @@ class Directory {
     bool busy_tx_getx = false;
     ServiceKind kind = ServiceKind::kGetSIdle;
     NodeId busy_requester = kInvalidNode;
-    std::uint64_t inv_targets = 0;
+    /// Exact nodes the in-flight GETX invalidated (expansion of `sharers`
+    /// at service time), intersected with the UNBLOCK's survivors on a
+    /// failure to rebuild the sharer list.
+    SharerSet inv_targets;
     std::deque<std::shared_ptr<const Message>> pending;
   };
 
@@ -120,6 +126,9 @@ class Directory {
   }
 
  private:
+  /// entries_ accessor that imbues a freshly created entry's sharer list
+  /// with the configured representation.
+  Entry& entry_at(BlockAddr addr);
   void service(const std::shared_ptr<const Message>& msg);
   void service_get_s(Entry& e, const Message& msg);
   void service_get_x(Entry& e, const Message& msg);
@@ -143,6 +152,7 @@ class Directory {
   DirectoryAssist* assist_ = nullptr;
 
   std::unordered_map<BlockAddr, Entry> entries_;
+  SharerSet::Params sharer_params_;
   struct L2Meta {};
   CacheArray<L2Meta> l2_;
   std::size_t busy_entries_ = 0;

@@ -138,7 +138,7 @@ void L1Controller::issue_request() {
   m.responses = 0;
   m.nacks = 0;
   m.aborted_acks = 0;
-  m.nacker_mask = 0;
+  m.nackers.clear();
   m.best_notification = 0;
   m.mp_seen = false;
   m.mp_node = kInvalidNode;
@@ -206,7 +206,7 @@ void L1Controller::handle_response(const Message& msg) {
     case MsgType::kNack:
       ++m.responses;
       ++m.nacks;
-      m.nacker_mask |= node_bit(msg.sender);
+      m.nackers.add(msg.sender);
       if (msg.notification > m.best_notification) {
         m.best_notification = msg.notification;
       }
@@ -285,7 +285,7 @@ void L1Controller::complete_failure() {
 
   auto unblock = make_msg(MsgType::kUnblock, m.addr);
   unblock->success = false;
-  unblock->surviving_sharers = m.nacker_mask;
+  unblock->surviving_sharers = m.nackers;
   if (m.mp_seen) {
     // Misprediction feedback rides the UNBLOCK to the directory (Fig. 7).
     unblock->mp_bit = true;

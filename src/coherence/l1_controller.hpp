@@ -109,7 +109,9 @@ class L1Controller {
     std::uint32_t responses = 0;
     std::uint32_t nacks = 0;
     std::uint32_t aborted_acks = 0;
-    std::uint64_t nacker_mask = 0;
+    /// Exact set of nodes that nacked this issue (reported to the home on
+    /// the UNBLOCK as the surviving sharers).
+    SharerSet nackers;
     Cycle best_notification = 0;
     bool mp_seen = false;
     NodeId mp_node = kInvalidNode;

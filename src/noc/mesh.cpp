@@ -66,12 +66,15 @@ Mesh::Mesh(sim::Kernel& kernel, const NocConfig& cfg)
     });
   }
 
-  // Wire inter-router links in both directions.
+  // Wire inter-router links in both directions. Row-major ids: x in
+  // [0, mesh_width), y in [0, rows) — non-square meshes just have a
+  // different y bound.
   const auto width = static_cast<std::int32_t>(cfg_.mesh_width);
+  const auto rows = static_cast<std::int32_t>(cfg_.rows());
   for (NodeId i = 0; i < n; ++i) {
     const Coord c = coord_of(i, cfg_.mesh_width);
     const auto wire = [&](Port out, Coord nc) {
-      if (nc.x < 0 || nc.x >= width || nc.y < 0 || nc.y >= width) return;
+      if (nc.x < 0 || nc.x >= width || nc.y < 0 || nc.y >= rows) return;
       Router& here = *routers_[i];
       Router& there = *routers_[node_of(nc, cfg_.mesh_width)];
       const Port in = opposite(out);

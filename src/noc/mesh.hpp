@@ -42,7 +42,7 @@ class Mesh final : public sim::Tickable {
   Mesh& operator=(const Mesh&) = delete;
 
   [[nodiscard]] std::uint32_t num_nodes() const noexcept {
-    return cfg_.mesh_width * cfg_.mesh_width;
+    return cfg_.mesh_width * cfg_.rows();
   }
 
   void set_handler(NodeId node, MessageHandler h);

@@ -1,7 +1,7 @@
 // Transaction Priority Buffer (P-Buffer), Section III.B / Figure 5.
 //
-// One per directory (i.e. per node). N entries record the latest known
-// transaction priority (timestamp) of each node on the CMP, refreshed from
+// One per directory (i.e. per node). Entries record the latest known
+// transaction priority (timestamp) of nodes on the CMP, refreshed from
 // every incoming transactional coherence request. Each entry carries a 2-bit
 // validity counter driven by a shared rollover timeout:
 //
@@ -13,6 +13,16 @@
 //     prediction.
 //
 // Misprediction feedback (Section III.C) zeroes the offending entry.
+//
+// The paper sizes the buffer at one entry per node of its 16-core CMP.
+// Past that, the buffer is capacity-bounded: it tracks at most `capacity`
+// distinct nodes, and learning an untracked node when full evicts a victim
+// deterministically — lowest validity first (most stale), then youngest
+// timestamp (lowest priority, least likely to win a conflict), then the
+// highest node id. Evictions are the P-Buffer-pressure signal the scale
+// study reports (puno.pbuffer_evictions). With capacity >= num_nodes no
+// eviction can ever occur, so the paper's 16-node configuration behaves
+// exactly as the unbounded seed did.
 //
 // Units: `ts` is a transaction timestamp (priority), not a cycle count —
 // it is derived as begin_cycle * num_nodes + node, so smaller means older
@@ -42,51 +52,106 @@ class PBuffer {
     std::uint8_t validity = 0;  ///< 2-bit saturating counter, 0..3.
   };
 
-  explicit PBuffer(std::uint32_t num_entries) : entries_(num_entries) {}
+  /// Unbounded form (capacity == node count): the paper's configuration.
+  explicit PBuffer(std::uint32_t num_nodes) : PBuffer(num_nodes, num_nodes) {}
 
-  /// Refreshes node `n`'s priority from an incoming transactional request.
+  /// Capacity-bounded form: track at most `capacity` of `num_nodes` nodes.
+  PBuffer(std::uint32_t capacity, std::uint32_t num_nodes)
+      : slots_(num_nodes), capacity_(capacity == 0 ? num_nodes : capacity) {}
+
+  /// Refreshes node `n`'s priority from an incoming transactional request,
+  /// evicting a victim first if the buffer is full and `n` is untracked.
   void update(NodeId n, Timestamp ts) {
-    assert(n < entries_.size());
-    Entry& e = entries_[n];
-    e.ts = ts;
+    assert(n < slots_.size());
+    Slot& s = slots_[n];
+    if (!s.tracked) {
+      if (tracked_ == capacity_) evict_one();
+      s.tracked = true;
+      s.e = Entry{};
+      ++tracked_;
+    }
+    s.e.ts = ts;
     // Figure 5(b): +1 on update, +2 when reviving a fully stale entry.
-    const std::uint8_t inc = e.validity == 0 ? 2 : 1;
-    e.validity = static_cast<std::uint8_t>(
-        e.validity + inc > 3 ? 3 : e.validity + inc);
+    const std::uint8_t inc = s.e.validity == 0 ? 2 : 1;
+    s.e.validity = static_cast<std::uint8_t>(
+        s.e.validity + inc > 3 ? 3 : s.e.validity + inc);
   }
 
   /// Rollover-counter timeout: age every entry.
   void on_timeout() {
-    for (Entry& e : entries_) {
-      if (e.validity > 0) --e.validity;
+    for (Slot& s : slots_) {
+      if (s.e.validity > 0) --s.e.validity;
     }
   }
 
-  /// Misprediction feedback: the recorded priority was stale; kill it.
+  /// Misprediction feedback: the recorded priority was stale; kill it. The
+  /// entry stays allocated (a zero-validity entry, as in the paper).
   void invalidate(NodeId n) {
-    assert(n < entries_.size());
-    entries_[n].validity = 0;
+    assert(n < slots_.size());
+    slots_[n].e.validity = 0;
   }
 
+  /// Untracked nodes read as an empty entry (no priority, zero validity).
   [[nodiscard]] const Entry& get(NodeId n) const {
-    assert(n < entries_.size());
-    return entries_[n];
+    assert(n < slots_.size());
+    return slots_[n].e;
   }
 
   /// True if entry `n` may be used for unicast prediction (validity > 1,
   /// Section III.B).
   [[nodiscard]] bool usable(NodeId n,
                             std::uint8_t threshold = 1) const {
-    const Entry& e = entries_[n];
+    const Entry& e = slots_[n].e;
     return e.validity > threshold && e.ts != kInvalidTimestamp;
   }
 
-  [[nodiscard]] std::uint32_t size() const noexcept {
-    return static_cast<std::uint32_t>(entries_.size());
+  [[nodiscard]] bool tracked(NodeId n) const {
+    assert(n < slots_.size());
+    return slots_[n].tracked;
   }
+  [[nodiscard]] std::uint32_t tracked_count() const noexcept {
+    return tracked_;
+  }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  /// Node-id index range (== num_nodes).
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  /// Total capacity evictions so far (the scale study's pressure metric).
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
  private:
-  std::vector<Entry> entries_;
+  struct Slot {
+    Entry e;
+    bool tracked = false;
+  };
+
+  void evict_one() {
+    // Deterministic victim: lowest validity, then youngest (largest)
+    // timestamp — kInvalidTimestamp sorts youngest of all — then highest id.
+    NodeId victim = kInvalidNode;
+    std::uint8_t vv = 0;
+    Timestamp vts = 0;
+    for (NodeId n = 0; n < slots_.size(); ++n) {
+      const Slot& s = slots_[n];
+      if (!s.tracked) continue;
+      if (victim == kInvalidNode || s.e.validity < vv ||
+          (s.e.validity == vv && s.e.ts >= vts)) {
+        victim = n;
+        vv = s.e.validity;
+        vts = s.e.ts;
+      }
+    }
+    assert(victim != kInvalidNode);
+    slots_[victim] = Slot{};
+    --tracked_;
+    ++evictions_;
+  }
+
+  std::vector<Slot> slots_;  ///< Indexed by node id.
+  std::uint32_t capacity_;
+  std::uint32_t tracked_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace puno::core

@@ -13,7 +13,7 @@ PunoDirectory::PunoDirectory(sim::Kernel& kernel, const SystemConfig& cfg,
     : kernel_(kernel),
       cfg_(cfg),
       node_(node),
-      pbuf_(cfg.puno.pbuffer_entries),
+      pbuf_(cfg.effective_pbuffer_entries(), cfg.num_nodes),
       period_(cfg.puno.min_timeout),
       predictions_(kernel.stats().counter("puno.unicast_predictions")),
       multicast_fallbacks_(kernel.stats().counter("puno.multicast_fallbacks")) {
@@ -21,7 +21,16 @@ PunoDirectory::PunoDirectory(sim::Kernel& kernel, const SystemConfig& cfg,
 
 void PunoDirectory::observe_request(NodeId src, Timestamp ts,
                                     Cycle avg_txn_len) {
+  const std::uint64_t evictions_before = pbuf_.evictions();
   pbuf_.update(src, ts);
+  if (pbuf_.evictions() != evictions_before) {
+    // Lazily created: a P-Buffer with capacity >= num_nodes never evicts,
+    // so the counter never appears in those runs' stats dumps.
+    if (pbuffer_evictions_ == nullptr) {
+      pbuffer_evictions_ = &kernel_.stats().counter("puno.pbuffer_evictions");
+    }
+    pbuffer_evictions_->add(pbuf_.evictions() - evictions_before);
+  }
   if (avg_txn_len > 0) {
     // Adaptive timeout: EWMA of the requesters' average transaction lengths,
     // scaled by the configured fraction.
@@ -46,13 +55,12 @@ void PunoDirectory::schedule_rollover() {
   });
 }
 
-NodeId PunoDirectory::predict_unicast(std::uint64_t sharer_mask,
+NodeId PunoDirectory::predict_unicast(const coherence::SharerSet& sharers,
                                       NodeId requester, Timestamp req_ts,
                                       NodeId ud_hint) {
   // No unicast for single-sharer lines: false aborting needs at least one
   // nacker plus one aborted sharer, which a lone sharer cannot produce.
-  if (static_cast<std::uint32_t>(std::popcount(sharer_mask)) <
-      cfg_.puno.unicast_min_sharers) {
+  if (sharers.count() < cfg_.puno.unicast_min_sharers) {
     multicast_fallbacks_.add();
     PUNO_TEV(kernel_, trace::Cat::kPuno,
              (trace::TraceEvent{.cycle = kernel_.now(),
@@ -65,7 +73,7 @@ NodeId PunoDirectory::predict_unicast(std::uint64_t sharer_mask,
   // The UD pointer indexes the P-Buffer; unicast only when the pointed-to
   // sharer is still predicted valid and out-prioritizes the requester.
   if (cfg_.puno.enable_unicast && ud_hint != kInvalidNode &&
-      (sharer_mask & coherence::node_bit(ud_hint)) != 0 &&
+      sharers.contains(ud_hint) &&
       pbuf_.usable(ud_hint, cfg_.puno.validity_threshold) &&
       pbuf_.get(ud_hint).ts < req_ts) {
     predictions_.add();
@@ -89,18 +97,20 @@ NodeId PunoDirectory::predict_unicast(std::uint64_t sharer_mask,
   return kInvalidNode;
 }
 
-NodeId PunoDirectory::recompute_ud(std::uint64_t sharer_mask) {
+NodeId PunoDirectory::recompute_ud(const coherence::SharerSet& sharers) {
   NodeId best = kInvalidNode;
   Timestamp best_ts = kInvalidTimestamp;
-  for (NodeId n = 0; n < pbuf_.size(); ++n) {
-    if ((sharer_mask & coherence::node_bit(n)) == 0) continue;
+  // Ascending-id iteration keeps tie-breaks (strictly-older wins; equal
+  // timestamps keep the lowest id) identical to the pre-SharerSet loop.
+  sharers.for_each([&](NodeId n) {
+    if (n >= pbuf_.size()) return;
     const PBuffer::Entry& e = pbuf_.get(n);
-    if (e.validity == 0 || e.ts == kInvalidTimestamp) continue;
+    if (e.validity == 0 || e.ts == kInvalidTimestamp) return;
     if (e.ts < best_ts) {
       best_ts = e.ts;
       best = n;
     }
-  }
+  });
   return best;
 }
 

@@ -48,13 +48,14 @@ class PunoDirectory final : public coherence::DirectoryAssist {
   /// to forward to (the UD hint, revalidated against the P-Buffer), or
   /// kInvalidNode to fall back to multicast (no usable prediction, or the
   /// predicted sharer would lose to the requester anyway).
-  [[nodiscard]] NodeId predict_unicast(std::uint64_t sharer_mask,
+  [[nodiscard]] NodeId predict_unicast(const coherence::SharerSet& sharers,
                                        NodeId requester, Timestamp req_ts,
                                        NodeId ud_hint) override;
   /// Recomputes a directory entry's UD pointer: the highest-priority
   /// (oldest-timestamp) sharer with a live (validity > 0) P-Buffer entry,
   /// else kInvalidNode. Runs off the critical path (on UNBLOCK).
-  [[nodiscard]] NodeId recompute_ud(std::uint64_t sharer_mask) override;
+  [[nodiscard]] NodeId recompute_ud(const coherence::SharerSet& sharers)
+      override;
   /// MP-bit feedback: the unicast sent to `mp_node` was wasted; zero its
   /// P-Buffer validity so it cannot misdirect again until refreshed.
   void on_misprediction(NodeId mp_node) override;
@@ -80,6 +81,10 @@ class PunoDirectory final : public coherence::DirectoryAssist {
 
   sim::Counter& predictions_;
   sim::Counter& multicast_fallbacks_;
+  /// Created lazily on the first capacity eviction, so configurations that
+  /// never overflow the P-Buffer (capacity >= num_nodes, e.g. the paper's
+  /// 16-node CMP) keep a byte-identical stats registry.
+  sim::Counter* pbuffer_evictions_ = nullptr;
 };
 
 }  // namespace puno::core

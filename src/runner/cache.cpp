@@ -68,6 +68,7 @@ std::string params_repr(const metrics::ExperimentParams& p) {
   // c.scheme and c.seed are overwritten from the params at run time, so they
   // are deliberately not part of the key.
   put(os, "noc.mesh_width", std::uint64_t{c.noc.mesh_width});
+  put(os, "noc.mesh_height", std::uint64_t{c.noc.mesh_height});
   put(os, "noc.num_vnets", std::uint64_t{c.noc.num_vnets});
   put(os, "noc.vcs_per_vnet", std::uint64_t{c.noc.vcs_per_vnet});
   put(os, "noc.vc_depth", std::uint64_t{c.noc.vc_depth});
@@ -85,6 +86,11 @@ std::string params_repr(const metrics::ExperimentParams& p) {
   put(os, "cache.memory_latency", std::uint64_t{c.cache.memory_latency});
   put(os, "cache.num_memory_controllers",
       std::uint64_t{c.cache.num_memory_controllers});
+  put(os, "cache.l2_banks", std::uint64_t{c.cache.l2_banks});
+  os << " dir.sharer_rep=" << to_string(c.dir.sharer_rep);
+  put(os, "dir.coarse_region", std::uint64_t{c.dir.coarse_region});
+  put(os, "dir.limited_pointers", std::uint64_t{c.dir.limited_pointers});
+  put(os, "dir.shards", std::uint64_t{c.dir.shards});
   put(os, "htm.fixed_backoff", std::uint64_t{c.htm.fixed_backoff});
   put(os, "htm.backoff_slot", std::uint64_t{c.htm.backoff_slot});
   put(os, "htm.backoff_max_slots", std::uint64_t{c.htm.backoff_max_slots});

@@ -33,7 +33,7 @@ namespace puno::runner {
 
 /// Bump when simulator behaviour or the cache layout changes so every stale
 /// entry self-expires. (Continues the old bench-cache numbering.)
-inline constexpr int kCacheSchemaVersion = 6;
+inline constexpr int kCacheSchemaVersion = 7;
 
 /// 64-bit FNV-1a.
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;

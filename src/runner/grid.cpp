@@ -81,30 +81,54 @@ template <typename Sub>
   };
 }
 
-/// num_nodes and noc.mesh_width must stay coupled (num_nodes == width^2).
+/// num_nodes and the mesh dimensions must stay coupled
+/// (num_nodes == mesh_width * rows()). Setting either dimension recomputes
+/// num_nodes; setting num_nodes re-derives the dimensions.
 [[nodiscard]] bool set_mesh_width(SystemConfig& c, std::string_view v) {
   std::uint32_t w = 0;
   if (!parse_u32(v, w) || w == 0) return false;
   c.noc.mesh_width = w;
-  c.num_nodes = w * w;
+  c.num_nodes = w * c.noc.rows();
+  return true;
+}
+
+[[nodiscard]] bool set_mesh_height(SystemConfig& c, std::string_view v) {
+  std::uint32_t h = 0;
+  if (!parse_u32(v, h)) return false;  // 0 = square (height == width)
+  c.noc.mesh_height = h;
+  c.num_nodes = c.noc.mesh_width * c.noc.rows();
   return true;
 }
 
 [[nodiscard]] bool set_num_nodes(SystemConfig& c, std::string_view v) {
   std::uint32_t n = 0;
   if (!parse_u32(v, n) || n == 0) return false;
-  const auto w = static_cast<std::uint32_t>(
+  const auto r = static_cast<std::uint32_t>(
       std::lround(std::sqrt(static_cast<double>(n))));
-  if (w * w != n) return false;  // the CMP asserts a square mesh
-  c.num_nodes = n;
-  c.noc.mesh_width = w;
-  return true;
+  if (r * r == n) {
+    // Perfect square: keep the mesh square.
+    c.num_nodes = n;
+    c.noc.mesh_width = r;
+    c.noc.mesh_height = 0;
+    return true;
+  }
+  // Otherwise pick the most square w x h factorisation (w >= h).
+  for (std::uint32_t h = r; h >= 1; --h) {
+    if (n % h == 0) {
+      c.num_nodes = n;
+      c.noc.mesh_width = n / h;
+      c.noc.mesh_height = h;
+      return true;
+    }
+  }
+  return false;
 }
 
 [[nodiscard]] const std::map<std::string, Setter>& setters() {
   static const std::map<std::string, Setter> m = {
       {"num_nodes", set_num_nodes},
       {"noc.mesh_width", set_mesh_width},
+      {"noc.mesh_height", set_mesh_height},
       {"noc.vcs_per_vnet", set_u32(&SystemConfig::noc, &NocConfig::vcs_per_vnet)},
       {"noc.vc_depth", set_u32(&SystemConfig::noc, &NocConfig::vc_depth)},
       {"noc.pipeline_stages",
@@ -125,6 +149,20 @@ template <typename Sub>
        set_u32(&SystemConfig::cache, &CacheConfig::l2_latency)},
       {"cache.memory_latency",
        set_u32(&SystemConfig::cache, &CacheConfig::memory_latency)},
+      {"cache.l2_banks",
+       set_u32(&SystemConfig::cache, &CacheConfig::l2_banks)},
+      {"dir.sharer_rep",
+       [](SystemConfig& c, std::string_view v) {
+         const auto r = sharer_rep_from_string(v);
+         if (!r) return false;
+         c.dir.sharer_rep = *r;
+         return true;
+       }},
+      {"dir.coarse_region",
+       set_u32(&SystemConfig::dir, &DirectoryConfig::coarse_region)},
+      {"dir.limited_pointers",
+       set_u32(&SystemConfig::dir, &DirectoryConfig::limited_pointers)},
+      {"dir.shards", set_u32(&SystemConfig::dir, &DirectoryConfig::shards)},
       {"htm.fixed_backoff",
        set_u32(&SystemConfig::htm, &HtmConfig::fixed_backoff)},
       {"htm.backoff_slot",

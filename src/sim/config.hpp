@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "sim/types.hpp"
@@ -72,7 +73,11 @@ inline constexpr Scheme kAllSchemes[] = {
 }
 
 struct NocConfig {
-  std::uint32_t mesh_width = 4;      ///< 4x4 mesh of 16 routers (Table II).
+  /// Mesh X dimension (routers per row). The paper's Table II system is the
+  /// default 4x4 = 16 routers; any width x height mesh is configurable.
+  std::uint32_t mesh_width = 4;
+  /// Mesh Y dimension. 0 (the default) means "square": height = mesh_width.
+  std::uint32_t mesh_height = 0;
   /// Three virtual networks (requests, forwards, responses) prevent
   /// protocol-level deadlock, as in GEMS/Garnet configurations.
   std::uint32_t num_vnets = 3;
@@ -90,6 +95,10 @@ struct NocConfig {
   [[nodiscard]] std::uint32_t total_vcs() const noexcept {
     return num_vnets * vcs_per_vnet;
   }
+  /// Mesh Y dimension with the square default applied.
+  [[nodiscard]] std::uint32_t rows() const noexcept {
+    return mesh_height == 0 ? mesh_width : mesh_height;
+  }
 };
 
 struct CacheConfig {
@@ -102,9 +111,55 @@ struct CacheConfig {
   std::uint64_t l2_size_bytes = 8ull * 1024 * 1024;  ///< 8 MB shared NUCA L2.
   std::uint32_t l2_assoc = 8;
   std::uint32_t l2_latency = 20;            ///< 20-cycle bank access.
+  /// Shared-L2 bank count; each home directory is co-located with one bank
+  /// of l2_size_bytes / banks. 0 (default) = one bank per home directory
+  /// (i.e. per directory shard, which defaults to per node).
+  std::uint32_t l2_banks = 0;
 
   std::uint32_t memory_latency = 200;       ///< 200-cycle DRAM (Table II).
   std::uint32_t num_memory_controllers = 4;
+};
+
+/// How a directory entry encodes its sharer list (coherence::SharerSet).
+/// Spellings are the CLI/grid values of "dir.sharer_rep".
+enum class SharerRep : std::uint8_t {
+  kFull = 0,     ///< Exact bit per node (the seed behaviour; default).
+  kCoarse = 1,   ///< One bit per region of dir.coarse_region nodes
+                 ///< (over-approximate; spurious invalidations are acked).
+  kLimited = 2,  ///< dir.limited_pointers exact pointers, then overflow to
+                 ///< broadcast (every node treated as a sharer).
+};
+
+[[nodiscard]] constexpr const char* to_string(SharerRep r) noexcept {
+  switch (r) {
+    case SharerRep::kFull: return "full";
+    case SharerRep::kCoarse: return "coarse";
+    case SharerRep::kLimited: return "limited";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<SharerRep> sharer_rep_from_string(
+    std::string_view s) noexcept {
+  if (s == "full") return SharerRep::kFull;
+  if (s == "coarse") return SharerRep::kCoarse;
+  if (s == "limited") return SharerRep::kLimited;
+  return std::nullopt;
+}
+
+/// Directory organization knobs (scale axis: docs/SCALING.md).
+struct DirectoryConfig {
+  /// Sharer-list encoding of every directory entry.
+  SharerRep sharer_rep = SharerRep::kFull;
+  /// kCoarse: consecutive nodes covered per coarse bit.
+  std::uint32_t coarse_region = 4;
+  /// kLimited: exact node pointers per entry before overflow-to-broadcast
+  /// (1..16).
+  std::uint32_t limited_pointers = 4;
+  /// Home directories the address space is interleaved over. 0 (default) =
+  /// every node is a home. Must divide num_nodes; homes are spaced evenly
+  /// across the id space (stride num_nodes / shards).
+  std::uint32_t shards = 0;
 };
 
 struct HtmConfig {
@@ -244,7 +299,11 @@ struct TrafficConfig {
 };
 
 struct PunoConfig {
-  std::uint32_t pbuffer_entries = 16;  ///< One per node (Table II).
+  /// P-Buffer entries per directory (Table II: 16, one per node of the
+  /// paper's CMP). On larger meshes the buffer is capacity-bounded: it
+  /// tracks at most this many nodes and evicts deterministically under
+  /// pressure (puno.pbuffer_evictions counts that). 0 = one entry per node.
+  std::uint32_t pbuffer_entries = 16;
   std::uint32_t txlb_entries = 32;     ///< Static transactions per node.
   /// Clamp bounds for the adaptive rollover-counter timeout period.
   std::uint32_t min_timeout = 64;
@@ -279,11 +338,16 @@ struct PunoConfig {
   std::uint32_t unicast_min_sharers = 2;
 };
 
+/// Hard ceiling on num_nodes (keeps NodeId in 16 bits with headroom and
+/// bounds validation loops; the scale study tops out at 1024).
+inline constexpr std::uint32_t kMaxNodes = 4096;
+
 /// Top-level simulated-system configuration.
 struct SystemConfig {
-  std::uint32_t num_nodes = 16;  ///< 16 cores (Table II).
+  std::uint32_t num_nodes = 16;  ///< Cores/tiles (Table II: 16).
   NocConfig noc;
   CacheConfig cache;
+  DirectoryConfig dir;
   HtmConfig htm;
   PunoConfig puno;
   TrafficConfig traffic;
@@ -293,10 +357,72 @@ struct SystemConfig {
   [[nodiscard]] BlockAddr block_of(Addr a) const noexcept {
     return a & ~static_cast<Addr>(cache.block_bytes - 1);
   }
-  /// Static NUCA home-node mapping: block address interleaved across nodes.
+  /// Home directories with the "every node" default applied.
+  [[nodiscard]] std::uint32_t dir_shards() const noexcept {
+    return dir.shards == 0 ? num_nodes : dir.shards;
+  }
+  /// L2 bank count with the "one per home directory" default applied.
+  [[nodiscard]] std::uint32_t effective_l2_banks() const noexcept {
+    return cache.l2_banks == 0 ? dir_shards() : cache.l2_banks;
+  }
+  /// P-Buffer capacity with the "one entry per node" auto value applied.
+  [[nodiscard]] std::uint32_t effective_pbuffer_entries() const noexcept {
+    return puno.pbuffer_entries == 0 ? num_nodes : puno.pbuffer_entries;
+  }
+  /// Static NUCA home-node mapping: block address interleaved across the
+  /// home directories (every node when dir.shards == 0; otherwise shards
+  /// homes spaced evenly through the node-id space).
   [[nodiscard]] NodeId home_of(BlockAddr b) const noexcept {
-    return static_cast<NodeId>((b / cache.block_bytes) % num_nodes);
+    const std::uint64_t line = b / cache.block_bytes;
+    const std::uint32_t shards = dir_shards();
+    if (shards == num_nodes) return static_cast<NodeId>(line % num_nodes);
+    return static_cast<NodeId>((line % shards) * (num_nodes / shards));
   }
 };
+
+/// Structural validation of a SystemConfig. Returns a human-readable
+/// description of the first problem found, or nullopt if the configuration
+/// is runnable. arch::Cmp calls this at construction and throws on error;
+/// the CLIs call it up front so a bad --set fails before any simulation.
+[[nodiscard]] inline std::optional<std::string> validate(
+    const SystemConfig& cfg) {
+  const auto rows = cfg.noc.rows();
+  if (cfg.num_nodes < 2 || cfg.num_nodes > kMaxNodes)
+    return std::string("num_nodes must be in [2, ") +
+           std::to_string(kMaxNodes) + "]";
+  if (cfg.noc.mesh_width == 0) return std::string("noc.mesh_width must be > 0");
+  if (cfg.num_nodes != cfg.noc.mesh_width * rows)
+    return "num_nodes (" + std::to_string(cfg.num_nodes) +
+           ") must equal mesh_width x mesh_height (" +
+           std::to_string(cfg.noc.mesh_width) + "x" + std::to_string(rows) +
+           ")";
+  if (cfg.cache.block_bytes == 0 ||
+      (cfg.cache.block_bytes & (cfg.cache.block_bytes - 1)) != 0)
+    return std::string("cache.block_bytes must be a power of two");
+  if (cfg.noc.flit_bytes == 0 || cfg.noc.vc_depth == 0 ||
+      cfg.noc.vcs_per_vnet == 0 || cfg.noc.num_vnets < 3)
+    return std::string(
+        "noc.flit_bytes/vc_depth/vcs_per_vnet must be > 0 and num_vnets >= 3");
+  if (cfg.dir.shards != 0 && (cfg.dir.shards > cfg.num_nodes ||
+                              cfg.num_nodes % cfg.dir.shards != 0))
+    return std::string("dir.shards must divide num_nodes");
+  if (cfg.cache.l2_banks != 0 && (cfg.cache.l2_banks > cfg.num_nodes ||
+                                  cfg.num_nodes % cfg.cache.l2_banks != 0))
+    return std::string("cache.l2_banks must divide num_nodes");
+  const std::uint64_t bank_bytes =
+      cfg.cache.l2_size_bytes / cfg.effective_l2_banks();
+  if (bank_bytes <
+      static_cast<std::uint64_t>(cfg.cache.block_bytes) * cfg.cache.l2_assoc)
+    return std::string("cache.l2_size_bytes too small for ") +
+           std::to_string(cfg.effective_l2_banks()) +
+           " banks (each needs >= block_bytes * l2_assoc)";
+  if (cfg.dir.coarse_region == 0 || cfg.dir.coarse_region > cfg.num_nodes)
+    return std::string("dir.coarse_region must be in [1, num_nodes]");
+  if (cfg.dir.limited_pointers == 0 || cfg.dir.limited_pointers > 16)
+    return std::string("dir.limited_pointers must be in [1, 16]");
+  if (cfg.puno.txlb_entries == 0)
+    return std::string("puno.txlb_entries must be > 0");
+  return std::nullopt;
+}
 
 }  // namespace puno

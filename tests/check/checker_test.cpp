@@ -82,7 +82,7 @@ TEST_F(CheckerFixture, DirStateCorruptionDetected) {
   auto* e = dirs_[cfg_.home_of(0x1000)]->mutable_entry_for_test(0x1000);
   ASSERT_NE(e, nullptr);
   ASSERT_EQ(e->state, coherence::Directory::DirState::kEM);
-  e->sharers = node_bit(5);  // EM must have an empty sharer list
+  e->sharers.add(5);  // EM must have an empty sharer list
   check();
   const Violation& v = first();
   EXPECT_EQ(v.id, InvariantId::kDirState);
@@ -106,7 +106,7 @@ TEST_F(CheckerFixture, DirL1MissingSharerDetected) {
   auto* e = dirs_[cfg_.home_of(0x4000)]->mutable_entry_for_test(0x4000);
   ASSERT_NE(e, nullptr);
   ASSERT_EQ(e->state, coherence::Directory::DirState::kS);
-  e->sharers &= ~node_bit(1);  // stale-inclusivity violated: real sharer lost
+  e->sharers.remove(1);  // stale-inclusivity violated: real sharer lost
   check();
   const Violation& v = first();
   EXPECT_EQ(v.id, InvariantId::kDirL1);
@@ -121,7 +121,7 @@ TEST_F(PunoCheckerFixture, StaleUdPointerDetected) {
   ASSERT_NE(e, nullptr);
   ASSERT_EQ(e->state, coherence::Directory::DirState::kS);
   e->ud = 7;  // node 7 never touched the line
-  ASSERT_EQ(e->sharers & node_bit(7), 0u);
+  ASSERT_FALSE(e->sharers.contains(7));
   check();
   const Violation& v = first();
   EXPECT_EQ(v.id, InvariantId::kUdPointer);
@@ -192,7 +192,7 @@ TEST_F(CheckerFixture, DisabledInvariantStaysSilent) {
   ASSERT_TRUE(do_load(1, 0xa000));
   auto* e = dirs_[cfg_.home_of(0xa000)]->mutable_entry_for_test(0xa000);
   ASSERT_NE(e, nullptr);
-  e->sharers = node_bit(9);  // would trip DIR-STATE if it were enabled
+  e->sharers.add(9);  // would trip DIR-STATE if it were enabled
   check();
   for (const auto& v : checker_->violations()) {
     EXPECT_NE(v.id, InvariantId::kDirState) << format_violation(v);
@@ -209,7 +209,8 @@ TEST_F(CheckerFixture, ViolationRecordingIsCapped) {
     ASSERT_TRUE(do_load(2, a));
     auto* e = dirs_[cfg_.home_of(a)]->mutable_entry_for_test(a);
     ASSERT_NE(e, nullptr);
-    e->sharers = node_bit(1) | node_bit(2);  // corrupt EM entries en masse
+    e->sharers.add(1);  // corrupt EM entries en masse
+    e->sharers.add(2);
   }
   check();
   EXPECT_EQ(checker_->violations().size(), 3u);

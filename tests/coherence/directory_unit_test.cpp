@@ -57,7 +57,9 @@ class DirectoryUnitTest : public ::testing::Test {
                std::uint64_t surviving = 0) {
     Message u = make(MsgType::kUnblock, addr, requester);
     u.success = success;
-    u.surviving_sharers = surviving;
+    for (NodeId n = 0; n < 64; ++n) {
+      if ((surviving >> n) & 1) u.surviving_sharers.add(n);
+    }
     dir_->handle_message(u);
   }
 
@@ -141,7 +143,7 @@ TEST_F(DirectoryUnitTest, GetSOnOwnedForwardsToOwner) {
   unblock(0x40, 7, true);
   const auto* e = dir_->peek(0x40);
   EXPECT_EQ(e->state, Directory::DirState::kS);
-  EXPECT_EQ(e->sharers, node_bit(1) | node_bit(7));
+  EXPECT_EQ(e->sharers.mask64(), node_bit(1) | node_bit(7));
 }
 
 TEST_F(DirectoryUnitTest, FailedGetSOnOwnedKeepsOwner) {
@@ -196,7 +198,7 @@ TEST_F(DirectoryUnitTest, FailedGetXRestoresSurvivingSharers) {
   unblock(0x80, 9, /*success=*/false, node_bit(3));
   const auto* e = dir_->peek(0x80);
   EXPECT_EQ(e->state, Directory::DirState::kS);
-  EXPECT_EQ(e->sharers, node_bit(3));
+  EXPECT_EQ(e->sharers.mask64(), node_bit(3));
 }
 
 TEST_F(DirectoryUnitTest, UpgradeByExistingSharerKeepsOwnCopyOnFailure) {
@@ -205,7 +207,7 @@ TEST_F(DirectoryUnitTest, UpgradeByExistingSharerKeepsOwnCopyOnFailure) {
   settle();
   sent_.clear();
   unblock(0x80, 1, /*success=*/false, node_bit(3));
-  EXPECT_EQ(dir_->peek(0x80)->sharers, node_bit(3) | node_bit(1))
+  EXPECT_EQ(dir_->peek(0x80)->sharers.mask64(), node_bit(3) | node_bit(1))
       << "the upgrading requester was never invalidated";
 }
 
@@ -217,7 +219,7 @@ TEST_F(DirectoryUnitTest, UpgradeGrantHasNoPayload) {
   settle();
   sent_.clear();
   unblock(0x80, 9, /*success=*/false, node_bit(1));
-  ASSERT_EQ(dir_->peek(0x80)->sharers, node_bit(1));
+  ASSERT_EQ(dir_->peek(0x80)->sharers.mask64(), node_bit(1));
 
   dir_->handle_message(make(MsgType::kGetX, 0x80, 1));
   settle();

@@ -121,7 +121,7 @@ TEST_F(L1EdgeTest, ReadersAfterWriterGetLatestOwnership) {
   }
   const auto* e = dirs_[4]->peek(a);
   EXPECT_EQ(e->state, coherence::Directory::DirState::kS);
-  EXPECT_EQ(std::popcount(e->sharers), 4) << "writer + 3 readers";
+  EXPECT_EQ(e->sharers.count(), 4u) << "writer + 3 readers";
 }
 
 TEST_F(L1EdgeTest, WorkingSetLargerThanL1RunsCorrectly) {

@@ -167,7 +167,7 @@ TEST_F(L1UnitTest, NackedStoreReportsFailureAndRetriesAfterBackoff) {
   EXPECT_FALSE(done);
   const SentMsg ub = expect_sent(MsgType::kUnblock);
   EXPECT_FALSE(ub.msg.success);
-  EXPECT_EQ(ub.msg.surviving_sharers, node_bit(5));
+  EXPECT_EQ(ub.msg.surviving_sharers.mask64(), node_bit(5));
   EXPECT_EQ(hooks_.outcomes, 1);
   EXPECT_FALSE(hooks_.last_outcome.success);
   EXPECT_EQ(hooks_.last_outcome.nacks, 1u);

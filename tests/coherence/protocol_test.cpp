@@ -37,7 +37,7 @@ TEST_F(MesiTest, SecondLoadSharesAndDowngradesOwner) {
   const auto* e = dirs_[3]->peek(a);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->state, Directory::DirState::kS);
-  EXPECT_EQ(e->sharers, coherence::node_bit(0) | coherence::node_bit(1));
+  EXPECT_EQ(e->sharers.mask64(), coherence::node_bit(0) | coherence::node_bit(1));
 }
 
 TEST_F(MesiTest, ColdStoreGrantsModified) {
@@ -103,7 +103,7 @@ TEST_F(MesiTest, LoadFromModifiedDowngradesOwner) {
   EXPECT_EQ(l1s_[5]->line_state(a), L1State::kS);
   const auto* e = dirs_[9]->peek(a);
   EXPECT_EQ(e->state, Directory::DirState::kS);
-  EXPECT_EQ(e->sharers, coherence::node_bit(4) | coherence::node_bit(5));
+  EXPECT_EQ(e->sharers.mask64(), coherence::node_bit(4) | coherence::node_bit(5));
 }
 
 TEST_F(MesiTest, HomeNodeAccessesWorkLocally) {

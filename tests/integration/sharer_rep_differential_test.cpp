@@ -1,0 +1,65 @@
+// Representation differential: at 16 nodes, a losslessly-configured coarse
+// or limited sharer set must be bit-identical to the full bit-vector.
+//
+// kCoarse with coarse_region = 1 and kLimited with limited_pointers = 16
+// represent every 16-node sharer set exactly, so the simulation must not
+// be able to tell the representations apart: same cycle counts, same abort
+// counts, same router traversals, for every seed. This is the cheap,
+// always-on guarantee that the SharerSet refactor only changes behaviour
+// when a representation actually loses information — any divergence here
+// means representation state leaked into the protocol.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "metrics/stats_io.hpp"
+#include "sim/config.hpp"
+
+namespace puno {
+namespace {
+
+constexpr std::uint32_t kNumSeeds = 32;
+
+/// 32-seed JSONL transcript, exactly the golden ResultJsonl recipe but with
+/// a configurable sharer representation.
+[[nodiscard]] std::string transcript(SharerRep rep) {
+  static const char* kWorkloads[] = {"genome", "intruder", "kmeans", "ssca2"};
+  std::ostringstream out;
+  for (std::uint32_t seed = 1; seed <= kNumSeeds; ++seed) {
+    metrics::ExperimentParams p;
+    p.workload = kWorkloads[seed % 4];
+    p.scheme = Scheme::kPuno;
+    p.seed = seed;
+    p.scale = 0.02;
+    p.base_config.dir.sharer_rep = rep;
+    p.base_config.dir.coarse_region = 1;        // lossless at any size
+    p.base_config.dir.limited_pointers = 16;    // lossless at 16 nodes
+    metrics::write_result_jsonl(metrics::run_experiment(p), out);
+  }
+  return out.str();
+}
+
+void expect_identical(const std::string& a, const std::string& b,
+                      const char* what) {
+  if (a == b) return;
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  std::size_t line = 1;
+  while (std::getline(sa, la) && std::getline(sb, lb)) {
+    ASSERT_EQ(la, lb) << what << " diverges at line " << line;
+    ++line;
+  }
+  FAIL() << what << " transcripts differ in length";
+}
+
+TEST(SharerRepDifferential, LosslessRepsAreBitIdenticalAt16Nodes) {
+  const std::string full = transcript(SharerRep::kFull);
+  expect_identical(full, transcript(SharerRep::kCoarse), "coarse(region=1)");
+  expect_identical(full, transcript(SharerRep::kLimited),
+                   "limited(pointers=16)");
+}
+
+}  // namespace
+}  // namespace puno

@@ -88,5 +88,79 @@ TEST(PBuffer, SizeMatchesConstruction) {
   EXPECT_EQ(p.size(), 16u);
 }
 
+
+TEST(PBuffer, UnboundedFormNeverEvicts) {
+  PBuffer p(16);
+  EXPECT_EQ(p.capacity(), 16u);
+  for (NodeId n = 0; n < 16; ++n) p.update(n, 100 + n);
+  EXPECT_EQ(p.tracked_count(), 16u);
+  EXPECT_EQ(p.evictions(), 0u);
+}
+
+TEST(PBuffer, CapacityZeroMeansOnePerNode) {
+  PBuffer p(0, 64);
+  EXPECT_EQ(p.capacity(), 64u);
+  EXPECT_EQ(p.size(), 64u);
+}
+
+TEST(PBuffer, EvictsLowestValidityFirst) {
+  PBuffer p(2, 8);
+  p.update(1, 100);  // validity 2
+  p.update(2, 200);  // validity 2
+  p.update(2, 200);  // validity 3
+  p.on_timeout();    // 1 -> 1, 2 -> 2
+  p.update(5, 50);   // full: evict node 1 (lowest validity)
+  EXPECT_EQ(p.evictions(), 1u);
+  EXPECT_FALSE(p.tracked(1));
+  EXPECT_TRUE(p.tracked(2));
+  EXPECT_TRUE(p.tracked(5));
+  // The evicted node reads as an empty entry.
+  EXPECT_EQ(p.get(1).ts, kInvalidTimestamp);
+  EXPECT_EQ(p.get(1).validity, 0u);
+}
+
+TEST(PBuffer, EvictionTieBreaksOnYoungestTimestampThenHighestId) {
+  // Equal validity: the youngest (largest) timestamp goes first -- it holds
+  // the lowest priority and is least likely to win a conflict anyway.
+  PBuffer p(2, 8);
+  p.update(3, 100);
+  p.update(6, 900);
+  p.update(0, 500);  // evicts node 6 (ts 900 youngest)
+  EXPECT_FALSE(p.tracked(6));
+  EXPECT_TRUE(p.tracked(3));
+  EXPECT_TRUE(p.tracked(0));
+
+  // Equal validity AND equal timestamp: highest node id goes first.
+  PBuffer q(2, 8);
+  q.update(2, 400);
+  q.update(7, 400);
+  q.update(1, 100);  // evicts node 7
+  EXPECT_FALSE(q.tracked(7));
+  EXPECT_TRUE(q.tracked(2));
+  EXPECT_EQ(q.evictions(), 1u);
+}
+
+TEST(PBuffer, UpdateOfTrackedNodeNeverEvicts) {
+  PBuffer p(2, 8);
+  p.update(1, 100);
+  p.update(2, 200);
+  p.update(1, 150);  // refresh, not an insertion
+  EXPECT_EQ(p.evictions(), 0u);
+  EXPECT_EQ(p.tracked_count(), 2u);
+  EXPECT_EQ(p.get(1).ts, 150u);
+}
+
+TEST(PBuffer, InvalidatedEntryStaysTrackedAndEvictsFirst) {
+  PBuffer p(2, 8);
+  p.update(1, 100);
+  p.update(2, 200);
+  p.invalidate(2);           // validity 0, still occupies a slot
+  EXPECT_TRUE(p.tracked(2));
+  p.update(3, 50);           // node 2 is the clear victim
+  EXPECT_FALSE(p.tracked(2));
+  EXPECT_TRUE(p.tracked(1));
+  EXPECT_TRUE(p.tracked(3));
+}
+
 }  // namespace
 }  // namespace puno::core

@@ -2,12 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <initializer_list>
+
 #include "coherence/message.hpp"
+#include "coherence/sharer_set.hpp"
 
 namespace puno::core {
 namespace {
 
-using coherence::node_bit;
+using coherence::SharerSet;
+
+/// Exact sharer set over the listed nodes.
+SharerSet S(std::initializer_list<NodeId> nodes) {
+  SharerSet s;
+  for (NodeId n : nodes) s.add(n);
+  return s;
+}
 
 class PunoDirectoryTest : public ::testing::Test {
  protected:
@@ -27,7 +37,7 @@ TEST_F(PunoDirectoryTest, PredictionLatencyIsTwoCycles) {
 }
 
 TEST_F(PunoDirectoryTest, NoPredictionWithoutObservations) {
-  EXPECT_EQ(pd_->predict_unicast(node_bit(1) | node_bit(2), 5, 100, 1),
+  EXPECT_EQ(pd_->predict_unicast(S({1, 2}), 5, 100, 1),
             kInvalidNode);
 }
 
@@ -35,24 +45,24 @@ TEST_F(PunoDirectoryTest, RecomputeUdPicksOldestSharer) {
   pd_->observe_request(1, 300, 0);
   pd_->observe_request(2, 100, 0);  // oldest
   pd_->observe_request(3, 200, 0);
-  EXPECT_EQ(pd_->recompute_ud(node_bit(1) | node_bit(2) | node_bit(3)), 2);
+  EXPECT_EQ(pd_->recompute_ud(S({1, 2, 3})), 2);
 }
 
 TEST_F(PunoDirectoryTest, RecomputeUdIgnoresNonSharers) {
   pd_->observe_request(1, 300, 0);
   pd_->observe_request(2, 100, 0);
-  EXPECT_EQ(pd_->recompute_ud(node_bit(1)), 1) << "node 2 is not a sharer";
+  EXPECT_EQ(pd_->recompute_ud(S({1})), 1) << "node 2 is not a sharer";
 }
 
 TEST_F(PunoDirectoryTest, RecomputeUdEmptyMaskIsInvalid) {
   pd_->observe_request(1, 300, 0);
-  EXPECT_EQ(pd_->recompute_ud(0), kInvalidNode);
+  EXPECT_EQ(pd_->recompute_ud(SharerSet{}), kInvalidNode);
 }
 
 TEST_F(PunoDirectoryTest, UnicastWhenUdSharerIsOlderThanRequester) {
   pd_->observe_request(1, 100, 0);
   pd_->observe_request(2, 400, 0);
-  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  const SharerSet sharers = S({1, 2});
   const NodeId ud = pd_->recompute_ud(sharers);
   ASSERT_EQ(ud, 1);
   EXPECT_EQ(pd_->predict_unicast(sharers, 5, /*req_ts=*/500, ud), 1);
@@ -62,25 +72,25 @@ TEST_F(PunoDirectoryTest, NoUnicastForSingleSharer) {
   // A lone sharer cannot produce false aborting (it either nacks, aborting
   // nobody, or grants), so unicasting to it would only waste a round trip.
   pd_->observe_request(1, 100, 0);
-  EXPECT_EQ(pd_->predict_unicast(node_bit(1), 5, 500, 1), kInvalidNode);
+  EXPECT_EQ(pd_->predict_unicast(S({1}), 5, 500, 1), kInvalidNode);
 }
 
 TEST_F(PunoDirectoryTest, MulticastWhenRequesterIsOlder) {
   pd_->observe_request(1, 500, 0);
-  EXPECT_EQ(pd_->predict_unicast(node_bit(1), 5, /*req_ts=*/100, 1),
+  EXPECT_EQ(pd_->predict_unicast(S({1}), 5, /*req_ts=*/100, 1),
             kInvalidNode);
 }
 
 TEST_F(PunoDirectoryTest, MulticastWhenUdHintNotASharer) {
   pd_->observe_request(1, 100, 0);
-  EXPECT_EQ(pd_->predict_unicast(node_bit(2), 5, 500, /*ud_hint=*/1),
+  EXPECT_EQ(pd_->predict_unicast(S({2}), 5, 500, /*ud_hint=*/1),
             kInvalidNode);
 }
 
 TEST_F(PunoDirectoryTest, MispredictionFeedbackDisablesUnicast) {
   pd_->observe_request(1, 100, 0);
   pd_->observe_request(2, 900, 0);
-  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  const SharerSet sharers = S({1, 2});
   ASSERT_EQ(pd_->predict_unicast(sharers, 5, 500, 1), 1);
   pd_->on_misprediction(1);
   EXPECT_EQ(pd_->predict_unicast(sharers, 5, 500, 1), kInvalidNode);
@@ -92,7 +102,7 @@ TEST_F(PunoDirectoryTest, MispredictionFeedbackDisablesUnicast) {
 TEST_F(PunoDirectoryTest, ValidityAgesOutThroughRolloverTimeouts) {
   pd_->observe_request(1, 100, /*avg_txn_len=*/0);
   pd_->observe_request(2, 800, /*avg_txn_len=*/0);
-  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  const SharerSet sharers = S({1, 2});
   ASSERT_EQ(pd_->predict_unicast(sharers, 5, 500, 1), 1);
   // validity 2 -> after one rollover period it is 1: below the threshold.
   kernel_.run_for(pd_->timeout_period() + 2);
@@ -118,13 +128,13 @@ TEST_F(PunoDirectoryTest, UnicastDisabledByAblationSwitch) {
   cfg_.puno.enable_unicast = false;
   PunoDirectory pd(kernel_, cfg_, 1);
   pd.observe_request(1, 100, 0);
-  EXPECT_EQ(pd.predict_unicast(node_bit(1), 5, 500, 1), kInvalidNode);
+  EXPECT_EQ(pd.predict_unicast(S({1}), 5, 500, 1), kInvalidNode);
 }
 
 TEST_F(PunoDirectoryTest, PredictionStatsTracked) {
   pd_->observe_request(1, 100, 0);
   pd_->observe_request(2, 900, 0);
-  const std::uint64_t sharers = node_bit(1) | node_bit(2);
+  const SharerSet sharers = S({1, 2});
   (void)pd_->predict_unicast(sharers, 5, 500, 1);
   (void)pd_->predict_unicast(sharers, 5, 50, 1);  // requester older
   EXPECT_EQ(kernel_.stats().counter("puno.unicast_predictions").value(), 1u);

@@ -108,6 +108,24 @@ TEST(CacheKey, DistinguishesSystemConfigFields) {
   p.base_config.puno.timeout_fraction = 0.25;
   EXPECT_NE(cache_key(base), cache_key(p));
   p = base;
+  p.base_config.noc.mesh_height = 2;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.cache.l2_banks = 4;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.dir.sharer_rep = SharerRep::kCoarse;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.dir.coarse_region = 8;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.dir.limited_pointers = 8;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
+  p.base_config.dir.shards = 4;
+  EXPECT_NE(cache_key(base), cache_key(p));
+  p = base;
   p.base_config.puno.enable_unicast = false;
   EXPECT_NE(cache_key(base), cache_key(p));
   p = base;

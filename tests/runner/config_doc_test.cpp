@@ -1,0 +1,63 @@
+// docs/CONFIG.md completeness: the reference table must name every
+// overridable config knob and every cache-key field.
+//
+// The doc is hand-written; these checks make it impossible to add a knob
+// to the --set registry (runner::override_keys) or to the result-cache key
+// (runner::params_repr) without also documenting it — the test fails with
+// the missing key's name.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "runner/cache.hpp"
+#include "runner/grid.hpp"
+
+#ifndef PUNO_DOCS_DIR
+#error "config_doc_test must be compiled with -DPUNO_DOCS_DIR=..."
+#endif
+
+namespace puno::runner {
+namespace {
+
+[[nodiscard]] std::string read_config_doc() {
+  const std::filesystem::path path =
+      std::filesystem::path(PUNO_DOCS_DIR) / "CONFIG.md";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ConfigDoc, DocumentsEveryOverridableKey) {
+  const std::string doc = read_config_doc();
+  ASSERT_FALSE(doc.empty());
+  for (const std::string& key : override_keys()) {
+    EXPECT_NE(doc.find("`" + key + "`"), std::string::npos)
+        << "docs/CONFIG.md is missing --set key `" << key << "`";
+  }
+}
+
+TEST(ConfigDoc, DocumentsEveryCacheKeyField) {
+  const std::string doc = read_config_doc();
+  ASSERT_FALSE(doc.empty());
+  // params_repr renders "name=value" tokens separated by spaces; every
+  // field name participating in the cache key must appear in the doc.
+  const std::string repr = params_repr(metrics::ExperimentParams{});
+  std::istringstream tokens(repr);
+  std::string tok;
+  while (tokens >> tok) {
+    const std::size_t eq = tok.find('=');
+    ASSERT_NE(eq, std::string::npos) << tok;
+    const std::string name = tok.substr(0, eq);
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "docs/CONFIG.md is missing cache-key field `" << name << "`";
+  }
+}
+
+}  // namespace
+}  // namespace puno::runner

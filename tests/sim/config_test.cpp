@@ -45,6 +45,105 @@ TEST(SystemConfig, HomeIsStable) {
   EXPECT_EQ(cfg.home_of(b), cfg.home_of(b));
 }
 
+TEST(SystemConfig, ValidateAcceptsDefaults) {
+  EXPECT_EQ(validate(SystemConfig{}), std::nullopt);
+}
+
+TEST(SystemConfig, ValidateAcceptsScaleStudySizes) {
+  for (const std::uint32_t w : {8u, 16u, 32u}) {
+    SystemConfig cfg;
+    cfg.num_nodes = w * w;
+    cfg.noc.mesh_width = w;
+    EXPECT_EQ(validate(cfg), std::nullopt) << w << "x" << w;
+  }
+}
+
+TEST(SystemConfig, ValidateAcceptsNonSquareMesh) {
+  SystemConfig cfg;
+  cfg.num_nodes = 32;
+  cfg.noc.mesh_width = 8;
+  cfg.noc.mesh_height = 4;
+  EXPECT_EQ(validate(cfg), std::nullopt);
+  EXPECT_EQ(cfg.noc.rows(), 4u);
+}
+
+TEST(SystemConfig, ValidateRejectsMismatchedMesh) {
+  SystemConfig cfg;
+  cfg.num_nodes = 17;  // mesh stays 4x4
+  ASSERT_TRUE(validate(cfg).has_value());
+
+  SystemConfig big;
+  big.num_nodes = kMaxNodes + 1;
+  EXPECT_TRUE(validate(big).has_value());
+
+  SystemConfig tiny;
+  tiny.num_nodes = 1;
+  tiny.noc.mesh_width = 1;
+  EXPECT_TRUE(validate(tiny).has_value());
+}
+
+TEST(SystemConfig, ValidateRejectsBadDirectoryKnobs) {
+  SystemConfig cfg;
+  cfg.dir.shards = 3;  // does not divide 16
+  EXPECT_TRUE(validate(cfg).has_value());
+
+  SystemConfig banks;
+  banks.cache.l2_banks = 5;
+  EXPECT_TRUE(validate(banks).has_value());
+
+  SystemConfig region;
+  region.dir.coarse_region = 17;  // > num_nodes
+  EXPECT_TRUE(validate(region).has_value());
+
+  SystemConfig ptrs;
+  ptrs.dir.limited_pointers = 17;  // hardware cap is 16
+  EXPECT_TRUE(validate(ptrs).has_value());
+}
+
+TEST(SystemConfig, EffectiveKnobDefaultsScaleWithNodeCount) {
+  SystemConfig cfg;
+  cfg.num_nodes = 256;
+  cfg.noc.mesh_width = 16;
+  EXPECT_EQ(cfg.dir_shards(), 256u);
+  EXPECT_EQ(cfg.effective_l2_banks(), 256u);
+  // pbuffer_entries keeps its Table II default of 16 — that is what makes
+  // P-Buffer pressure appear naturally at 64+ nodes.
+  EXPECT_EQ(cfg.effective_pbuffer_entries(), 16u);
+  cfg.puno.pbuffer_entries = 0;  // explicit "one per node" auto value
+  EXPECT_EQ(cfg.effective_pbuffer_entries(), 256u);
+}
+
+TEST(SystemConfig, ShardedHomesSpaceEvenlyAndStayValid) {
+  SystemConfig cfg;
+  cfg.num_nodes = 64;
+  cfg.noc.mesh_width = 8;
+  cfg.dir.shards = 16;
+  ASSERT_EQ(validate(cfg), std::nullopt);
+  for (std::uint64_t line = 0; line < 200; ++line) {
+    const NodeId h = cfg.home_of(line * cfg.cache.block_bytes);
+    EXPECT_LT(h, cfg.num_nodes);
+    EXPECT_EQ(h % 4, 0u);  // homes at stride num_nodes / shards = 4
+  }
+  // Default sharding (every node is home) is the seed-identical mapping.
+  SystemConfig dflt;
+  dflt.num_nodes = 64;
+  dflt.noc.mesh_width = 8;
+  for (std::uint64_t line = 0; line < 200; ++line) {
+    EXPECT_EQ(dflt.home_of(line * dflt.cache.block_bytes),
+              static_cast<NodeId>(line % 64));
+  }
+}
+
+TEST(SharerRepNames, RoundTrip) {
+  for (const SharerRep r :
+       {SharerRep::kFull, SharerRep::kCoarse, SharerRep::kLimited}) {
+    const auto back = sharer_rep_from_string(to_string(r));
+    ASSERT_TRUE(back.has_value()) << to_string(r);
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_EQ(sharer_rep_from_string("nonesuch"), std::nullopt);
+}
+
 TEST(NocConfig, TotalVcs) {
   NocConfig n;
   EXPECT_EQ(n.total_vcs(), n.num_vnets * n.vcs_per_vnet);
