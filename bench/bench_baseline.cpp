@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -35,6 +36,7 @@
 
 #include "arch/cmp.hpp"
 #include "metrics/stats_io.hpp"
+#include "runner/cache.hpp"
 #include "runner/grid.hpp"
 #include "sim/profile.hpp"
 #include "telemetry/host_profiler.hpp"
@@ -69,11 +71,48 @@ void usage(const char* argv0) {
       argv0);
 }
 
+/// The commit this binary was benchmarked at: CI exports GITHUB_SHA; local
+/// runs ask git; a tarball build stamps "unknown".
+std::string resolve_git_sha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr && *env) {
+    return env;
+  }
+  std::string sha;
+  if (FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    ::pclose(p);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// UTC wall-clock stamp, ISO-8601 (e.g. "2026-08-08T12:34:56Z") — the sort
+/// key tools/punoagg uses to order baselines into a perf trajectory.
+std::string iso8601_utc_now() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 void write_json(const std::vector<BenchRun>& runs, std::ostream& out) {
   char num[40];
   std::snprintf(num, sizeof num, "%.6g", puno::sim::host_ticks_per_second());
-  out << "{\"schema\":\"puno-bench-baseline-2\",\"ticks_per_second\":" << num
-      << ",\"runs\":[";
+  // git_sha / config_schema / generated_at identify where a baseline came
+  // from; tools/perf_check skips unknown keys, so older checkers still read
+  // stamped files.
+  out << "{\"schema\":\"puno-bench-baseline-2\",\"git_sha\":\""
+      << puno::metrics::json_escape(resolve_git_sha())
+      << "\",\"config_schema\":" << puno::runner::kCacheSchemaVersion
+      << ",\"generated_at\":\"" << iso8601_utc_now()
+      << "\",\"ticks_per_second\":" << num << ",\"runs\":[";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const BenchRun& r = runs[i];
     const double cps =

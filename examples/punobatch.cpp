@@ -62,11 +62,14 @@ void usage(const char* argv0) {
       "  --trace-dir DIR   where per-job trace JSON + abort-attribution\n"
       "                    reports land (default: ./traces); manifest rows\n"
       "                    record each path\n"
-      "  --telemetry[=N]   sample live gauges every N cycles per job\n"
+      "  --telemetry[=N]   sample live gauges every N cycles per job,\n"
+      "                    including the per-tile spatial channels\n"
       "                    (default 1000; docs/TELEMETRY.md); sampled jobs\n"
       "                    bypass the result cache\n"
       "  --telemetry-dir DIR  where per-job telemetry JSONL lands (default:\n"
       "                    ./telemetry); manifest rows record each path\n"
+      "  --dashboard-dir DIR  also write a per-job HTML dashboard (mesh\n"
+      "                    heatmaps included) into DIR; implies --telemetry\n"
       "  --progress        live progress meter on stderr\n"
       "  --quiet           suppress the per-run result table\n",
       argv0);
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
   bool telemetry_on = false;
   Cycle telemetry_interval = 1000;
   std::string telemetry_dir = "telemetry";
+  std::string dashboard_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -169,6 +173,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--telemetry-dir") {
       telemetry_on = true;
       telemetry_dir = next();
+    } else if (arg == "--dashboard-dir") {
+      telemetry_on = true;
+      dashboard_dir = next();
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--quiet") {
@@ -234,8 +241,19 @@ int main(int argc, char** argv) {
                    telemetry_dir.c_str(), ec.message().c_str());
       return 1;
     }
+    if (!dashboard_dir.empty()) {
+      std::filesystem::create_directories(dashboard_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "punobatch: cannot create '%s': %s\n",
+                     dashboard_dir.c_str(), ec.message().c_str());
+        return 1;
+      }
+    }
     for (runner::JobSpec& spec : specs) {
       spec.params.telemetry.interval = telemetry_interval;
+      // Batch runs always carry the per-tile channels: the whole point of
+      // sampling a sweep is to compare spatial behavior across configs.
+      spec.params.telemetry.spatial = true;
       // One JSONL per job, label-named like the per-job traces above.
       std::string name = spec.label;
       for (char& c : name) {
@@ -244,6 +262,11 @@ int main(int argc, char** argv) {
       spec.params.telemetry.jsonl_path =
           (std::filesystem::path(telemetry_dir) / (name + ".telemetry.jsonl"))
               .string();
+      if (!dashboard_dir.empty()) {
+        spec.params.telemetry.dashboard_path =
+            (std::filesystem::path(dashboard_dir) / (name + ".dashboard.html"))
+                .string();
+      }
     }
   }
 

@@ -91,6 +91,9 @@ void usage(const char* argv0) {
       "  --telemetry-out F series JSONL path (default:\n"
       "                    <workload>-<scheme>-s<seed>.telemetry.jsonl)\n"
       "  --telemetry-csv F also write the series as CSV\n"
+      "  --telemetry-spatial  also sample the per-tile channels (aborts,\n"
+      "                    NACKs, P-Buffer evictions, UD mispredicts, txn\n"
+      "                    pins, router queues) for the mesh heatmaps\n"
       "  --dashboard[=F]   write the self-contained HTML dashboard\n"
       "                    (default F: <workload>-<scheme>-s<seed>"
       ".dashboard.html)\n"
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
   std::string trace_filter, trace_out, abort_report_path;
   std::size_t trace_capacity = trace::TraceRecorder::kDefaultCapacity;
   bool telemetry_on = false, verify_telemetry = false, want_dashboard = false;
+  bool telemetry_spatial = false;
   bool profile_on = false;
   Cycle telemetry_interval = 1000;
   std::string telemetry_out, telemetry_csv, dashboard_out, profile_out;
@@ -206,6 +210,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--telemetry-csv") {
       telemetry_on = true;
       telemetry_csv = next();
+    } else if (arg == "--telemetry-spatial") {
+      telemetry_on = true;
+      telemetry_spatial = true;
     } else if (arg == "--dashboard") {
       telemetry_on = true;
       want_dashboard = true;
@@ -303,6 +310,7 @@ int main(int argc, char** argv) {
   if (telemetry_on) {
     telemetry::TelemetryRequest treq;
     treq.interval = telemetry_interval;
+    treq.spatial = telemetry_spatial;
     sampler = telemetry::TelemetrySampler::attach(cmp, treq);
   }
 
@@ -508,6 +516,9 @@ int main(int argc, char** argv) {
       dmeta.cycles = cmp.kernel().now();
       dmeta.interval = sampler->interval();
       dmeta.dropped = sampler->series().dropped();
+      dmeta.num_nodes = cfg.num_nodes;
+      dmeta.mesh_width = cfg.noc.mesh_width;
+      dmeta.mesh_height = cfg.noc.rows();
       telemetry::write_dashboard_html(dmeta, samples, &cmp.kernel().stats(),
                                       out);
       std::printf("dashboard            -> %s\n", dashboard_out.c_str());

@@ -393,6 +393,7 @@ void Directory::finish_service(Entry& e, const Message& unblock) {
   // priority that led the unicast astray.
   if (unblock.mp_bit && assist_ != nullptr) {
     mp_feedbacks_.add();
+    ++tile_mp_feedbacks_;
     PUNO_TEV(kernel_, trace::Cat::kDir,
              (trace::TraceEvent{.cycle = kernel_.now(),
                                 .addr = unblock.addr,

@@ -103,6 +103,12 @@ class Directory {
   [[nodiscard]] std::size_t entry_count() const noexcept {
     return entries_.size();
   }
+  /// Per-tile telemetry counter (docs/TELEMETRY.md): UD misprediction
+  /// feedbacks absorbed at this home node. Plain member outside the stats
+  /// registry so stats dumps never change when a sampler is attached.
+  [[nodiscard]] std::uint64_t tile_mp_feedbacks() const noexcept {
+    return tile_mp_feedbacks_;
+  }
   /// Visits every entry that is currently busy (debug aid).
   template <typename Fn>
   void for_each_busy(Fn&& fn) const {
@@ -165,6 +171,8 @@ class Directory {
   sim::Counter& wb_stales_;
   sim::Scalar& tx_getx_blocked_cycles_;
   sim::Counter& mp_feedbacks_;
+
+  std::uint64_t tile_mp_feedbacks_ = 0;  ///< Run-total MP feedbacks here.
 };
 
 }  // namespace puno::coherence

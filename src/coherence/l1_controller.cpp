@@ -206,6 +206,7 @@ void L1Controller::handle_response(const Message& msg) {
     case MsgType::kNack:
       ++m.responses;
       ++m.nacks;
+      ++tile_nacks_received_;
       m.nackers.add(msg.sender);
       if (msg.notification > m.best_notification) {
         m.best_notification = msg.notification;
@@ -377,6 +378,7 @@ void L1Controller::handle_inv(const Message& msg) {
       data->sole = true;
       send_(msg.requester, std::move(data));
     } else {
+      if (msg.u_bit) ++tile_nacks_sent_;
       auto resp = make_msg(msg.u_bit ? MsgType::kNack : MsgType::kAck,
                            msg.addr);
       resp->requester = msg.requester;
@@ -396,6 +398,7 @@ void L1Controller::handle_inv(const Message& msg) {
     // prediction was right (NACK with notification) or it was wrong (NACK
     // with the MP-bit, Section III.C).
     assert(verdict.decision == ConflictDecision::kNack);
+    ++tile_nacks_sent_;
     auto nack = make_msg(MsgType::kNack, msg.addr);
     nack->requester = msg.requester;
     nack->sole = true;
@@ -406,6 +409,7 @@ void L1Controller::handle_inv(const Message& msg) {
   }
 
   if (verdict.decision == ConflictDecision::kNack) {
+    ++tile_nacks_sent_;
     auto nack = make_msg(MsgType::kNack, msg.addr);
     nack->requester = msg.requester;
     nack->sole = msg.sole;
@@ -467,6 +471,7 @@ void L1Controller::handle_fwd_gets(const Message& msg) {
       msg.addr, /*write=*/false, msg.ts, msg.requester, /*u_bit=*/false);
 
   if (verdict.decision == ConflictDecision::kNack) {
+    ++tile_nacks_sent_;
     auto nack = make_msg(MsgType::kNack, msg.addr);
     nack->requester = msg.requester;
     nack->sole = true;

@@ -82,6 +82,28 @@ class L1Controller {
     cache_.for_each_valid(
         [&fn](const CacheLine<L1Meta>& line) { fn(line.addr, line.state.state); });
   }
+
+  // --- per-tile telemetry counters/gauges (docs/TELEMETRY.md) ---
+  // Plain members outside the stats registry so stats dumps never change
+  // when a sampler is attached; differenced per window by the spatial
+  // telemetry channels.
+  /// NACK messages this tile's L1 sent to remote requesters.
+  [[nodiscard]] std::uint64_t tile_nacks_sent() const noexcept {
+    return tile_nacks_sent_;
+  }
+  /// NACK messages this tile's L1 received for its own acquisitions.
+  [[nodiscard]] std::uint64_t tile_nacks_received() const noexcept {
+    return tile_nacks_received_;
+  }
+  /// Gauge: valid L1 lines currently pinned by the local transaction
+  /// (read/write-set residents the replacement policy must not evict).
+  [[nodiscard]] std::uint64_t txn_pinned_lines() const {
+    std::uint64_t pinned = 0;
+    cache_.for_each_valid([&](const CacheLine<L1Meta>& line) {
+      if (hooks_.is_txn_line(line.addr)) ++pinned;
+    });
+    return pinned;
+  }
   /// Fault injection for the invariant-checker tests ONLY: silently drops
   /// `addr` from the cache as a (hypothetical) pinning bug would, so tests
   /// can assert the checker catches an unpinned transactional line.
@@ -179,6 +201,9 @@ class L1Controller {
   sim::Scalar& contended_acquire_latency_;
   sim::Scalar& retries_per_contended_acquire_;
   sim::Counter& hint_wakeups_;
+
+  std::uint64_t tile_nacks_sent_ = 0;      ///< Run-total NACKs sent.
+  std::uint64_t tile_nacks_received_ = 0;  ///< Run-total NACKs received.
 };
 
 }  // namespace puno::coherence

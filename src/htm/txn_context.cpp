@@ -127,6 +127,7 @@ void TxnContext::abort(AbortCause cause) {
   if (aborted_) return;  // already rolling back; nothing more to discard
   aborted_ = true;
   ++attempt_aborts_;
+  ++tile_aborts_;
   aborts_.add();
   switch (cause) {
     case AbortCause::kRemoteWrite: aborts_by_write_.add(); break;
@@ -306,6 +307,7 @@ void TxnContext::on_getx_outcome(BlockAddr addr, bool success,
     // The request was nacked, so the sharers it aborted were aborted for
     // nothing: false aborting (Section II.C).
     false_abort_events_.add();
+    ++tile_false_aborts_;
     falsely_aborted_txns_.add(aborted_sharers);
     false_abort_multiplicity_.sample(aborted_sharers);
   }

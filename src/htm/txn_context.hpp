@@ -83,6 +83,20 @@ class TxnContext final : public coherence::TxnHooks {
     return attempt_aborts_;
   }
 
+  // --- per-tile telemetry counters (cumulative over the run) ---
+  // Plain members, never registered in the stats registry, so stats dumps
+  // stay byte-identical whether or not a sampler reads them. The spatial
+  // telemetry channels (docs/TELEMETRY.md) difference these per window.
+  /// Aborts suffered by this tile's core (victim-attributed).
+  [[nodiscard]] std::uint64_t tile_aborts() const noexcept {
+    return tile_aborts_;
+  }
+  /// False-abort events this tile's core *caused* as the failed requester
+  /// (requester-attributed, matching htm.false_abort_events).
+  [[nodiscard]] std::uint64_t tile_false_aborts() const noexcept {
+    return tile_false_aborts_;
+  }
+
   /// Scheme-dependent delay before re-running an aborted transaction,
   /// *excluding* the fixed abort-recovery latency (randomized linear backoff
   /// for the Backoff scheme [17], zero otherwise).
@@ -162,6 +176,8 @@ class TxnContext final : public coherence::TxnHooks {
   StaticTxId static_id_ = 0;
   Cycle attempt_begin_ = 0;
   std::uint32_t attempt_aborts_ = 0;  ///< Aborts of the current instance.
+  std::uint64_t tile_aborts_ = 0;        ///< Run-total aborts (this tile).
+  std::uint64_t tile_false_aborts_ = 0;  ///< Run-total false-abort events.
 
   std::unordered_set<BlockAddr> read_set_;
   std::unordered_set<BlockAddr> write_set_;

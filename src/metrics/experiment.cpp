@@ -120,6 +120,9 @@ RunResult run_experiment(const ExperimentParams& params,
       meta.cycles = cmp.kernel().now();
       meta.interval = sampler->interval();
       meta.dropped = sampler->series().dropped();
+      meta.num_nodes = cfg.num_nodes;
+      meta.mesh_width = cfg.noc.mesh_width;
+      meta.mesh_height = cfg.noc.rows();
       telemetry::write_dashboard_html(meta, samples, &cmp.kernel().stats(),
                                       out);
     }

@@ -1,0 +1,719 @@
+#include "runner/aggregate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#ifdef _WIN32
+#include <process.h>
+#define PUNO_GETPID _getpid
+#else
+#include <unistd.h>
+#define PUNO_GETPID getpid
+#endif
+
+#include "metrics/stats_io.hpp"
+#include "sim/jsonio.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/html.hpp"
+
+namespace puno::runner {
+
+namespace fs = std::filesystem;
+namespace jio = sim::jsonio;
+
+namespace {
+
+/// The token the parser choked on, for error messages: up to 24 characters
+/// of what remains (whitespace-trimmed, never spanning a newline).
+std::string offending_token(std::string_view s) {
+  jio::skip_ws(s);
+  if (s.empty()) return "<end of line>";
+  std::size_t n = 0;
+  while (n < s.size() && n < 24 && s[n] != '\n' && s[n] != '\r') ++n;
+  return std::string(s.substr(0, n));
+}
+
+bool fail(std::string_view s, const std::string& what, std::string* err) {
+  if (err != nullptr) *err = what + " near '" + offending_token(s) + "'";
+  return false;
+}
+
+/// Drives one flat JSON object: `field(key, s)` parses the value for a key
+/// (dispatching unknown keys to jio::skip_value for forward compat) and
+/// returns false on a malformed value.
+template <typename FieldFn>
+bool parse_object(std::string_view line, FieldFn&& field, std::string* err) {
+  std::string_view s = line;
+  if (!jio::consume(s, '{')) return fail(s, "expected '{'", err);
+  jio::skip_ws(s);
+  std::string_view probe = s;
+  if (!jio::consume(probe, '}')) {
+    while (true) {
+      std::string key;
+      if (!jio::parse_string(s, key)) {
+        return fail(s, "expected key string", err);
+      }
+      if (!jio::consume(s, ':')) return fail(s, "expected ':'", err);
+      if (!field(key, s)) {
+        return fail(s, "bad value for \"" + key + "\"", err);
+      }
+      jio::skip_ws(s);
+      if (jio::consume(s, ',')) continue;
+      if (jio::consume(s, '}')) break;
+      return fail(s, "expected ',' or '}'", err);
+    }
+  } else {
+    s = probe;
+  }
+  jio::skip_ws(s);
+  if (!s.empty()) return fail(s, "trailing garbage", err);
+  return true;
+}
+
+}  // namespace
+
+bool parse_manifest_row(std::string_view line, ManifestRow& row,
+                        std::string* err) {
+  row = ManifestRow{};
+  return parse_object(
+      line,
+      [&](const std::string& key, std::string_view& s) {
+        if (key == "index") return jio::parse_u64(s, row.index);
+        if (key == "label") return jio::parse_string(s, row.label);
+        if (key == "workload") return jio::parse_string(s, row.workload);
+        if (key == "scheme") return jio::parse_string(s, row.scheme);
+        if (key == "seed") return jio::parse_u64(s, row.seed);
+        if (key == "scale") return jio::parse_double(s, row.scale);
+        if (key == "max_cycles") return jio::parse_u64(s, row.max_cycles);
+        if (key == "num_nodes") return jio::parse_u64(s, row.num_nodes);
+        if (key == "mesh_width") return jio::parse_u64(s, row.mesh_width);
+        if (key == "mesh_height") return jio::parse_u64(s, row.mesh_height);
+        if (key == "key") return jio::parse_string(s, row.key);
+        if (key == "status") return jio::parse_string(s, row.status);
+        if (key == "attempts") return jio::parse_u64(s, row.attempts);
+        if (key == "wall_s") return jio::parse_double(s, row.wall_s);
+        if (key == "cycles") return jio::parse_u64(s, row.cycles);
+        if (key == "cycles_per_s") {
+          return jio::parse_double(s, row.cycles_per_s);
+        }
+        if (key == "overrides") return jio::parse_string(s, row.overrides);
+        if (key == "trace_path") return jio::parse_string(s, row.trace_path);
+        if (key == "telemetry_path") {
+          return jio::parse_string(s, row.telemetry_path);
+        }
+        if (key == "telemetry_samples") {
+          return jio::parse_u64(s, row.telemetry_samples);
+        }
+        if (key == "telemetry_dropped") {
+          return jio::parse_u64(s, row.telemetry_dropped);
+        }
+        if (key == "error") return jio::parse_string(s, row.error);
+        return jio::skip_value(s);
+      },
+      err);
+}
+
+std::vector<ManifestRow> read_manifest_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw std::runtime_error("cannot read manifest '" + path.string() + "'");
+  }
+  std::vector<ManifestRow> rows;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ManifestRow row;
+    std::string err;
+    if (!parse_manifest_row(line, row, &err)) {
+      throw std::runtime_error(path.string() + ": line " +
+                               std::to_string(lineno) + ": " + err);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void sort_aggregate(std::vector<AggregateRow>& rows) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const AggregateRow& a, const AggregateRow& b) {
+                     return std::tie(a.workload, a.scheme, a.num_nodes,
+                                     a.scale, a.overrides, a.seed, a.key) <
+                            std::tie(b.workload, b.scheme, b.num_nodes,
+                                     b.scale, b.overrides, b.seed, b.key);
+                   });
+}
+
+namespace {
+
+/// Per-tile whole-run totals from one job's telemetry series: tile aborts
+/// when the series carries the spatial channels, router traversals
+/// otherwise. A missing or empty file yields no thumbnail (not an error —
+/// artifacts move around); a malformed one throws.
+void join_telemetry(const fs::path& manifest_dir, const ManifestRow& m,
+                    AggregateRow& row) {
+  if (m.telemetry_path.empty()) return;
+  fs::path p = m.telemetry_path;
+  if (!fs::exists(p)) p = manifest_dir / m.telemetry_path;
+  if (!fs::exists(p)) return;
+  std::ifstream in(p);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<telemetry::TelemetrySample> samples;
+  if (!telemetry::read_telemetry_jsonl(text, samples)) {
+    throw std::runtime_error("malformed telemetry series '" + p.string() +
+                             "'");
+  }
+  if (samples.empty()) return;
+  const bool spatial = samples.front().spatial();
+  const auto& probe = spatial ? samples.front().tile_aborts
+                              : samples.front().router_traversals;
+  if (probe.empty()) return;
+  row.heat_channel = spatial ? "aborts" : "traversals";
+  row.tile_heat.assign(probe.size(), 0);
+  for (const telemetry::TelemetrySample& s : samples) {
+    const auto& v = spatial ? s.tile_aborts : s.router_traversals;
+    for (std::size_t i = 0; i < row.tile_heat.size() && i < v.size(); ++i) {
+      row.tile_heat[i] += v[i];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AggregateRow> aggregate_manifest(const fs::path& manifest_path,
+                                             const fs::path& results_path) {
+  const std::vector<ManifestRow> manifest = read_manifest_file(manifest_path);
+
+  std::vector<metrics::RunResult> results;
+  if (!results_path.empty()) {
+    std::ifstream in(results_path);
+    if (!in.is_open()) {
+      throw std::runtime_error("cannot read results '" +
+                               results_path.string() + "'");
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      metrics::RunResult r;
+      if (!metrics::read_result_jsonl(line, r)) {
+        throw std::runtime_error(results_path.string() + ": line " +
+                                 std::to_string(lineno) +
+                                 ": malformed result row");
+      }
+      results.push_back(std::move(r));
+    }
+    if (results.size() != manifest.size()) {
+      throw std::runtime_error(
+          results_path.string() + ": " + std::to_string(results.size()) +
+          " result rows for " + std::to_string(manifest.size()) +
+          " manifest rows in '" + manifest_path.string() + "'");
+    }
+  }
+
+  const fs::path dir = manifest_path.parent_path();
+  std::vector<AggregateRow> rows;
+  rows.reserve(manifest.size());
+  for (const ManifestRow& m : manifest) {
+    // Manifest rows are written in completion order; the recorded index is
+    // the spec position, which is the result JSONL's row order.
+    const std::size_t i = m.index;
+    AggregateRow row;
+    row.key = m.key;
+    row.workload = m.workload;
+    row.scheme = m.scheme;
+    row.seed = m.seed;
+    row.scale = m.scale;
+    row.num_nodes = m.num_nodes;
+    row.mesh_width = m.mesh_width;
+    row.mesh_height = m.mesh_height;
+    row.overrides = m.overrides;
+    // A cache hit and a fresh simulation are the same experiment; keeping
+    // the distinction would make the aggregate depend on cache warmth.
+    row.status = m.status == "cached" ? "ok" : m.status;
+    row.cycles = m.cycles;
+    if (i < results.size()) {
+      const metrics::RunResult& r = results[i];
+      if (r.workload != m.workload ||
+          std::string(to_string(r.scheme)) != m.scheme) {
+        throw std::runtime_error(
+            results_path.string() + ": row " + std::to_string(i + 1) +
+            " is " + r.workload + "/" + to_string(r.scheme) +
+            ", manifest row is " + m.workload + "/" + m.scheme);
+      }
+      row.has_result = true;
+      row.commits = r.commits;
+      row.aborts = r.aborts;
+      row.false_abort_events = r.false_abort_events;
+      row.router_traversals = r.router_traversals;
+    }
+    join_telemetry(dir, m, row);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_aggregate_row(const AggregateRow& row, std::ostream& out) {
+  char num[40];
+  std::snprintf(num, sizeof num, "%.17g", row.scale);
+  out << "{\"key\":\"" << metrics::json_escape(row.key) << "\",\"workload\":\""
+      << metrics::json_escape(row.workload) << "\",\"scheme\":\""
+      << metrics::json_escape(row.scheme) << "\",\"seed\":" << row.seed
+      << ",\"scale\":" << num << ",\"num_nodes\":" << row.num_nodes
+      << ",\"mesh_width\":" << row.mesh_width
+      << ",\"mesh_height\":" << row.mesh_height;
+  if (!row.overrides.empty()) {
+    out << ",\"overrides\":\"" << metrics::json_escape(row.overrides) << "\"";
+  }
+  out << ",\"status\":\"" << metrics::json_escape(row.status)
+      << "\",\"cycles\":" << row.cycles;
+  if (row.has_result) {
+    out << ",\"commits\":" << row.commits << ",\"aborts\":" << row.aborts
+        << ",\"false_abort_events\":" << row.false_abort_events
+        << ",\"router_traversals\":" << row.router_traversals;
+  }
+  if (!row.tile_heat.empty()) {
+    out << ",\"heat_channel\":\"" << metrics::json_escape(row.heat_channel)
+        << "\",\"tile_heat\":[";
+    for (std::size_t i = 0; i < row.tile_heat.size(); ++i) {
+      if (i != 0) out << ',';
+      out << row.tile_heat[i];
+    }
+    out << ']';
+  }
+  out << "}\n";
+}
+
+bool parse_aggregate_row(std::string_view line, AggregateRow& row,
+                         std::string* err) {
+  row = AggregateRow{};
+  return parse_object(
+      line,
+      [&](const std::string& key, std::string_view& s) {
+        if (key == "key") return jio::parse_string(s, row.key);
+        if (key == "workload") return jio::parse_string(s, row.workload);
+        if (key == "scheme") return jio::parse_string(s, row.scheme);
+        if (key == "seed") return jio::parse_u64(s, row.seed);
+        if (key == "scale") return jio::parse_double(s, row.scale);
+        if (key == "num_nodes") return jio::parse_u64(s, row.num_nodes);
+        if (key == "mesh_width") return jio::parse_u64(s, row.mesh_width);
+        if (key == "mesh_height") return jio::parse_u64(s, row.mesh_height);
+        if (key == "overrides") return jio::parse_string(s, row.overrides);
+        if (key == "status") return jio::parse_string(s, row.status);
+        if (key == "cycles") return jio::parse_u64(s, row.cycles);
+        if (key == "commits") {
+          row.has_result = true;
+          return jio::parse_u64(s, row.commits);
+        }
+        if (key == "aborts") {
+          row.has_result = true;
+          return jio::parse_u64(s, row.aborts);
+        }
+        if (key == "false_abort_events") {
+          row.has_result = true;
+          return jio::parse_u64(s, row.false_abort_events);
+        }
+        if (key == "router_traversals") {
+          row.has_result = true;
+          return jio::parse_u64(s, row.router_traversals);
+        }
+        if (key == "heat_channel") {
+          return jio::parse_string(s, row.heat_channel);
+        }
+        if (key == "tile_heat") return jio::parse_u64_array(s, row.tile_heat);
+        return jio::skip_value(s);
+      },
+      err);
+}
+
+bool publish_aggregate(const fs::path& path,
+                       const std::vector<AggregateRow>& rows,
+                       std::string* err) {
+  // Keyed merge: whatever is already published survives unless this batch
+  // carries a fresher row for the same cache key.
+  std::map<std::string, AggregateRow> merged;
+  if (fs::exists(path)) {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      if (err != nullptr) *err = "cannot read '" + path.string() + "'";
+      return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      AggregateRow row;
+      std::string perr;
+      if (!parse_aggregate_row(line, row, &perr)) {
+        if (err != nullptr) {
+          *err = path.string() + ": line " + std::to_string(lineno) + ": " +
+                 perr;
+        }
+        return false;
+      }
+      merged[row.key] = std::move(row);
+    }
+  }
+  for (const AggregateRow& row : rows) merged[row.key] = row;
+
+  std::vector<AggregateRow> all;
+  all.reserve(merged.size());
+  for (auto& [k, row] : merged) all.push_back(std::move(row));
+  sort_aggregate(all);
+
+  // Same atomic-publication idiom as the result cache: a writer-unique temp
+  // file next to the target, then rename. Readers never see a torn file.
+  std::ostringstream tmp_name;
+  tmp_name << path.filename().string() << ".tmp." << PUNO_GETPID() << "."
+           << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const fs::path tmp =
+      (path.has_parent_path() ? path.parent_path() : fs::path(".")) /
+      tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      if (err != nullptr) *err = "cannot write '" + tmp.string() + "'";
+      return false;
+    }
+    for (const AggregateRow& row : all) write_aggregate_row(row, out);
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      if (err != nullptr) *err = "short write to '" + tmp.string() + "'";
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    if (err != nullptr) {
+      *err = "cannot publish '" + path.string() + "': " + ec.message();
+    }
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Thumbnail cell size: the longer mesh dimension fits ~120px, floor 2px.
+int thumb_cell_px(const telemetry::MeshGeometry& g) {
+  const std::size_t longest =
+      std::max<std::size_t>(1, std::max(g.width, g.height));
+  return std::clamp(120 / static_cast<int>(longest), 2, 8);
+}
+
+/// Config identity within one workload table: everything but the scheme.
+using ConfigKey =
+    std::tuple<std::uint64_t, double, std::string, std::uint64_t>;
+
+ConfigKey config_key(const AggregateRow& r) {
+  return {r.num_nodes, r.scale, r.overrides, r.seed};
+}
+
+std::string config_label(const AggregateRow& r) {
+  std::string label = std::to_string(r.num_nodes) + " tiles (" +
+                      std::to_string(r.mesh_width) + "x" +
+                      std::to_string(r.mesh_height) + ")";
+  label += ", scale " + telemetry::html::fmt(r.scale);
+  label += ", seed " + std::to_string(r.seed);
+  if (!r.overrides.empty()) label += ", " + r.overrides;
+  return label;
+}
+
+}  // namespace
+
+void write_fleet_dashboard(const std::vector<AggregateRow>& rows,
+                           std::ostream& out) {
+  namespace html = telemetry::html;
+
+  // Column order: schemes as first encountered in (sorted) row order.
+  std::vector<std::string> schemes;
+  std::set<std::string> workloads;
+  for (const AggregateRow& r : rows) {
+    if (std::find(schemes.begin(), schemes.end(), r.scheme) ==
+        schemes.end()) {
+      schemes.push_back(r.scheme);
+    }
+    workloads.insert(r.workload);
+  }
+
+  std::string style;
+  style += ".hm{display:block;margin-top:4px}\n";
+  style += "td{vertical-align:top}\n";
+  style += ".bad{color:#d0342c;font-weight:600}\n";
+  style += ".n{color:#666;font-size:.85em}\n";
+  html::begin_page(out, "PUNO fleet dashboard", "PUNO fleet dashboard",
+                   style);
+  out << "<p class=\"meta\">" << rows.size() << " configurations &middot; "
+      << workloads.size() << " workloads &middot; " << schemes.size()
+      << " schemes";
+  out << "</p>\n";
+
+  for (const std::string& workload : workloads) {
+    // config -> scheme -> row, in sorted-row order.
+    std::map<ConfigKey, std::map<std::string, const AggregateRow*>> grid;
+    for (const AggregateRow& r : rows) {
+      if (r.workload == workload) grid[config_key(r)][r.scheme] = &r;
+    }
+    out << "<h2>" << html::escape(workload) << "</h2>\n<table><tr><th>config"
+        << "</th>";
+    for (const std::string& s : schemes) {
+      out << "<th>" << html::escape(s) << "</th>";
+    }
+    out << "</tr>";
+    for (const auto& [cfg, by_scheme] : grid) {
+      const AggregateRow* any = by_scheme.begin()->second;
+      out << "<tr><td>" << html::escape(config_label(*any)) << "</td>";
+      for (const std::string& s : schemes) {
+        const auto it = by_scheme.find(s);
+        if (it == by_scheme.end()) {
+          out << "<td class=\"n\">&mdash;</td>";
+          continue;
+        }
+        const AggregateRow& r = *it->second;
+        out << "<td>";
+        if (r.status != "ok") {
+          out << "<span class=\"bad\">" << html::escape(r.status)
+              << "</span><br>";
+        }
+        out << r.cycles << " <span class=\"n\">cycles</span>";
+        if (r.has_result) {
+          out << "<br>" << r.commits << " <span class=\"n\">commits</span>, "
+              << r.aborts << " <span class=\"n\">aborts</span><br>"
+              << r.false_abort_events
+              << " <span class=\"n\">false-abort events</span>";
+        }
+        const telemetry::MeshGeometry geom{
+            r.num_nodes, r.mesh_width, r.mesh_height};
+        if (!r.tile_heat.empty() && geom.valid()) {
+          std::uint64_t maxv = 0;
+          for (const std::uint64_t v : r.tile_heat) {
+            maxv = std::max(maxv, v);
+          }
+          telemetry::write_heatmap_svg(out, geom, r.tile_heat, maxv, "",
+                                       thumb_cell_px(geom));
+          out << "<br><span class=\"n\">" << html::escape(r.heat_channel)
+              << " heatmap, concentration "
+              << html::fmt(telemetry::concentration_index(r.tile_heat))
+              << "</span>";
+        }
+        out << "</td>";
+      }
+      out << "</tr>";
+    }
+    out << "</table>\n";
+  }
+  html::end_page(out);
+}
+
+bool read_bench_snapshot(const fs::path& path, BenchSnapshot& snap,
+                         std::string* err) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (err != nullptr) *err = "cannot read '" + path.string() + "'";
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  snap = BenchSnapshot{};
+  snap.path = path.string();
+
+  const auto parse_run = [&](std::string_view& s) {
+    BenchSnapshot::Row row;
+    const bool ok = parse_object(
+        // parse_object expects a whole line; give it the remaining text and
+        // let it stop at the object end by carving the value out below.
+        s,
+        [&](const std::string& key, std::string_view& v) {
+          if (key == "workload") return jio::parse_string(v, row.workload);
+          if (key == "scheme") return jio::parse_string(v, row.scheme);
+          if (key == "cycles") return jio::parse_u64(v, row.cycles);
+          if (key == "wall_s") return jio::parse_double(v, row.wall_s);
+          if (key == "cycles_per_s") {
+            return jio::parse_double(v, row.cycles_per_s);
+          }
+          return jio::skip_value(v);
+        },
+        nullptr);
+    if (ok) snap.rows.push_back(std::move(row));
+    return ok;
+  };
+
+  // The snapshot is one nested object (runs hold component arrays), so this
+  // is a hand-rolled walk rather than the flat parse_object driver.
+  std::string_view s = text;
+  bool ok = jio::consume(s, '{');
+  while (ok) {
+    jio::skip_ws(s);
+    std::string key;
+    if (!jio::parse_string(s, key) || !jio::consume(s, ':')) {
+      ok = false;
+      break;
+    }
+    if (key == "schema") {
+      std::string schema;
+      ok = jio::parse_string(s, schema);
+    } else if (key == "git_sha") {
+      ok = jio::parse_string(s, snap.git_sha);
+    } else if (key == "generated_at") {
+      ok = jio::parse_string(s, snap.generated_at);
+    } else if (key == "config_schema") {
+      ok = jio::parse_u64(s, snap.config_schema);
+    } else if (key == "runs") {
+      ok = jio::consume(s, '[');
+      jio::skip_ws(s);
+      if (ok && !s.empty() && s.front() == ']') {
+        s.remove_prefix(1);
+      } else {
+        while (ok) {
+          // Carve one {...} object out of the stream so the flat driver can
+          // insist on consuming it fully.
+          jio::skip_ws(s);
+          std::size_t depth = 0, end = 0;
+          bool in_str = false;
+          for (; end < s.size(); ++end) {
+            const char c = s[end];
+            if (in_str) {
+              if (c == '\\') ++end;
+              else if (c == '"') in_str = false;
+            } else if (c == '"') {
+              in_str = true;
+            } else if (c == '{') {
+              ++depth;
+            } else if (c == '}') {
+              if (--depth == 0) { ++end; break; }
+            }
+          }
+          std::string_view obj = s.substr(0, end);
+          ok = depth == 0 && end > 0 && parse_run(obj);
+          if (!ok) break;
+          s.remove_prefix(end);
+          jio::skip_ws(s);
+          if (jio::consume(s, ',')) continue;
+          ok = jio::consume(s, ']');
+          break;
+        }
+      }
+    } else {
+      ok = jio::skip_value(s);
+    }
+    if (!ok) break;
+    jio::skip_ws(s);
+    if (jio::consume(s, ',')) continue;
+    ok = jio::consume(s, '}');
+    break;
+  }
+  if (!ok) {
+    if (err != nullptr) {
+      *err = path.string() + ": malformed snapshot near '" +
+             offending_token(s) + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+std::size_t write_trajectory_report(std::vector<BenchSnapshot> snaps,
+                                    double max_regression,
+                                    std::ostream& out) {
+  // Stamped snapshots sort by generation time (ISO-8601 sorts lexically);
+  // unstamped ones keep their given position.
+  std::stable_sort(snaps.begin(), snaps.end(),
+                   [](const BenchSnapshot& a, const BenchSnapshot& b) {
+                     return !a.generated_at.empty() &&
+                            !b.generated_at.empty() &&
+                            a.generated_at < b.generated_at;
+                   });
+
+  char num[40];
+  std::snprintf(num, sizeof num, "%.3g", max_regression);
+  out << "perf trajectory: " << snaps.size() << " snapshots (threshold "
+      << num << "x)\n";
+  const auto aggregate_cps = [](const BenchSnapshot& s) {
+    double cycles = 0, wall = 0;
+    for (const auto& r : s.rows) {
+      cycles += static_cast<double>(r.cycles);
+      wall += r.wall_s;
+    }
+    return wall > 0 ? cycles / wall : 0.0;
+  };
+  for (const BenchSnapshot& s : snaps) {
+    out << "  " << s.path;
+    if (!s.generated_at.empty()) out << "  " << s.generated_at;
+    if (!s.git_sha.empty()) out << "  @" << s.git_sha.substr(0, 12);
+    std::snprintf(num, sizeof num, "%.4g", aggregate_cps(s));
+    out << "  " << s.rows.size() << " rows, aggregate " << num
+        << " cycles/s\n";
+  }
+  if (snaps.size() < 2) {
+    out << "  (need at least 2 snapshots to diff)\n";
+    return 0;
+  }
+
+  std::size_t last_step_flagged = 0;
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    const BenchSnapshot& prev = snaps[i - 1];
+    const BenchSnapshot& cur = snaps[i];
+    std::map<std::string, const BenchSnapshot::Row*> prev_rows;
+    for (const auto& r : prev.rows) {
+      prev_rows[r.workload + "/" + r.scheme] = &r;
+    }
+    double worst = 0.0;
+    std::string worst_name;
+    std::size_t compared = 0, flagged = 0;
+    std::ostringstream flags;
+    for (const auto& r : cur.rows) {
+      const auto it = prev_rows.find(r.workload + "/" + r.scheme);
+      if (it == prev_rows.end() || it->second->cycles_per_s <= 0.0) continue;
+      const double ratio = r.cycles_per_s / it->second->cycles_per_s;
+      ++compared;
+      if (worst_name.empty() || ratio < worst) {
+        worst = ratio;
+        worst_name = r.workload + "/" + r.scheme;
+      }
+      if (ratio < max_regression) {
+        ++flagged;
+        char rnum[40], pnum[40], cnum[40];
+        std::snprintf(rnum, sizeof rnum, "%.3g", ratio);
+        std::snprintf(pnum, sizeof pnum, "%.4g", it->second->cycles_per_s);
+        std::snprintf(cnum, sizeof cnum, "%.4g", r.cycles_per_s);
+        flags << "    REGRESSION " << r.workload << "/" << r.scheme << " "
+              << rnum << "x (" << pnum << " -> " << cnum << " cycles/s)\n";
+      }
+    }
+    const double agg_prev = aggregate_cps(prev);
+    const double agg_ratio =
+        agg_prev > 0 ? aggregate_cps(cur) / agg_prev : 0.0;
+    char anum[40], wnum[40];
+    std::snprintf(anum, sizeof anum, "%.3g", agg_ratio);
+    std::snprintf(wnum, sizeof wnum, "%.3g", worst);
+    out << "  step " << prev.path << " -> " << cur.path << ": aggregate "
+        << anum << "x over " << compared << " rows";
+    if (!worst_name.empty()) {
+      out << ", worst " << worst_name << " " << wnum << "x";
+    }
+    out << (flagged > 0 ? "  ** FLAGGED **" : "") << "\n" << flags.str();
+    if (i + 1 == snaps.size()) last_step_flagged = flagged;
+  }
+  return last_step_flagged;
+}
+
+}  // namespace puno::runner

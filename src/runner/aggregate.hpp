@@ -1,0 +1,163 @@
+// Cross-run fleet aggregation behind tools/punoagg.
+//
+// A punobatch sweep leaves three artifacts: the per-job JSONL manifest
+// (config identity + outcome + artifact paths), the result JSONL (one
+// RunResult row per job, same order as the manifest) and per-job telemetry
+// series. This module walks one or more manifests, joins those artifacts on
+// the content-addressed cache key, and produces:
+//
+//   - deterministic aggregate rows (host-time fields dropped, "cached"
+//     normalized to "ok", sorted by config identity) that are byte-identical
+//     however many worker threads produced the sweep,
+//   - an append-safe aggregate JSONL on disk: rows merge into whatever is
+//     already there (newest row per cache key wins) and the file is
+//     republished via temp + rename, the same atomic-publication idiom as
+//     the result cache,
+//   - the self-contained fleet dashboard comparing schemes x sizes x
+//     workloads with a per-config mesh-heatmap thumbnail,
+//   - a perf-trajectory report over a series of bench_baseline snapshots
+//     (BENCH_*.json) that flags throughput regressions beyond a threshold.
+//
+// Parse errors follow the trace-parser convention: the offending token is
+// quoted in the message, with the file and line number.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace puno::runner {
+
+/// One punobatch manifest line, as written by write_manifest_row. Optional
+/// blocks (overrides, trace, telemetry, error) default to empty/0.
+struct ManifestRow {
+  std::uint64_t index = 0;
+  std::string label;
+  std::string workload;
+  std::string scheme;
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+  std::uint64_t max_cycles = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t mesh_width = 0;
+  std::uint64_t mesh_height = 0;
+  std::string key;     ///< Cache key — the cross-artifact join key.
+  std::string status;  ///< "ok" | "cached" | "failed".
+  std::uint64_t attempts = 0;
+  double wall_s = 0.0;
+  std::uint64_t cycles = 0;
+  double cycles_per_s = 0.0;
+  std::string overrides;
+  std::string trace_path;
+  std::string telemetry_path;
+  std::uint64_t telemetry_samples = 0;
+  std::uint64_t telemetry_dropped = 0;
+  std::string error;
+};
+
+/// Parses one manifest JSONL line; unknown keys are skipped. On malformed
+/// input returns false and, when `err` is non-null, stores a message quoting
+/// the offending token.
+[[nodiscard]] bool parse_manifest_row(std::string_view line, ManifestRow& row,
+                                      std::string* err);
+
+/// Reads a whole manifest file. Throws std::runtime_error naming the file,
+/// the 1-based line and the offending token on the first malformed line.
+[[nodiscard]] std::vector<ManifestRow> read_manifest_file(
+    const std::filesystem::path& path);
+
+/// One aggregate row: the config identity plus only the fields that are
+/// deterministic for that config (no wall time, no attempt counts). The
+/// thumbnail channel is per-tile whole-run totals from the job's telemetry
+/// series — tile aborts when the series is spatial, router traversals
+/// otherwise — and stays empty when the job carried no telemetry.
+struct AggregateRow {
+  std::string key;
+  std::string workload;
+  std::string scheme;
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t mesh_width = 0;
+  std::uint64_t mesh_height = 0;
+  std::string overrides;
+  std::string status;  ///< "ok" (cached runs normalized) or "failed".
+  std::uint64_t cycles = 0;
+  bool has_result = false;  ///< Result row joined: metric fields valid.
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t false_abort_events = 0;
+  std::uint64_t router_traversals = 0;
+  std::string heat_channel;  ///< "aborts" | "traversals" | "".
+  std::vector<std::uint64_t> tile_heat;  ///< Per-tile whole-run totals.
+};
+
+/// Deterministic ordering: workload, scheme, num_nodes, scale, overrides,
+/// seed, then key as the final tiebreak.
+void sort_aggregate(std::vector<AggregateRow>& rows);
+
+/// Builds aggregate rows from one manifest. `results_path` may be empty; when
+/// given it is the sweep's result JSONL (joined by row order, cross-checked
+/// by workload/scheme). Per-job telemetry paths are resolved relative to the
+/// manifest's directory when not found as written. Throws std::runtime_error
+/// on unreadable/malformed inputs.
+[[nodiscard]] std::vector<AggregateRow> aggregate_manifest(
+    const std::filesystem::path& manifest_path,
+    const std::filesystem::path& results_path);
+
+/// One row as one JSON object line (conditional keys: result metrics only
+/// with has_result, heat fields only when non-empty).
+void write_aggregate_row(const AggregateRow& row, std::ostream& out);
+
+/// Inverse of write_aggregate_row; same error contract as
+/// parse_manifest_row.
+[[nodiscard]] bool parse_aggregate_row(std::string_view line,
+                                       AggregateRow& row, std::string* err);
+
+/// Merges `rows` into the aggregate JSONL at `path` (rows already there are
+/// kept unless a new row has the same cache key), sorts, and republishes the
+/// whole file atomically via temp + rename. Returns false with `err` set on
+/// I/O failure or a malformed existing file.
+[[nodiscard]] bool publish_aggregate(const std::filesystem::path& path,
+                                     const std::vector<AggregateRow>& rows,
+                                     std::string* err);
+
+/// The fleet dashboard: per-workload tables of scheme columns x config rows
+/// with headline metrics and heatmap thumbnails, fully self-contained HTML.
+void write_fleet_dashboard(const std::vector<AggregateRow>& rows,
+                           std::ostream& out);
+
+/// One bench_baseline snapshot (BENCH_*.json), headline fields only.
+struct BenchSnapshot {
+  std::string path;
+  std::string git_sha;       ///< Empty for pre-stamping snapshots.
+  std::string generated_at;  ///< ISO-8601 UTC; empty for unstamped files.
+  std::uint64_t config_schema = 0;
+  struct Row {
+    std::string workload;
+    std::string scheme;
+    std::uint64_t cycles = 0;
+    double wall_s = 0.0;
+    double cycles_per_s = 0.0;
+  };
+  std::vector<Row> rows;
+};
+
+/// Reads one snapshot; returns false with `err` set (offending token
+/// quoted) on malformed input.
+[[nodiscard]] bool read_bench_snapshot(const std::filesystem::path& path,
+                                       BenchSnapshot& snap, std::string* err);
+
+/// Orders snapshots into a trajectory (generated_at when stamped, falling
+/// back to the given order), diffs consecutive snapshots per workload x
+/// scheme row, and writes the report. A row whose throughput ratio drops
+/// below `max_regression` (e.g. 0.7 = lost 30%) is flagged; the return
+/// value is the number of flagged regressions in the newest step.
+[[nodiscard]] std::size_t write_trajectory_report(
+    std::vector<BenchSnapshot> snaps, double max_regression,
+    std::ostream& out);
+
+}  // namespace puno::runner

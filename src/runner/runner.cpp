@@ -80,7 +80,10 @@ void write_manifest_row(std::ostream& out, std::size_t index,
       << to_string(p.scheme) << "\",\"seed\":" << p.seed << ",\"scale\":";
   char num[40];
   std::snprintf(num, sizeof num, "%.17g", p.scale);
-  out << num << ",\"max_cycles\":" << p.max_cycles << ",\"key\":\""
+  out << num << ",\"max_cycles\":" << p.max_cycles
+      << ",\"num_nodes\":" << p.base_config.num_nodes
+      << ",\"mesh_width\":" << p.base_config.noc.mesh_width
+      << ",\"mesh_height\":" << p.base_config.noc.rows() << ",\"key\":\""
       << cache_key(p) << "\",\"status\":\"" << to_string(o.status)
       << "\",\"attempts\":" << o.attempts << ",\"wall_s\":";
   std::snprintf(num, sizeof num, "%.6g", o.wall_seconds);

@@ -1,26 +1,21 @@
 #include "telemetry/dashboard.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <functional>
 #include <ostream>
 
-#include "sim/jsonio.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/html.hpp"
 
 namespace puno::telemetry {
 
 namespace {
 
+using html::fmt;
+
 constexpr int kSparkW = 300;
 constexpr int kSparkH = 64;
-
-/// Formats a double compactly and deterministically ("12", "3.25", "1.2e+06").
-std::string fmt(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
-}
 
 /// One inline-SVG sparkline: a filled area + line over the series, y scaled
 /// to [0, max]. Values are window-level quantities; x is the sample index.
@@ -59,7 +54,7 @@ void card(std::ostream& out, const char* title,
   const double last = ys.empty() ? 0.0 : ys.back();
   for (const double y : ys) maxy = std::max(maxy, y);
   out << "<div class=\"card\"><div class=\"t\">"
-      << sim::jsonio::escape(title) << "</div><div class=\"v\">" << fmt(last)
+      << html::escape(title) << "</div><div class=\"v\">" << fmt(last)
       << "<span class=\"u\">" << unit << " (max " << fmt(maxy)
       << ")</span></div>";
   sparkline(out, ys, color);
@@ -82,6 +77,214 @@ double rate(std::uint64_t delta, std::uint64_t window) {
                            static_cast<double>(window);
 }
 
+/// One spatial channel of the heatmap section: JSON/element-id key, human
+/// label, aggregation (delta channels sum over windows, gauges peak) and
+/// the accessor into a sample.
+struct TileChannel {
+  const char* key;
+  const char* name;
+  bool gauge;
+  const std::vector<std::uint64_t>& (*get)(const TelemetrySample&);
+};
+
+constexpr TileChannel kTileChannels[] = {
+    {"traversals", "router traversals", false,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.router_traversals;
+     }},
+    {"aborts", "aborts (victim tile)", false,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_aborts;
+     }},
+    {"false_aborts", "false-abort events (requester tile)", false,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_false_aborts;
+     }},
+    {"nacks_sent", "NACKs sent", false,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_nacks_sent;
+     }},
+    {"nacks_recv", "NACKs received", false,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_nacks_recv;
+     }},
+    {"pbuf_evict", "P-Buffer evictions", false,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_pbuffer_evictions;
+     }},
+    {"ud_mispred", "UD mispredicts", false,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_ud_mispredicts;
+     }},
+    {"txn_pins", "L1 txn-pinned lines (peak)", true,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_txn_pins;
+     }},
+    {"queued", "router queue depth (peak)", true,
+     [](const TelemetrySample& s) -> const std::vector<std::uint64_t>& {
+       return s.tile_router_queued;
+     }},
+};
+
+/// Embedded scrubber frames are bounded to roughly this many numbers so a
+/// 4096-tile page stays loadable; the time axis is decimated to fit.
+constexpr std::size_t kScrubberNumberBudget = 200000;
+constexpr std::size_t kScrubberMaxBuckets = 48;
+constexpr std::size_t kHotspotTableK = 5;
+
+void write_u64_json_array(std::ostream& out,
+                          const std::vector<std::uint64_t>& v) {
+  out << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out << ',';
+    out << v[i];
+  }
+  out << ']';
+}
+
+/// The mesh heatmap section: one heatmap per channel with per-tile totals,
+/// an optional time-window scrubber (inline script over embedded frames)
+/// and the top-K hotspot table with a concentration index per channel.
+void write_heatmap_section(std::ostream& out, const DashboardMeta& meta,
+                           const std::vector<TelemetrySample>& samples) {
+  const MeshGeometry geom{meta.num_nodes, meta.mesh_width, meta.mesh_height};
+  if (!geom.valid() || samples.empty()) return;
+
+  std::vector<const TileChannel*> channels;
+  for (const TileChannel& c : kTileChannels) {
+    if (!c.get(samples.front()).empty()) channels.push_back(&c);
+  }
+  if (channels.empty()) return;
+
+  // Aggregates windows [begin, end) per tile: sums for delta channels,
+  // peaks for gauges.
+  const auto aggregate = [&](const TileChannel& c, std::size_t begin,
+                             std::size_t end) {
+    std::vector<std::uint64_t> agg(geom.num_nodes, 0);
+    for (std::size_t w = begin; w < end; ++w) {
+      const std::vector<std::uint64_t>& v = c.get(samples[w]);
+      for (std::size_t i = 0; i < agg.size() && i < v.size(); ++i) {
+        agg[i] = c.gauge ? std::max(agg[i], v[i]) : agg[i] + v[i];
+      }
+    }
+    return agg;
+  };
+
+  std::vector<std::vector<std::uint64_t>> totals;
+  totals.reserve(channels.size());
+  for (const TileChannel* c : channels) {
+    totals.push_back(aggregate(*c, 0, samples.size()));
+  }
+
+  // Time decimation for the scrubber: at most kScrubberMaxBuckets frames,
+  // shrunk further so channels * buckets * tiles stays within the number
+  // budget. 0 or 1 buckets degrades to a static (whole-run) page.
+  std::size_t buckets =
+      std::min(kScrubberMaxBuckets, samples.size());
+  buckets = std::min(
+      buckets, std::max<std::size_t>(
+                   1, kScrubberNumberBudget /
+                          std::max<std::size_t>(
+                              1, channels.size() * geom.num_nodes)));
+  const bool scrub = buckets > 1;
+
+  out << "<h2>Mesh heatmaps</h2>\n";
+  if (scrub) {
+    out << "<p class=\"meta\">time window: <input type=\"range\" "
+           "id=\"hmscrub\" min=\"0\" max=\""
+        << buckets
+        << "\" value=\"0\" oninput=\"hmSet(this.value)\"> <span "
+           "id=\"hmlabel\">whole run</span></p>\n";
+  }
+  out << "<div class=\"grid\">\n";
+  const int cell = heatmap_cell_px(geom);
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    std::uint64_t maxv = 0;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : totals[c]) {
+      maxv = std::max(maxv, v);
+      sum += v;
+    }
+    out << "<div class=\"hmcard\"><div class=\"t\">"
+        << html::escape(channels[c]->name) << " &middot; "
+        << (channels[c]->gauge ? "peak " : "total ")
+        << (channels[c]->gauge ? maxv : sum) << "</div>";
+    write_heatmap_svg(out, geom, totals[c], maxv, channels[c]->key, cell);
+    out << "</div>\n";
+  }
+  out << "</div>\n";
+
+  // Top-K hotspot table: per channel the share-weighted hottest tiles and
+  // the normalized Herfindahl concentration (0 = uniform, 1 = one tile).
+  out << "<table><tr><th>channel</th><th>total/peak</th>"
+         "<th>concentration</th><th>top tiles</th></tr>";
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    std::uint64_t maxv = 0;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : totals[c]) {
+      maxv = std::max(maxv, v);
+      sum += v;
+    }
+    out << "<tr><td>" << html::escape(channels[c]->name) << "</td><td>"
+        << (channels[c]->gauge ? maxv : sum) << "</td><td>"
+        << fmt(concentration_index(totals[c])) << "</td><td>";
+    const auto spots = top_hotspots(totals[c], kHotspotTableK);
+    for (std::size_t i = 0; i < spots.size(); ++i) {
+      if (i != 0) out << " &middot; ";
+      out << 't' << spots[i].tile << " (" << spots[i].tile % geom.width
+          << ',' << spots[i].tile / geom.width << ") "
+          << fmt(spots[i].share * 100.0) << '%';
+    }
+    if (spots.empty()) out << "&mdash;";
+    out << "</td></tr>";
+  }
+  out << "</table>\n";
+
+  if (!scrub) return;
+
+  // Scrubber data + recolor script. Frame 0 is the whole run; frames 1..B
+  // cover equal spans of the retained windows. hmHeat mirrors
+  // heatmap.cpp's heat_color ramp exactly.
+  out << "<script>\nvar HM={\"w\":" << geom.width << ",\"labels\":[\"whole "
+         "run\"";
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = b * samples.size() / buckets;
+    const std::size_t end = (b + 1) * samples.size() / buckets;
+    const std::uint64_t from =
+        samples[begin].cycle - samples[begin].window;
+    const std::uint64_t to = samples[end == 0 ? 0 : end - 1].cycle;
+    out << ",\"cycles " << from << "-" << to << "\"";
+  }
+  out << "],\"channels\":[";
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    if (c != 0) out << ',';
+    out << "{\"key\":\"" << channels[c]->key << "\",\"frames\":[";
+    write_u64_json_array(out, totals[c]);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::size_t begin = b * samples.size() / buckets;
+      const std::size_t end = (b + 1) * samples.size() / buckets;
+      out << ',';
+      write_u64_json_array(out, aggregate(*channels[c], begin, end));
+    }
+    out << "]}";
+  }
+  out << "]};\n"
+      << "function hmHeat(t){t=Math.max(0,Math.min(1,t));"
+         "function l(a,b){return Math.round(a+(b-a)*t);}"
+         "return \"rgb(\"+l(243,208)+\",\"+l(246,52)+\",\"+l(251,44)+\")\";}\n"
+      << "function hmSet(f){f=+f;"
+         "document.getElementById(\"hmlabel\").textContent=HM.labels[f];"
+         "for(var c=0;c<HM.channels.length;++c){var ch=HM.channels[c];"
+         "var v=ch.frames[f];var m=0;var i;"
+         "for(i=0;i<v.length;++i)if(v[i]>m)m=v[i];"
+         "for(i=0;i<v.length;++i){"
+         "var r=document.getElementById(ch.key+\"-\"+i);if(!r)continue;"
+         "r.setAttribute(\"fill\",hmHeat(m?v[i]/m:0));"
+         "var t=r.firstChild;if(t)t.textContent=\"tile \"+i+\" (\"+"
+         "(i%HM.w)+\",\"+Math.floor(i/HM.w)+\"): \"+v[i];}}}\n"
+      << "</script>\n";
+}
+
 void percentile_row(std::ostream& out, const char* label,
                     const sim::Histogram& h) {
   out << "<tr><td>" << label << "</td><td>" << h.total() << "</td><td>"
@@ -96,33 +299,31 @@ void write_dashboard_html(const DashboardMeta& meta,
                           const std::vector<TelemetrySample>& samples,
                           const sim::StatsRegistry* stats,
                           std::ostream& out) {
-  out << "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
-      << "<title>PUNO telemetry &mdash; "
-      << sim::jsonio::escape(meta.workload) << " / "
-      << sim::jsonio::escape(meta.scheme) << "</title>\n<style>\n"
-      << "body{font:14px/1.4 system-ui,sans-serif;margin:1.5em;"
-         "background:#fafafa;color:#222}\n"
-      << "h1{font-size:1.3em}h2{font-size:1.05em;margin:1.2em 0 .4em;"
-         "border-bottom:1px solid #ddd}\n"
-      << ".meta{color:#666}\n"
-      << ".grid{display:flex;flex-wrap:wrap;gap:12px}\n"
-      << ".card{background:#fff;border:1px solid #e2e2e2;border-radius:6px;"
-         "padding:8px 10px;width:" << (kSparkW + 2) << "px}\n"
-      << ".card .t{font-weight:600;font-size:.85em;color:#444}\n"
-      << ".card .v{font-size:1.25em;margin:.1em 0}\n"
-      << ".card .u{font-size:.6em;color:#888;margin-left:.4em}\n"
-      << ".spark{display:block}\n"
-      << "table{border-collapse:collapse;background:#fff}\n"
-      << "td,th{border:1px solid #e2e2e2;padding:4px 10px;text-align:right}\n"
-      << "th{background:#f0f0f0}\ntd:first-child{text-align:left}\n"
-      << ".bar{fill:#4878cf}\n"
-      << "</style></head><body>\n"
-      << "<h1>PUNO telemetry dashboard</h1>\n"
-      << "<p class=\"meta\">workload <b>"
-      << sim::jsonio::escape(meta.workload) << "</b> &middot; scheme <b>"
-      << sim::jsonio::escape(meta.scheme) << "</b> &middot; "
+  std::string style;
+  style += ".grid{display:flex;flex-wrap:wrap;gap:12px}\n";
+  style += ".card{background:#fff;border:1px solid #e2e2e2;border-radius:6px;"
+           "padding:8px 10px;width:" + std::to_string(kSparkW + 2) + "px}\n";
+  style += ".card .t{font-weight:600;font-size:.85em;color:#444}\n";
+  style += ".card .v{font-size:1.25em;margin:.1em 0}\n";
+  style += ".card .u{font-size:.6em;color:#888;margin-left:.4em}\n";
+  style += ".spark{display:block}\n";
+  style += ".bar{fill:#4878cf}\n";
+  style += ".hmcard{background:#fff;border:1px solid #e2e2e2;"
+           "border-radius:6px;padding:8px 10px}\n";
+  style += ".hmcard .t{font-weight:600;font-size:.85em;color:#444;"
+           "margin-bottom:4px}\n";
+  html::begin_page(out,
+                   "PUNO telemetry — " + meta.workload + " / " + meta.scheme,
+                   "PUNO telemetry dashboard", style);
+  out << "<p class=\"meta\">workload <b>"
+      << html::escape(meta.workload) << "</b> &middot; scheme <b>"
+      << html::escape(meta.scheme) << "</b> &middot; "
       << meta.cycles << " cycles &middot; sampled every " << meta.interval
       << " cycles &middot; " << samples.size() << " windows";
+  if (meta.num_nodes > 0 && meta.mesh_width > 0) {
+    out << " &middot; " << meta.mesh_width << "&times;" << meta.mesh_height
+        << " mesh (" << meta.num_nodes << " tiles)";
+  }
   if (meta.dropped > 0) {
     out << " &middot; <b>" << meta.dropped
         << " windows dropped (series cap)</b>";
@@ -280,9 +481,14 @@ void write_dashboard_html(const DashboardMeta& meta,
        "#8c54b0", "flits");
   out << "</div>\n";
 
+  // Spatial view: per-channel mesh heatmaps with scrubber + hotspots.
+  write_heatmap_section(out, meta, samples);
+
   // Per-router lifetime traversal share as a bar chart (sums of the
-  // per-window deltas = each router's total traffic).
-  if (!samples.empty() && !samples.front().router_traversals.empty()) {
+  // per-window deltas = each router's total traffic). Capped at 64 routers;
+  // larger meshes are served by the heatmap above.
+  if (!samples.empty() && !samples.front().router_traversals.empty() &&
+      samples.front().router_traversals.size() <= 64) {
     const std::size_t n = samples.front().router_traversals.size();
     std::vector<std::uint64_t> totals(n, 0);
     for (const TelemetrySample& s : samples) {
@@ -329,7 +535,7 @@ void write_dashboard_html(const DashboardMeta& meta,
     }
   }
 
-  out << "</body></html>\n";
+  html::end_page(out);
 }
 
 }  // namespace puno::telemetry

@@ -19,13 +19,18 @@ class StatsRegistry;
 
 namespace puno::telemetry {
 
-/// Run identification shown in the dashboard header.
+/// Run identification shown in the dashboard header. The mesh geometry
+/// fields feed the spatial heatmap section; leave them 0 (or inconsistent)
+/// to omit it.
 struct DashboardMeta {
   std::string workload;
   std::string scheme;
   std::uint64_t cycles = 0;       ///< Total simulated cycles.
   std::uint64_t interval = 0;     ///< Sampling interval.
   std::uint64_t dropped = 0;      ///< Samples lost to the series cap.
+  std::size_t num_nodes = 0;      ///< Tiles in the mesh (0 = unknown).
+  std::size_t mesh_width = 0;     ///< Mesh columns.
+  std::size_t mesh_height = 0;    ///< Mesh rows (effective, never 0-coded).
 };
 
 /// Writes the dashboard. `stats` may be null; when present it feeds the

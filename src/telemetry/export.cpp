@@ -63,6 +63,22 @@ void write_u64_array(std::ostream& out, const std::vector<std::uint64_t>& v) {
   if (key == "router_traversals") {
     return parse_u64_array(s, r.router_traversals);
   }
+  if (key == "tile_aborts") return parse_u64_array(s, r.tile_aborts);
+  if (key == "tile_false_aborts") {
+    return parse_u64_array(s, r.tile_false_aborts);
+  }
+  if (key == "tile_nacks_sent") return parse_u64_array(s, r.tile_nacks_sent);
+  if (key == "tile_nacks_recv") return parse_u64_array(s, r.tile_nacks_recv);
+  if (key == "tile_pbuffer_evictions") {
+    return parse_u64_array(s, r.tile_pbuffer_evictions);
+  }
+  if (key == "tile_ud_mispredicts") {
+    return parse_u64_array(s, r.tile_ud_mispredicts);
+  }
+  if (key == "tile_txn_pins") return parse_u64_array(s, r.tile_txn_pins);
+  if (key == "tile_router_queued") {
+    return parse_u64_array(s, r.tile_router_queued);
+  }
   return sim::jsonio::skip_value(s);  // unknown key: forward compatibility
 }
 
@@ -95,6 +111,27 @@ void write_sample_jsonl(const TelemetrySample& s, std::ostream& out) {
       << ",\"noc_inflight\":" << s.noc_inflight
       << ",\"router_traversals\":";
   write_u64_array(out, s.router_traversals);
+  // Spatial channels are conditional keys: rows from non-spatial runs stay
+  // byte-identical to the pre-spatial schema (same contract as the lazy
+  // traffic.* counters).
+  if (s.spatial()) {
+    out << ",\"tile_aborts\":";
+    write_u64_array(out, s.tile_aborts);
+    out << ",\"tile_false_aborts\":";
+    write_u64_array(out, s.tile_false_aborts);
+    out << ",\"tile_nacks_sent\":";
+    write_u64_array(out, s.tile_nacks_sent);
+    out << ",\"tile_nacks_recv\":";
+    write_u64_array(out, s.tile_nacks_recv);
+    out << ",\"tile_pbuffer_evictions\":";
+    write_u64_array(out, s.tile_pbuffer_evictions);
+    out << ",\"tile_ud_mispredicts\":";
+    write_u64_array(out, s.tile_ud_mispredicts);
+    out << ",\"tile_txn_pins\":";
+    write_u64_array(out, s.tile_txn_pins);
+    out << ",\"tile_router_queued\":";
+    write_u64_array(out, s.tile_router_queued);
+  }
   out << "}\n";
 }
 
@@ -149,7 +186,35 @@ bool read_telemetry_jsonl(std::string_view text,
   return true;
 }
 
-std::string telemetry_csv_header(std::size_t num_nodes) {
+namespace {
+
+/// The spatial channels in serialization order; shared by the CSV writer
+/// below so column names and values cannot drift apart.
+constexpr const char* kTileChannelNames[] = {
+    "tile_aborts",       "tile_false_aborts",      "tile_nacks_sent",
+    "tile_nacks_recv",   "tile_pbuffer_evictions", "tile_ud_mispredicts",
+    "tile_txn_pins",     "tile_router_queued"};
+
+const std::vector<std::uint64_t>& tile_channel(const TelemetrySample& s,
+                                               std::size_t channel) {
+  switch (channel) {
+    case 0: return s.tile_aborts;
+    case 1: return s.tile_false_aborts;
+    case 2: return s.tile_nacks_sent;
+    case 3: return s.tile_nacks_recv;
+    case 4: return s.tile_pbuffer_evictions;
+    case 5: return s.tile_ud_mispredicts;
+    case 6: return s.tile_txn_pins;
+    default: return s.tile_router_queued;
+  }
+}
+
+constexpr std::size_t kNumTileChannels =
+    sizeof(kTileChannelNames) / sizeof(kTileChannelNames[0]);
+
+}  // namespace
+
+std::string telemetry_csv_header(std::size_t num_nodes, bool spatial) {
   std::string h =
       "cycle,window,cores_in_txn,cores_aborting,read_set_blocks,"
       "write_set_blocks,commits,aborts,false_aborts,notified_backoffs,nacks,"
@@ -162,12 +227,22 @@ std::string telemetry_csv_header(std::size_t num_nodes) {
   for (std::size_t i = 0; i < num_nodes; ++i) {
     h += ",router" + std::to_string(i);
   }
+  // Spatial columns are appended only for spatial series so existing
+  // non-spatial CSV output stays byte-identical.
+  if (spatial) {
+    for (std::size_t c = 0; c < kNumTileChannels; ++c) {
+      for (std::size_t i = 0; i < num_nodes; ++i) {
+        h += ',' + std::string(kTileChannelNames[c]) + std::to_string(i);
+      }
+    }
+  }
   return h;
 }
 
 void write_telemetry_csv(const std::vector<TelemetrySample>& samples,
                          std::size_t num_nodes, std::ostream& out) {
-  out << telemetry_csv_header(num_nodes) << '\n';
+  const bool spatial = !samples.empty() && samples.front().spatial();
+  out << telemetry_csv_header(num_nodes, spatial) << '\n';
   for (const TelemetrySample& s : samples) {
     out << s.cycle << ',' << s.window << ',' << s.cores_in_txn << ','
         << s.cores_aborting << ',' << s.read_set_blocks << ','
@@ -186,6 +261,14 @@ void write_telemetry_csv(const std::vector<TelemetrySample>& samples,
     for (std::size_t i = 0; i < num_nodes; ++i) {
       out << ','
           << (i < s.router_traversals.size() ? s.router_traversals[i] : 0);
+    }
+    if (spatial) {
+      for (std::size_t c = 0; c < kNumTileChannels; ++c) {
+        const std::vector<std::uint64_t>& v = tile_channel(s, c);
+        for (std::size_t i = 0; i < num_nodes; ++i) {
+          out << ',' << (i < v.size() ? v[i] : 0);
+        }
+      }
     }
     out << '\n';
   }

@@ -37,10 +37,13 @@ void write_telemetry_jsonl(const std::vector<TelemetrySample>& samples,
                                         std::vector<TelemetrySample>& out);
 
 /// CSV header for a series whose samples carry `num_nodes` per-core states
-/// and per-router columns (core0..coreN-1, router0..routerN-1).
-[[nodiscard]] std::string telemetry_csv_header(std::size_t num_nodes);
+/// and per-router columns (core0..coreN-1, router0..routerN-1). `spatial`
+/// appends the per-tile channel columns (tile_aborts0.., tile_txn_pins0..).
+[[nodiscard]] std::string telemetry_csv_header(std::size_t num_nodes,
+                                               bool spatial = false);
 
-/// Writes the series as CSV, header included.
+/// Writes the series as CSV, header included. Spatial columns appear iff
+/// the first sample carries the spatial channels.
 void write_telemetry_csv(const std::vector<TelemetrySample>& samples,
                          std::size_t num_nodes, std::ostream& out);
 

@@ -1,0 +1,105 @@
+#include "telemetry/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace puno::telemetry {
+
+namespace {
+
+// Heat ramp endpoints: near-white to the dashboard's abort red.
+constexpr int kColdR = 243, kColdG = 246, kColdB = 251;
+constexpr int kHotR = 208, kHotG = 52, kHotB = 44;
+
+/// The longer mesh dimension fits this many pixels.
+constexpr int kMeshBudgetPx = 640;
+
+}  // namespace
+
+int heatmap_cell_px(const MeshGeometry& g) noexcept {
+  const std::size_t longest = std::max<std::size_t>(
+      1, std::max(g.width, g.height));
+  const int px = kMeshBudgetPx / static_cast<int>(longest);
+  return std::clamp(px, 4, 28);
+}
+
+std::string heat_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Round the interpolated channel (always >= 0), not the delta: truncation
+  // of a negative delta would miss both ramp endpoints by one, and this form
+  // matches Math.round() in the dashboard's scrubber JS exactly.
+  const auto lerp = [t](int a, int b) {
+    return static_cast<int>(static_cast<double>(a) +
+                            static_cast<double>(b - a) * t + 0.5);
+  };
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", lerp(kColdR, kHotR),
+                lerp(kColdG, kHotG), lerp(kColdB, kHotB));
+  return buf;
+}
+
+void write_heatmap_svg(std::ostream& out, const MeshGeometry& g,
+                       const std::vector<std::uint64_t>& values,
+                       std::uint64_t max_value, const std::string& id_prefix,
+                       int cell_px) {
+  const int gap = cell_px >= 8 ? 1 : 0;
+  const int pitch = cell_px + gap;
+  const int w = static_cast<int>(g.width) * pitch;
+  const int h = static_cast<int>(g.height) * pitch;
+  out << "<svg class=\"hm\" width=\"" << w << "\" height=\"" << h
+      << "\" shape-rendering=\"crispEdges\">";
+  for (std::size_t i = 0; i < g.num_nodes; ++i) {
+    const std::size_t cx = i % g.width;
+    const std::size_t cy = i / g.width;
+    const std::uint64_t v = i < values.size() ? values[i] : 0;
+    const double t = max_value == 0
+                         ? 0.0
+                         : static_cast<double>(v) /
+                               static_cast<double>(max_value);
+    out << "<rect";
+    if (!id_prefix.empty()) out << " id=\"" << id_prefix << '-' << i << '"';
+    out << " x=\"" << static_cast<int>(cx) * pitch << "\" y=\""
+        << static_cast<int>(cy) * pitch << "\" width=\"" << cell_px
+        << "\" height=\"" << cell_px << "\" fill=\"" << heat_color(t)
+        << "\"><title>tile " << i << " (" << cx << ',' << cy << "): " << v
+        << "</title></rect>";
+  }
+  out << "</svg>";
+}
+
+double concentration_index(const std::vector<std::uint64_t>& totals) {
+  const std::size_t n = totals.size();
+  if (n <= 1) return totals.empty() || totals[0] == 0 ? 0.0 : 1.0;
+  double sum = 0.0;
+  for (const std::uint64_t v : totals) sum += static_cast<double>(v);
+  if (sum <= 0.0) return 0.0;
+  double hhi = 0.0;
+  for (const std::uint64_t v : totals) {
+    const double share = static_cast<double>(v) / sum;
+    hhi += share * share;
+  }
+  const double uniform = 1.0 / static_cast<double>(n);
+  return (hhi - uniform) / (1.0 - uniform);
+}
+
+std::vector<Hotspot> top_hotspots(const std::vector<std::uint64_t>& totals,
+                                  std::size_t k) {
+  double sum = 0.0;
+  for (const std::uint64_t v : totals) sum += static_cast<double>(v);
+  std::vector<Hotspot> spots;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    if (totals[i] == 0) continue;
+    spots.push_back(
+        {i, totals[i], static_cast<double>(totals[i]) / sum});
+  }
+  std::stable_sort(spots.begin(), spots.end(),
+                   [](const Hotspot& a, const Hotspot& b) {
+                     if (a.value != b.value) return a.value > b.value;
+                     return a.tile < b.tile;
+                   });
+  if (spots.size() > k) spots.resize(k);
+  return spots;
+}
+
+}  // namespace puno::telemetry

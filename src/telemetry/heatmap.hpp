@@ -1,0 +1,71 @@
+// Inline-SVG mesh heatmaps for the per-tile telemetry channels, shared by
+// the per-run dashboard and punoagg's fleet page.
+//
+// A heatmap is the physical mesh drawn as a width x height grid of cells
+// (tile id n at column n % width, row n / width — the XY-routing layout),
+// colored on a light-to-red ramp by each tile's value relative to the
+// hottest tile. Cells carry <title> tooltips and optional element ids so
+// the dashboard's time-window scrubber can recolor them from script.
+// Rendering is deterministic and self-contained (no external fetches), and
+// scales to the full 4096-tile kMaxNodes mesh: cell size shrinks with the
+// grid so any geometry, square or not, fits a fixed pixel budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace puno::telemetry {
+
+/// Display geometry of the mesh: `width` columns x `height` rows with
+/// `num_nodes == width * height` tiles.
+struct MeshGeometry {
+  std::size_t num_nodes = 0;
+  std::size_t width = 0;
+  std::size_t height = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return num_nodes > 0 && width > 0 && height > 0 &&
+           width * height == num_nodes;
+  }
+};
+
+/// Cell edge in pixels chosen so the longer mesh dimension fits ~640px:
+/// 28px for a 4x4 mesh down to 10px at 64x64 (4096 tiles).
+[[nodiscard]] int heatmap_cell_px(const MeshGeometry& g) noexcept;
+
+/// "#rrggbb" on the shared heat ramp, t clamped to [0, 1]: #f3f6fb (cold)
+/// to #d0342c (hot). The dashboard's scrubber script mirrors this formula.
+[[nodiscard]] std::string heat_color(double t);
+
+/// One heatmap as an inline <svg>. `values[i]` colors tile i relative to
+/// `max_value` (pass the channel maximum; 0 renders everything cold). When
+/// `id_prefix` is non-empty every cell gets id="<id_prefix>-<tile>" so
+/// script can recolor it. `cell_px` from heatmap_cell_px(), or smaller for
+/// thumbnails.
+void write_heatmap_svg(std::ostream& out, const MeshGeometry& g,
+                       const std::vector<std::uint64_t>& values,
+                       std::uint64_t max_value, const std::string& id_prefix,
+                       int cell_px);
+
+/// Normalized Herfindahl–Hirschman concentration of a channel's per-tile
+/// totals: 0 = perfectly uniform load, 1 = a single tile carries it all.
+/// Returns 0 for an empty/all-zero channel.
+[[nodiscard]] double concentration_index(
+    const std::vector<std::uint64_t>& totals);
+
+/// One row of the hotspot table.
+struct Hotspot {
+  std::size_t tile = 0;
+  std::uint64_t value = 0;
+  double share = 0.0;  ///< value / channel total.
+};
+
+/// The k hottest tiles, descending by value (ties broken by lower id);
+/// zero-valued tiles are never reported.
+[[nodiscard]] std::vector<Hotspot> top_hotspots(
+    const std::vector<std::uint64_t>& totals, std::size_t k);
+
+}  // namespace puno::telemetry

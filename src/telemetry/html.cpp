@@ -1,0 +1,48 @@
+#include "telemetry/html.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace puno::telemetry::html {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void begin_page(std::ostream& out, std::string_view title,
+                std::string_view heading, std::string_view extra_style) {
+  out << "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+      << "<title>" << escape(title) << "</title>\n<style>\n"
+      << "body{font:14px/1.4 system-ui,sans-serif;margin:1.5em;"
+         "background:#fafafa;color:#222}\n"
+      << "h1{font-size:1.3em}h2{font-size:1.05em;margin:1.2em 0 .4em;"
+         "border-bottom:1px solid #ddd}\n"
+      << ".meta{color:#666}\n"
+      << "table{border-collapse:collapse;background:#fff}\n"
+      << "td,th{border:1px solid #e2e2e2;padding:4px 10px;text-align:right}\n"
+      << "th{background:#f0f0f0}\ntd:first-child{text-align:left}\n"
+      << extra_style << "</style></head><body>\n"
+      << "<h1>" << escape(heading) << "</h1>\n";
+}
+
+void end_page(std::ostream& out) { out << "</body></html>\n"; }
+
+}  // namespace puno::telemetry::html

@@ -1,0 +1,34 @@
+// Shared HTML generation helpers for the self-contained dashboards (the
+// per-run page in dashboard.cpp and punoagg's fleet page).
+//
+// Everything here is deterministic plain-text emission: no timestamps, no
+// randomness, no external fetches. escape() is the HTML-context escaper —
+// distinct from sim::jsonio::escape (JSON string escaping), which must NOT
+// be used for page content because it leaves '<' and '&' unescaped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace puno::telemetry::html {
+
+/// Escapes text for an HTML element or double-quoted attribute context:
+/// & < > " ' become entities. Safe for workload/scheme/config strings that
+/// come from the command line or a manifest.
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Formats a double compactly and deterministically ("12", "3.25",
+/// "1.2e+06") — the shared numeric style of every dashboard.
+[[nodiscard]] std::string fmt(double v);
+
+/// Opens a page: doctype, <meta charset="utf-8">, escaped <title>, the
+/// shared stylesheet, plus `extra_style` (may be empty), then <body> and an
+/// <h1>. Pair with end_page().
+void begin_page(std::ostream& out, std::string_view title,
+                std::string_view heading, std::string_view extra_style);
+
+/// Closes the page opened by begin_page().
+void end_page(std::ostream& out);
+
+}  // namespace puno::telemetry::html

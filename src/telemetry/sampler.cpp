@@ -30,15 +30,28 @@ std::uint64_t read_if_present(const sim::StatsRegistry& stats,
 }  // namespace
 
 TelemetrySampler::TelemetrySampler(arch::Cmp& cmp, Cycle interval,
-                                   std::size_t capacity)
-    : cmp_(cmp), interval_(interval == 0 ? 1 : interval), ring_(capacity) {
+                                   std::size_t capacity, bool spatial)
+    : cmp_(cmp),
+      interval_(interval == 0 ? 1 : interval),
+      spatial_(spatial),
+      ring_(capacity) {
   prev_.router_traversals.assign(cmp_.config().num_nodes, 0);
+  if (spatial_) {
+    // Lazily-created spatial state: only spatial samplers pay for it, and
+    // runs without one remain bit-identical (nothing below ever writes).
+    prev_.tile_aborts.assign(cmp_.config().num_nodes, 0);
+    prev_.tile_false_aborts.assign(cmp_.config().num_nodes, 0);
+    prev_.tile_nacks_sent.assign(cmp_.config().num_nodes, 0);
+    prev_.tile_nacks_recv.assign(cmp_.config().num_nodes, 0);
+    prev_.tile_pbuffer_evictions.assign(cmp_.config().num_nodes, 0);
+    prev_.tile_ud_mispredicts.assign(cmp_.config().num_nodes, 0);
+  }
 }
 
 std::unique_ptr<TelemetrySampler> TelemetrySampler::attach(
     arch::Cmp& cmp, const TelemetryRequest& req) {
-  auto sampler =
-      std::make_unique<TelemetrySampler>(cmp, req.interval, req.capacity);
+  auto sampler = std::make_unique<TelemetrySampler>(cmp, req.interval,
+                                                    req.capacity, req.spatial);
   TelemetrySampler* raw = sampler.get();
   cmp.kernel().add_post_cycle_hook(
       [raw](Cycle now) { raw->on_post_cycle(now); },
@@ -148,6 +161,53 @@ void TelemetrySampler::take_sample(Cycle cycles_completed) {
     cur.router_traversals[i] = mesh.router(i).local_traversals();
     s.router_traversals[i] =
         cur.router_traversals[i] - prev_.router_traversals[i];
+  }
+
+  // Spatial channels: per-tile counter deltas + gauges read through the
+  // same const accessors the invariant checker uses. Each delta channel
+  // sums (over tiles) to its global counterpart, which the spatial tests
+  // pin window by window.
+  if (spatial_) {
+    cur.tile_aborts.resize(cfg.num_nodes);
+    cur.tile_false_aborts.resize(cfg.num_nodes);
+    cur.tile_nacks_sent.resize(cfg.num_nodes);
+    cur.tile_nacks_recv.resize(cfg.num_nodes);
+    cur.tile_pbuffer_evictions.resize(cfg.num_nodes);
+    cur.tile_ud_mispredicts.resize(cfg.num_nodes);
+    s.tile_aborts.resize(cfg.num_nodes);
+    s.tile_false_aborts.resize(cfg.num_nodes);
+    s.tile_nacks_sent.resize(cfg.num_nodes);
+    s.tile_nacks_recv.resize(cfg.num_nodes);
+    s.tile_pbuffer_evictions.resize(cfg.num_nodes);
+    s.tile_ud_mispredicts.resize(cfg.num_nodes);
+    s.tile_txn_pins.resize(cfg.num_nodes);
+    s.tile_router_queued.resize(cfg.num_nodes);
+    for (NodeId i = 0; i < n; ++i) {
+      const htm::TxnContext& txn = cmp_.txn(i);
+      const coherence::L1Controller& l1 = cmp_.l1(i);
+      const coherence::Directory& dir = cmp_.directory(i);
+      cur.tile_aborts[i] = txn.tile_aborts();
+      cur.tile_false_aborts[i] = txn.tile_false_aborts();
+      cur.tile_nacks_sent[i] = l1.tile_nacks_sent();
+      cur.tile_nacks_recv[i] = l1.tile_nacks_received();
+      cur.tile_ud_mispredicts[i] = dir.tile_mp_feedbacks();
+      if (const core::PunoDirectory* assist = cmp_.assist(i)) {
+        cur.tile_pbuffer_evictions[i] = assist->pbuffer().evictions();
+      }
+      s.tile_aborts[i] = cur.tile_aborts[i] - prev_.tile_aborts[i];
+      s.tile_false_aborts[i] =
+          cur.tile_false_aborts[i] - prev_.tile_false_aborts[i];
+      s.tile_nacks_sent[i] =
+          cur.tile_nacks_sent[i] - prev_.tile_nacks_sent[i];
+      s.tile_nacks_recv[i] =
+          cur.tile_nacks_recv[i] - prev_.tile_nacks_recv[i];
+      s.tile_pbuffer_evictions[i] =
+          cur.tile_pbuffer_evictions[i] - prev_.tile_pbuffer_evictions[i];
+      s.tile_ud_mispredicts[i] =
+          cur.tile_ud_mispredicts[i] - prev_.tile_ud_mispredicts[i];
+      s.tile_txn_pins[i] = l1.txn_pinned_lines();
+      s.tile_router_queued[i] = mesh.router(i).buffered_flits();
+    }
   }
 
   ring_.push(std::move(s));

@@ -23,7 +23,11 @@ namespace puno::telemetry {
 class TelemetrySampler {
  public:
   /// Does not register anything; use attach() for the hooked-up form.
-  TelemetrySampler(arch::Cmp& cmp, Cycle interval, std::size_t capacity);
+  /// `spatial` additionally records the per-tile channels (mesh heatmaps);
+  /// the per-tile snapshot state is only allocated when it is set, so
+  /// non-spatial samplers cost exactly what they did before.
+  TelemetrySampler(arch::Cmp& cmp, Cycle interval, std::size_t capacity,
+                   bool spatial = false);
 
   TelemetrySampler(const TelemetrySampler&) = delete;
   TelemetrySampler& operator=(const TelemetrySampler&) = delete;
@@ -41,6 +45,7 @@ class TelemetrySampler {
 
   [[nodiscard]] const SeriesRing& series() const noexcept { return ring_; }
   [[nodiscard]] Cycle interval() const noexcept { return interval_; }
+  [[nodiscard]] bool spatial() const noexcept { return spatial_; }
 
   /// Post-cycle hook body (public so tests can drive sampling manually).
   void on_post_cycle(Cycle now);
@@ -64,6 +69,14 @@ class TelemetrySampler {
     std::uint64_t flits_ejected = 0;
     std::uint64_t traversals = 0;
     std::vector<std::uint64_t> router_traversals;
+    // Per-tile cumulative values of the differenced spatial channels.
+    // Sized lazily in the constructor only when spatial sampling is on.
+    std::vector<std::uint64_t> tile_aborts;
+    std::vector<std::uint64_t> tile_false_aborts;
+    std::vector<std::uint64_t> tile_nacks_sent;
+    std::vector<std::uint64_t> tile_nacks_recv;
+    std::vector<std::uint64_t> tile_pbuffer_evictions;
+    std::vector<std::uint64_t> tile_ud_mispredicts;
   };
 
   /// Closes the window ending after `cycles_completed` cycles.
@@ -71,6 +84,7 @@ class TelemetrySampler {
 
   arch::Cmp& cmp_;
   Cycle interval_;
+  bool spatial_;
   SeriesRing ring_;
   CounterSnapshot prev_;
   Cycle prev_cycle_ = 0;  ///< Cycles completed at the last sample.

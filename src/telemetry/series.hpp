@@ -68,6 +68,25 @@ struct TelemetrySample {
   /// Per-router switch-traversal delta (index = node id).
   std::vector<std::uint64_t> router_traversals;
 
+  // --- spatial channels (index = tile id; empty unless the request asked
+  // for spatial sampling, so non-spatial series serialize unchanged) ---
+  std::vector<std::uint64_t> tile_aborts;        ///< Victim-tile deltas.
+  std::vector<std::uint64_t> tile_false_aborts;  ///< Requester-tile deltas.
+  std::vector<std::uint64_t> tile_nacks_sent;    ///< Responder-tile deltas.
+  std::vector<std::uint64_t> tile_nacks_recv;    ///< Requester-tile deltas.
+  /// P-Buffer capacity-eviction deltas at each home tile's assist (all
+  /// zero for schemes without assists).
+  std::vector<std::uint64_t> tile_pbuffer_evictions;
+  /// UD misprediction feedbacks absorbed at each home tile.
+  std::vector<std::uint64_t> tile_ud_mispredicts;
+  /// Gauge: L1 lines pinned by each tile's running transaction.
+  std::vector<std::uint64_t> tile_txn_pins;
+  /// Gauge: flits queued in each tile's router buffers.
+  std::vector<std::uint64_t> tile_router_queued;
+
+  /// True when the sample carries the per-tile spatial channels.
+  [[nodiscard]] bool spatial() const noexcept { return !tile_aborts.empty(); }
+
   bool operator==(const TelemetrySample&) const = default;
 };
 
@@ -116,6 +135,10 @@ struct TelemetryRequest {
   std::string csv_path;       ///< Sample series CSV; "" = don't write.
   std::string dashboard_path; ///< Self-contained HTML; "" = don't write.
   std::size_t capacity = SeriesRing::kDefaultCapacity;
+  /// Record the per-tile spatial channels (mesh heatmaps). Off by default:
+  /// the extra vectors cost 8 words per tile per window, and non-spatial
+  /// series must stay byte-identical to pre-spatial output.
+  bool spatial = false;
 
   [[nodiscard]] bool active() const noexcept { return interval > 0; }
 };

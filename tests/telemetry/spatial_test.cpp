@@ -1,0 +1,304 @@
+// Spatial (per-tile) telemetry contracts:
+//
+//   1. Reconciliation: per-tile window deltas sum to the matching global
+//      counters over the whole run — the heatmaps redistribute the totals
+//      across the mesh, they never invent or lose events.
+//   2. Observability: turning the spatial channels on does not perturb the
+//      simulation (bit-identical RunResult vs. a non-spatial run).
+//   3. Format: spatial samples round-trip through JSONL; non-spatial output
+//      stays byte-identical to the pre-spatial schema (conditional keys).
+//   4. Rendering: heatmap SVG geometry/ids, heat ramp endpoints, hotspot
+//      ranking, concentration index, HTML escaping, and the dashboard's
+//      mesh section (non-square meshes included).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/cmp.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/stats_io.hpp"
+#include "sim/kernel.hpp"
+#include "telemetry/dashboard.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/html.hpp"
+#include "telemetry/sampler.hpp"
+#include "workloads/stamp.hpp"
+
+namespace puno::telemetry {
+namespace {
+
+struct SampledRun {
+  std::unique_ptr<arch::Cmp> cmp;
+  std::unique_ptr<TelemetrySampler> sampler;
+  std::unique_ptr<workloads::Workload> workload;
+};
+
+SampledRun run_spatial(Scheme scheme, Cycle interval = 200) {
+  SampledRun r;
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = 3;
+  r.workload = workloads::stamp::make("kmeans", cfg.num_nodes, 3, 0.05);
+  r.cmp = std::make_unique<arch::Cmp>(cfg, *r.workload);
+  TelemetryRequest req;
+  req.interval = interval;
+  req.spatial = true;
+  r.sampler = TelemetrySampler::attach(*r.cmp, req);
+  r.cmp->run(2'000'000);
+  r.sampler->finish();
+  return r;
+}
+
+std::uint64_t counter_or_zero(const sim::StatsRegistry& stats,
+                              const std::string& name) {
+  const auto it = stats.counters().find(name);
+  return it == stats.counters().end() ? 0 : it->second.value();
+}
+
+/// Sums one per-tile channel over every tile of every window.
+std::uint64_t tile_sum(
+    const std::vector<TelemetrySample>& samples,
+    const std::vector<std::uint64_t>& (*get)(const TelemetrySample&)) {
+  std::uint64_t acc = 0;
+  for (const TelemetrySample& s : samples) {
+    for (const std::uint64_t v : get(s)) acc += v;
+  }
+  return acc;
+}
+
+TEST(SpatialTelemetry, TileDeltasSumToGlobalCounters) {
+  const auto run = run_spatial(Scheme::kPuno);
+  ASSERT_EQ(run.sampler->series().dropped(), 0u);
+  const auto& samples = run.sampler->series().samples();
+  ASSERT_FALSE(samples.empty());
+  ASSERT_TRUE(samples.front().spatial());
+  const auto& stats = run.cmp->kernel().stats();
+
+  EXPECT_EQ(tile_sum(samples,
+                     [](const TelemetrySample& s)
+                         -> const std::vector<std::uint64_t>& {
+                       return s.tile_aborts;
+                     }),
+            counter_or_zero(stats, "htm.aborts"))
+      << "victim-attributed aborts must redistribute htm.aborts";
+  EXPECT_EQ(tile_sum(samples,
+                     [](const TelemetrySample& s)
+                         -> const std::vector<std::uint64_t>& {
+                       return s.tile_false_aborts;
+                     }),
+            counter_or_zero(stats, "htm.false_abort_events"));
+  EXPECT_EQ(tile_sum(samples,
+                     [](const TelemetrySample& s)
+                         -> const std::vector<std::uint64_t>& {
+                       return s.tile_ud_mispredicts;
+                     }),
+            counter_or_zero(stats, "dir.mp_feedbacks"));
+  EXPECT_EQ(tile_sum(samples,
+                     [](const TelemetrySample& s)
+                         -> const std::vector<std::uint64_t>& {
+                       return s.tile_pbuffer_evictions;
+                     }),
+            counter_or_zero(stats, "puno.pbuffer_evictions"));
+  // Every NACK has one sender and one receiver; over a full run the two
+  // attributions can only differ by responses still in flight at the
+  // budget, and this run completes (drains).
+  EXPECT_EQ(tile_sum(samples,
+                     [](const TelemetrySample& s)
+                         -> const std::vector<std::uint64_t>& {
+                       return s.tile_nacks_sent;
+                     }),
+            tile_sum(samples,
+                     [](const TelemetrySample& s)
+                         -> const std::vector<std::uint64_t>& {
+                       return s.tile_nacks_recv;
+                     }));
+  EXPECT_GT(tile_sum(samples,
+                     [](const TelemetrySample& s)
+                         -> const std::vector<std::uint64_t>& {
+                       return s.tile_aborts;
+                     }),
+            0u)
+      << "kmeans under contention must abort somewhere";
+}
+
+TEST(SpatialTelemetry, SpatialSamplingDoesNotPerturbResults) {
+  metrics::ExperimentParams plain_params;
+  plain_params.workload = "kmeans";
+  plain_params.scheme = Scheme::kPuno;
+  plain_params.seed = 3;
+  plain_params.scale = 0.1;
+  plain_params.telemetry.interval = 100;
+  metrics::ExperimentParams spatial_params = plain_params;
+  spatial_params.telemetry.spatial = true;
+
+  const metrics::RunResult plain = metrics::run_experiment(plain_params);
+  const metrics::RunResult spatial = metrics::run_experiment(spatial_params);
+  std::ostringstream a, b;
+  metrics::write_result_jsonl(plain, a);
+  metrics::write_result_jsonl(spatial, b);
+  EXPECT_EQ(a.str(), b.str())
+      << "per-tile channels changed the simulation";
+}
+
+TEST(SpatialTelemetry, JsonlRoundTripsSpatialChannels) {
+  const auto run = run_spatial(Scheme::kPuno);
+  const auto& samples = run.sampler->series().samples();
+  std::ostringstream os;
+  write_telemetry_jsonl(samples, os);
+  EXPECT_NE(os.str().find("\"tile_aborts\""), std::string::npos);
+  std::vector<TelemetrySample> parsed;
+  ASSERT_TRUE(read_telemetry_jsonl(os.str(), parsed));
+  EXPECT_EQ(parsed, samples) << "spatial vectors must round-trip exactly";
+}
+
+TEST(SpatialTelemetry, NonSpatialOutputHasNoTileKeys) {
+  TelemetrySample s;
+  s.cycle = 100;
+  s.window = 100;
+  s.router_traversals = {1, 2, 3, 4};
+  std::ostringstream jsonl;
+  write_sample_jsonl(s, jsonl);
+  EXPECT_EQ(jsonl.str().find("tile_"), std::string::npos)
+      << "non-spatial rows must stay byte-identical to the old schema";
+  EXPECT_EQ(telemetry_csv_header(4).find("tile_"), std::string::npos);
+  EXPECT_NE(telemetry_csv_header(4, true).find("tile_aborts0"),
+            std::string::npos);
+}
+
+TEST(SpatialTelemetry, SamplerAllocatesTileVectorsOnlyWhenAsked) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::kPuno;
+  cfg.seed = 3;
+  auto workload = workloads::stamp::make("kmeans", cfg.num_nodes, 3, 0.05);
+  arch::Cmp cmp(cfg, *workload);
+  TelemetryRequest req;
+  req.interval = 200;
+  auto sampler = TelemetrySampler::attach(cmp, req);
+  cmp.run(100'000);
+  sampler->finish();
+  for (const TelemetrySample& s : sampler->series().samples()) {
+    EXPECT_FALSE(s.spatial());
+    EXPECT_TRUE(s.tile_aborts.empty());
+    EXPECT_TRUE(s.tile_router_queued.empty());
+  }
+}
+
+TEST(Heatmap, CellColorRampEndpoints) {
+  EXPECT_EQ(heat_color(0.0), "#f3f6fb");
+  EXPECT_EQ(heat_color(1.0), "#d0342c");
+  EXPECT_EQ(heat_color(-5.0), heat_color(0.0)) << "t clamps";
+  EXPECT_EQ(heat_color(7.0), heat_color(1.0));
+}
+
+TEST(Heatmap, SvgCoversNonSquareGeometry) {
+  const MeshGeometry g{8, 4, 2};
+  ASSERT_TRUE(g.valid());
+  std::vector<std::uint64_t> v{0, 1, 2, 3, 4, 5, 6, 7};
+  std::ostringstream os;
+  write_heatmap_svg(os, g, v, 7, "hm", 10);
+  const std::string svg = os.str();
+  EXPECT_EQ(svg.find("http"), std::string::npos);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(svg.find("id=\"hm-" + std::to_string(i) + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(svg.find("tile 7 (3,1): 7"), std::string::npos)
+      << "tile n sits at (n % width, n / width)";
+}
+
+TEST(Heatmap, InvalidGeometryIsDetected) {
+  EXPECT_FALSE((MeshGeometry{8, 3, 2}.valid()));
+  EXPECT_FALSE((MeshGeometry{0, 0, 0}.valid()));
+  EXPECT_TRUE((MeshGeometry{256, 32, 8}.valid()));
+}
+
+TEST(Heatmap, ConcentrationIndexRange) {
+  EXPECT_DOUBLE_EQ(concentration_index({5, 5, 5, 5}), 0.0) << "uniform";
+  EXPECT_DOUBLE_EQ(concentration_index({9, 0, 0, 0}), 1.0) << "one tile";
+  EXPECT_DOUBLE_EQ(concentration_index({0, 0, 0}), 0.0) << "no events";
+  EXPECT_DOUBLE_EQ(concentration_index({}), 0.0);
+  const double mid = concentration_index({6, 2, 1, 1});
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(Heatmap, TopHotspotsRankAndShare) {
+  const auto spots = top_hotspots({0, 7, 3, 7, 0, 3}, 3);
+  ASSERT_EQ(spots.size(), 3u);
+  EXPECT_EQ(spots[0].tile, 1u) << "ties break toward the lower tile id";
+  EXPECT_EQ(spots[1].tile, 3u);
+  EXPECT_EQ(spots[2].tile, 2u);
+  EXPECT_DOUBLE_EQ(spots[0].share, 7.0 / 20.0);
+  EXPECT_TRUE(top_hotspots({0, 0}, 4).empty())
+      << "zero-valued tiles are never hotspots";
+}
+
+TEST(Html, EscapesEveryDangerousCharacter) {
+  EXPECT_EQ(html::escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+  EXPECT_EQ(html::escape("plain"), "plain");
+}
+
+std::vector<TelemetrySample> spatial_series(std::size_t tiles,
+                                            std::size_t windows) {
+  std::vector<TelemetrySample> series;
+  for (std::size_t w = 1; w <= windows; ++w) {
+    TelemetrySample s;
+    s.cycle = static_cast<Cycle>(100 * w);
+    s.window = 100;
+    s.router_traversals.assign(tiles, 2);
+    s.tile_aborts.assign(tiles, 0);
+    s.tile_aborts[w % tiles] = 3;
+    s.tile_false_aborts.assign(tiles, 1);
+    s.tile_nacks_sent.assign(tiles, 1);
+    s.tile_nacks_recv.assign(tiles, 1);
+    s.tile_pbuffer_evictions.assign(tiles, 0);
+    s.tile_ud_mispredicts.assign(tiles, 0);
+    s.tile_txn_pins.assign(tiles, 2);
+    s.tile_router_queued.assign(tiles, 1);
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+TEST(Dashboard, MeshHeatmapSectionRendersNonSquare) {
+  DashboardMeta meta;
+  meta.workload = "w<1>";  // must come out escaped
+  meta.scheme = "PUNO";
+  meta.cycles = 800;
+  meta.interval = 100;
+  meta.num_nodes = 8;
+  meta.mesh_width = 4;
+  meta.mesh_height = 2;
+  std::ostringstream os;
+  write_dashboard_html(meta, spatial_series(8, 8), nullptr, os);
+  const std::string page = os.str();
+  EXPECT_NE(page.find("Mesh heatmaps"), std::string::npos);
+  EXPECT_NE(page.find("id=\"aborts-7\""), std::string::npos)
+      << "every tile of every channel gets an addressable cell";
+  EXPECT_NE(page.find("id=\"hmscrub\""), std::string::npos)
+      << "multi-window spatial series gets the time scrubber";
+  EXPECT_NE(page.find("4&times;2 mesh (8 tiles)"), std::string::npos);
+  EXPECT_NE(page.find("w&lt;1&gt;"), std::string::npos)
+      << "workload strings are HTML-escaped";
+  EXPECT_EQ(page.find("http://"), std::string::npos);
+  EXPECT_EQ(page.find("https://"), std::string::npos);
+  EXPECT_NE(page.find("<meta charset=\"utf-8\">"), std::string::npos);
+}
+
+TEST(Dashboard, NoHeatmapSectionWithoutGeometry) {
+  DashboardMeta meta;
+  meta.workload = "intruder";
+  meta.scheme = "PUNO";
+  meta.cycles = 800;
+  meta.interval = 100;  // num_nodes left 0: geometry unknown
+  std::ostringstream os;
+  write_dashboard_html(meta, spatial_series(8, 8), nullptr, os);
+  EXPECT_EQ(os.str().find("Mesh heatmaps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace puno::telemetry

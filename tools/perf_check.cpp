@@ -11,6 +11,7 @@
 //   usage: perf_check BASELINE.json CURRENT.json [--max-regression 0.30]
 //
 // Exit codes: 0 = within threshold, 1 = regression, 2 = usage/parse error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include <string>
 #include <string_view>
 #include <tuple>
+#include <vector>
 
 #include "sim/jsonio.hpp"
 
@@ -142,12 +144,19 @@ int main(int argc, char** argv) {
   double base_sum = 0.0;
   double cur_sum = 0.0;
   std::size_t shared = 0;
+  // Per-(workload, scheme) sums across seeds, for the worst-regression
+  // table below — single rows are noisy, a whole cell less so.
+  std::map<std::pair<std::string, std::string>, std::pair<double, double>>
+      cells;
   for (const auto& [key, base_cps] : base.rows) {
     const auto it = cur.rows.find(key);
     if (it == cur.rows.end()) continue;
     ++shared;
     base_sum += base_cps;
     cur_sum += it->second;
+    auto& cell = cells[{std::get<0>(key), std::get<1>(key)}];
+    cell.first += base_cps;
+    cell.second += it->second;
     std::printf("%-12s %-9s seed %llu: %10.0f -> %10.0f cycles/s (%.2fx)\n",
                 std::get<0>(key).c_str(), std::get<1>(key).c_str(),
                 static_cast<unsigned long long>(std::get<2>(key)), base_cps,
@@ -159,6 +168,21 @@ int main(int argc, char** argv) {
                  base_path.c_str(), cur_path.c_str());
     return 2;
   }
+  // Worst regressions first, one row per workload x scheme cell: pinpoints
+  // which configuration dragged the aggregate down when the gate trips.
+  std::vector<std::tuple<double, std::string, std::string>> table;
+  for (const auto& [cell, sums] : cells) {
+    table.emplace_back(sums.first > 0.0 ? sums.second / sums.first : 0.0,
+                       cell.first, cell.second);
+  }
+  std::sort(table.begin(), table.end());
+  std::printf("\nworst cells (workload x scheme, seeds pooled):\n");
+  const std::size_t show = std::min<std::size_t>(table.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) {
+    std::printf("  %-12s %-9s %.2fx\n", std::get<1>(table[i]).c_str(),
+                std::get<2>(table[i]).c_str(), std::get<0>(table[i]));
+  }
+
   const double ratio = base_sum > 0.0 ? cur_sum / base_sum : 0.0;
   std::printf("aggregate over %zu shared rows: %.0f -> %.0f cycles/s"
               " (%.2fx, floor %.2fx)\n",
